@@ -1,0 +1,309 @@
+//! Classic subgroup-discovery quality measures, for comparison with the
+//! paper's subjective interestingness.
+//!
+//! The paper's related-work section (§IV) situates SISD against standard
+//! Subgroup Discovery (single-target, objective quality functions) and the
+//! dispersion-corrected scores of Boley et al. (2017). This crate provides
+//! those comparators so the benchmark harness can contrast what each
+//! objective ranks first:
+//!
+//! * [`wracc`] — Weighted Relative Accuracy for binarized targets,
+//! * [`mean_shift_z`] — the Klösgen/z-score family `mᵃ · (ȳ_S − ȳ)`
+//!   normalized by the standard error,
+//! * [`dispersion_corrected`] — mean shift divided by dispersion,
+//!   following the intuition of Boley et al.'s consistency-aware score,
+//! * [`top_k_by_quality`] — a generic beam-style top-k miner over any
+//!   quality function, reusing the SISD condition language.
+
+use sisd_core::Intention;
+use sisd_data::{BitSet, Dataset};
+use sisd_search::{generate_conditions, RefineConfig};
+use sisd_stats::summary::{mean, variance};
+
+/// A quality measure over subgroup extensions of a single-target dataset.
+pub trait Quality {
+    /// Larger is better. Return `f64::NEG_INFINITY` for infeasible
+    /// subgroups.
+    fn evaluate(&self, data: &Dataset, ext: &BitSet) -> f64;
+    /// Name used in harness output.
+    fn name(&self) -> &'static str;
+}
+
+/// Weighted Relative Accuracy with respect to a threshold on the target:
+/// `WRAcc(S) = cov(S) · (p_S − p)` where `p` is the fraction of rows whose
+/// target exceeds the threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct WrAcc {
+    /// Rows with target `>= threshold` count as positive.
+    pub threshold: f64,
+}
+
+/// Computes WRAcc directly.
+pub fn wracc(data: &Dataset, ext: &BitSet, threshold: f64) -> f64 {
+    let n = data.n() as f64;
+    let m = ext.count() as f64;
+    if m == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let y = data.target_col(0);
+    let pos_all = y.iter().filter(|&&v| v >= threshold).count() as f64 / n;
+    let pos_sub = ext.iter().filter(|&i| y[i] >= threshold).count() as f64 / m;
+    (m / n) * (pos_sub - pos_all)
+}
+
+impl Quality for WrAcc {
+    fn evaluate(&self, data: &Dataset, ext: &BitSet) -> f64 {
+        wracc(data, ext, self.threshold)
+    }
+    fn name(&self) -> &'static str {
+        "wracc"
+    }
+}
+
+/// The Klösgen mean-shift family: `(m/n)^a · (ȳ_S − ȳ) / (σ/√m)`.
+/// With `a = 0.5` this is the classical z-score-like quality.
+#[derive(Debug, Clone, Copy)]
+pub struct MeanShiftZ {
+    /// Generality exponent `a` (0 = pure shift, 1 = coverage-weighted).
+    pub a: f64,
+}
+
+/// Computes the mean-shift score directly.
+pub fn mean_shift_z(data: &Dataset, ext: &BitSet, a: f64) -> f64 {
+    let m = ext.count() as f64;
+    if m == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let y = data.target_col(0);
+    let overall = mean(&y);
+    let sd = variance(&y).sqrt().max(1e-12);
+    let sub: Vec<f64> = ext.iter().map(|i| y[i]).collect();
+    let shift = (mean(&sub) - overall) / (sd / m.sqrt());
+    (m / data.n() as f64).powf(a) * shift.abs()
+}
+
+impl Quality for MeanShiftZ {
+    fn evaluate(&self, data: &Dataset, ext: &BitSet) -> f64 {
+        mean_shift_z(data, ext, self.a)
+    }
+    fn name(&self) -> &'static str {
+        "mean-shift-z"
+    }
+}
+
+/// Dispersion-corrected mean shift in the spirit of Boley et al. (2017):
+/// coverage-weighted absolute shift divided by the subgroup's own
+/// dispersion — consistent (low-spread) subgroups score higher.
+#[derive(Debug, Clone, Copy)]
+pub struct DispersionCorrected {
+    /// Generality exponent on coverage.
+    pub a: f64,
+}
+
+/// Computes the dispersion-corrected score directly.
+pub fn dispersion_corrected(data: &Dataset, ext: &BitSet, a: f64) -> f64 {
+    let m = ext.count() as f64;
+    if m < 2.0 {
+        return f64::NEG_INFINITY;
+    }
+    let y = data.target_col(0);
+    let overall = mean(&y);
+    let sub: Vec<f64> = ext.iter().map(|i| y[i]).collect();
+    let disp = variance(&sub).sqrt().max(1e-12);
+    (m / data.n() as f64).powf(a) * (mean(&sub) - overall).abs() / disp
+}
+
+impl Quality for DispersionCorrected {
+    fn evaluate(&self, data: &Dataset, ext: &BitSet) -> f64 {
+        dispersion_corrected(data, ext, self.a)
+    }
+    fn name(&self) -> &'static str {
+        "dispersion-corrected"
+    }
+}
+
+/// One pattern found by the baseline miner.
+#[derive(Debug, Clone)]
+pub struct BaselinePattern {
+    /// The subgroup description.
+    pub intention: Intention,
+    /// The matching rows.
+    pub extension: BitSet,
+    /// Quality value under the chosen measure.
+    pub quality: f64,
+}
+
+/// Beam-style top-k miner over any [`Quality`] measure, using the same
+/// condition language as the SISD beam search. Single-target only.
+pub fn top_k_by_quality(
+    data: &Dataset,
+    quality: &dyn Quality,
+    k: usize,
+    width: usize,
+    max_depth: usize,
+    min_coverage: usize,
+) -> Vec<BaselinePattern> {
+    assert_eq!(data.dy(), 1, "baseline miner is single-target");
+    let conditions = generate_conditions(data, &RefineConfig::default());
+    let cond_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
+
+    let mut best: Vec<BaselinePattern> = Vec::new();
+    let mut frontier: Vec<(Intention, BitSet)> =
+        vec![(Intention::empty(), BitSet::full(data.n()))];
+
+    for _ in 0..max_depth {
+        let mut level: Vec<BaselinePattern> = Vec::new();
+        for (intent, ext) in &frontier {
+            for (cidx, cond) in conditions.iter().enumerate() {
+                if intent.conflicts_with(cond) {
+                    continue;
+                }
+                let child_ext = ext.and(&cond_exts[cidx]);
+                let m = child_ext.count();
+                if m < min_coverage || m == ext.count() || m == data.n() {
+                    continue;
+                }
+                let q = quality.evaluate(data, &child_ext);
+                if !q.is_finite() {
+                    continue;
+                }
+                level.push(BaselinePattern {
+                    intention: intent.with(*cond),
+                    extension: child_ext,
+                    quality: q,
+                });
+            }
+        }
+        if level.is_empty() {
+            break;
+        }
+        level.sort_by(|a, b| b.quality.partial_cmp(&a.quality).unwrap());
+        level.truncate(width.max(k));
+        frontier = level
+            .iter()
+            .take(width)
+            .map(|p| (p.intention.clone(), p.extension.clone()))
+            .collect();
+        best.extend(level);
+    }
+    best.sort_by(|a, b| b.quality.partial_cmp(&a.quality).unwrap());
+    best.dedup_by(|a, b| a.extension == b.extension);
+    best.truncate(k);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisd_data::Column;
+    use sisd_linalg::Matrix;
+    use sisd_stats::Xoshiro256pp;
+
+    /// 200 rows; flag=1 rows (25%) have shifted, low-variance targets.
+    fn data() -> Dataset {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let n = 200;
+        let flag: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        let mut targets = Matrix::zeros(n, 1);
+        for i in 0..n {
+            targets[(i, 0)] = if flag[i] {
+                3.0 + 0.1 * rng.normal()
+            } else {
+                rng.normal()
+            };
+        }
+        Dataset::new(
+            "b",
+            vec!["flag".into(), "noise".into()],
+            vec![
+                Column::binary(&flag),
+                Column::Numeric((0..n).map(|_| rng.uniform()).collect()),
+            ],
+            vec!["y".into()],
+            targets,
+        )
+    }
+
+    #[test]
+    fn wracc_prefers_the_planted_subgroup() {
+        let d = data();
+        let flag_ext = BitSet::from_fn(d.n(), |i| i % 4 == 0);
+        let random_ext = BitSet::from_indices(d.n(), (0..50).map(|i| i * 4 + 1));
+        let q = wracc(&d, &flag_ext, 1.5);
+        let q_rand = wracc(&d, &random_ext, 1.5);
+        assert!(q > q_rand, "{q} vs {q_rand}");
+        assert!(q > 0.0);
+    }
+
+    #[test]
+    fn wracc_is_bounded_by_quarter() {
+        let d = data();
+        let flag_ext = BitSet::from_fn(d.n(), |i| i % 4 == 0);
+        assert!(wracc(&d, &flag_ext, 1.5) <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn zscore_grows_with_shift_and_size() {
+        let d = data();
+        let big = BitSet::from_fn(d.n(), |i| i % 4 == 0);
+        let small = BitSet::from_indices(d.n(), (0..5).map(|i| i * 4));
+        assert!(mean_shift_z(&d, &big, 0.5) > mean_shift_z(&d, &small, 0.5));
+    }
+
+    #[test]
+    fn dispersion_correction_prefers_consistent_subgroups() {
+        let d = data();
+        // Planted subgroup: shifted AND tight → dispersion-corrected loves it.
+        let flag_ext = BitSet::from_fn(d.n(), |i| i % 4 == 0);
+        // Same size subgroup of background rows.
+        let bg_ext = BitSet::from_indices(d.n(), (0..50).map(|i| i * 4 + 2));
+        let q_flag = dispersion_corrected(&d, &flag_ext, 0.5);
+        let q_bg = dispersion_corrected(&d, &bg_ext, 0.5);
+        assert!(q_flag > 5.0 * q_bg, "{q_flag} vs {q_bg}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_extensions() {
+        let d = data();
+        let empty = BitSet::empty(d.n());
+        assert_eq!(wracc(&d, &empty, 0.5), f64::NEG_INFINITY);
+        assert_eq!(mean_shift_z(&d, &empty, 0.5), f64::NEG_INFINITY);
+        let singleton = BitSet::from_indices(d.n(), [0]);
+        assert_eq!(dispersion_corrected(&d, &singleton, 0.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn miner_finds_flag_condition_under_all_measures() {
+        let d = data();
+        let measures: Vec<Box<dyn Quality>> = vec![
+            Box::new(WrAcc { threshold: 1.5 }),
+            Box::new(MeanShiftZ { a: 0.5 }),
+            Box::new(DispersionCorrected { a: 0.5 }),
+        ];
+        for m in &measures {
+            let top = top_k_by_quality(&d, m.as_ref(), 5, 10, 2, 5);
+            assert!(!top.is_empty(), "{} found nothing", m.name());
+            let best = &top[0];
+            assert!(
+                best.intention.conditions().iter().any(|c| c.attr == 0),
+                "{}'s best pattern misses the flag: {}",
+                m.name(),
+                best.intention.describe(&d)
+            );
+        }
+    }
+
+    #[test]
+    fn miner_results_are_sorted_and_unique() {
+        let d = data();
+        let top = top_k_by_quality(&d, &MeanShiftZ { a: 0.5 }, 10, 10, 2, 5);
+        for w in top.windows(2) {
+            assert!(w[0].quality >= w[1].quality);
+        }
+        for i in 0..top.len() {
+            for j in (i + 1)..top.len() {
+                assert_ne!(top[i].extension, top[j].extension);
+            }
+        }
+    }
+}

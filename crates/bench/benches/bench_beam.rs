@@ -1,0 +1,34 @@
+//! End-to-end beam-search benchmarks on the synthetic data at the paper's
+//! settings and smaller variants (the §III-E scalability story: runtime is
+//! controlled by width × depth × condition count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sisd_data::datasets::synthetic_paper;
+use sisd_model::BackgroundModel;
+use sisd_search::{BeamConfig, BeamSearch};
+use std::hint::black_box;
+
+fn bench_beam(c: &mut Criterion) {
+    let (data, _) = synthetic_paper(77);
+    let mut group = c.benchmark_group("beam_search_synthetic");
+    group.sample_size(20);
+    for &(width, depth) in &[(10usize, 2usize), (40, 2), (40, 4)] {
+        let cfg = BeamConfig {
+            width,
+            max_depth: depth,
+            top_k: 150,
+            ..BeamConfig::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(format!("w{width}_d{depth}")), |b| {
+            b.iter(|| {
+                let mut model = BackgroundModel::from_empirical(&data).unwrap();
+                let r = BeamSearch::new(cfg.clone()).run(black_box(&data), &mut model);
+                r.evaluated
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beam);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Zhang χ²-mixture approximation benchmarks: the scalar kernel inside
+//! every spread-IC evaluation (and therefore inside every line-search step
+//! of the direction optimizer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sisd_stats::{Chi2MixtureApprox, Xoshiro256pp};
+use std::hint::black_box;
+
+fn bench_from_coefficients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chi2mix_build");
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    for &n in &[40usize, 400, 2000] {
+        let coeffs: Vec<f64> = (0..n).map(|_| rng.uniform() + 0.01).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &coeffs, |b, coeffs| {
+            b.iter(|| Chi2MixtureApprox::from_coefficients(black_box(coeffs.iter().copied())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_information_content(c: &mut Criterion) {
+    let approx = Chi2MixtureApprox::from_power_sums(40.0, 42.0, 45.0);
+    c.bench_function("chi2mix_ic", |b| {
+        b.iter(|| approx.information_content(black_box(37.5)))
+    });
+    c.bench_function("chi2mix_cdf", |b| {
+        b.iter(|| approx.cdf(black_box(37.5)))
+    });
+}
+
+criterion_group!(benches, bench_from_coefficients, bench_information_content);
+criterion_main!(benches);

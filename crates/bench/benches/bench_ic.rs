@@ -1,0 +1,61 @@
+//! Information-content evaluation benchmarks — the inner loop of beam
+//! search. Covers the homogeneous-covariance fast path (one shared Cholesky)
+//! and the dense path after spread updates fragment the covariances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sisd_core::{location_ic, spread_ic};
+use sisd_data::datasets::{german_socio_synthetic, mammals_synthetic};
+use sisd_data::BitSet;
+use sisd_model::BackgroundModel;
+use sisd_stats::Xoshiro256pp;
+use std::hint::black_box;
+
+fn bench_location_ic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("location_ic");
+
+    // dy = 5 (socio) and dy = 124 (mammals), fast path.
+    let (socio, _) = german_socio_synthetic(3);
+    let (mammals, _) = mammals_synthetic(3);
+    for (name, data) in [("socio_dy5", &socio), ("mammals_dy124", &mammals)] {
+        let mut model = BackgroundModel::from_empirical(data).expect("model");
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let ext = BitSet::from_indices(data.n(), rng.sample_indices(data.n(), data.n() / 10));
+        let observed = data.target_mean(&ext);
+        group.bench_function(BenchmarkId::new("fast_path", name), |b| {
+            b.iter(|| location_ic(black_box(&mut model), &ext, &observed).unwrap())
+        });
+    }
+
+    // Dense path: heterogeneous covariances (after a spread update).
+    let mut model = BackgroundModel::from_empirical(&socio).expect("model");
+    let mut rng = Xoshiro256pp::seed_from_u64(19);
+    let half = BitSet::from_indices(socio.n(), rng.sample_indices(socio.n(), socio.n() / 2));
+    let mut w = vec![1.0; socio.dy()];
+    sisd_linalg::normalize(&mut w);
+    let center = socio.target_mean(&half);
+    let v = socio.target_variance_along(&half, &w);
+    model.assimilate_spread(&half, w, center, v).unwrap();
+    let ext = BitSet::from_indices(socio.n(), rng.sample_indices(socio.n(), socio.n() / 10));
+    let observed = socio.target_mean(&ext);
+    group.bench_function(BenchmarkId::new("dense_path", "socio_dy5"), |b| {
+        b.iter(|| location_ic(black_box(&mut model), &ext, &observed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_spread_ic(c: &mut Criterion) {
+    let (socio, _) = german_socio_synthetic(3);
+    let model = BackgroundModel::from_empirical(&socio).expect("model");
+    let mut rng = Xoshiro256pp::seed_from_u64(23);
+    let ext = BitSet::from_indices(socio.n(), rng.sample_indices(socio.n(), 80));
+    let center = socio.target_mean(&ext);
+    let mut w = vec![0.5704, 0.8214, 0.0, 0.0, 0.0];
+    sisd_linalg::normalize(&mut w);
+    let g = socio.target_variance_along(&ext, &w);
+    c.bench_function("spread_ic_socio", |b| {
+        b.iter(|| spread_ic(black_box(&model), &ext, &w, &center, g).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_location_ic, bench_spread_ic);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Background-model update benchmarks — the microscopic version of the
+//! paper's Table II: how does one `assimilate + refit` scale with the
+//! number of already-assimilated constraints?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sisd_data::datasets::{crime_synthetic, german_socio_synthetic};
+use sisd_data::{BitSet, Dataset};
+use sisd_model::BackgroundModel;
+use sisd_stats::Xoshiro256pp;
+use std::hint::black_box;
+
+/// Random extensions of ~10% coverage with limited overlap.
+fn random_extensions(data: &Dataset, count: usize, seed: u64) -> Vec<BitSet> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let size = data.n() / 10;
+            BitSet::from_indices(data.n(), rng.sample_indices(data.n(), size))
+        })
+        .collect()
+}
+
+/// Model with `k` location constraints pre-assimilated.
+fn model_with_constraints(data: &Dataset, exts: &[BitSet], k: usize) -> BackgroundModel {
+    let mut model = BackgroundModel::from_empirical(data).expect("model");
+    for ext in exts.iter().take(k) {
+        let mean = data.target_mean(ext);
+        model.assimilate_location(ext, mean).expect("update");
+        model.refit(1e-7, 100).expect("refit");
+    }
+    model
+}
+
+fn bench_location_update_scaling(c: &mut Criterion) {
+    let (data, _) = german_socio_synthetic(7);
+    let exts = random_extensions(&data, 16, 11);
+    let new_ext = &exts[15];
+    let new_mean = data.target_mean(new_ext);
+
+    let mut group = c.benchmark_group("location_update_vs_existing_constraints");
+    for &k in &[0usize, 5, 10, 15] {
+        let base = model_with_constraints(&data, &exts, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &base, |b, base| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.assimilate_location(black_box(new_ext), new_mean.clone())
+                    .unwrap();
+                m.refit(1e-7, 100).unwrap();
+                m.n_cells()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spread_update(c: &mut Criterion) {
+    let (data, _) = german_socio_synthetic(7);
+    let exts = random_extensions(&data, 4, 13);
+    let ext = &exts[0];
+    let center = data.target_mean(ext);
+    let mut w = vec![1.0; data.dy()];
+    sisd_linalg::normalize(&mut w);
+    let observed = data.target_variance_along(ext, &w);
+    let mut base = BackgroundModel::from_empirical(&data).expect("model");
+    base.assimilate_location(ext, center.clone()).unwrap();
+
+    c.bench_function("spread_update_single", |b| {
+        b.iter(|| {
+            let mut m = base.clone();
+            m.assimilate_spread(black_box(ext), w.clone(), center.clone(), observed)
+                .unwrap();
+            m.n_cells()
+        })
+    });
+}
+
+fn bench_initial_fit(c: &mut Criterion) {
+    let crime = crime_synthetic(5);
+    c.bench_function("initial_fit_crime_n1994", |b| {
+        b.iter(|| BackgroundModel::from_empirical(black_box(&crime)).unwrap().n_cells())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_location_update_scaling,
+    bench_spread_update,
+    bench_initial_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Spread-direction optimizer benchmarks: full-sphere gradient ascent and
+//! the 2-sparse pairwise variant, at the paper's spread dimensionalities
+//! (dy = 2 synthetic, 5 socio, 16 water).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sisd_data::datasets::{german_socio_synthetic, synthetic_paper, water_quality_synthetic};
+use sisd_data::{BitSet, Dataset};
+use sisd_model::BackgroundModel;
+use sisd_search::{optimize_direction, optimize_direction_two_sparse, SphereConfig};
+use std::hint::black_box;
+
+fn assimilated_subgroup(data: &Dataset, ext: BitSet) -> (BackgroundModel, BitSet) {
+    let mut model = BackgroundModel::from_empirical(data).expect("model");
+    let mean = data.target_mean(&ext);
+    model.assimilate_location(&ext, mean).expect("update");
+    (model, ext)
+}
+
+fn bench_full_sphere(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sphere_full");
+    group.sample_size(20);
+    let cfg = SphereConfig::default();
+
+    let (syn, truth) = synthetic_paper(5);
+    let (m_syn, e_syn) = assimilated_subgroup(&syn, truth.cluster_extensions[0].clone());
+    group.bench_function(BenchmarkId::from_parameter("synthetic_dy2"), |b| {
+        b.iter(|| optimize_direction(black_box(&m_syn), &syn, &e_syn, &cfg).ic)
+    });
+
+    let (socio, t) = german_socio_synthetic(5);
+    let east = BitSet::from_fn(socio.n(), |i| t.east[i]);
+    let (m_soc, e_soc) = assimilated_subgroup(&socio, east);
+    group.bench_function(BenchmarkId::from_parameter("socio_dy5"), |b| {
+        b.iter(|| optimize_direction(black_box(&m_soc), &socio, &e_soc, &cfg).ic)
+    });
+
+    let water = water_quality_synthetic(5);
+    let sub = BitSet::from_indices(water.n(), (0..water.n()).step_by(4));
+    let (m_w, e_w) = assimilated_subgroup(&water, sub);
+    group.bench_function(BenchmarkId::from_parameter("water_dy16"), |b| {
+        b.iter(|| optimize_direction(black_box(&m_w), &water, &e_w, &cfg).ic)
+    });
+    group.finish();
+}
+
+fn bench_two_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sphere_two_sparse");
+    group.sample_size(20);
+    let cfg = SphereConfig::default();
+    let (socio, t) = german_socio_synthetic(5);
+    let east = BitSet::from_fn(socio.n(), |i| t.east[i]);
+    let (model, ext) = assimilated_subgroup(&socio, east);
+    group.bench_function("socio_dy5_pairs", |b| {
+        b.iter(|| optimize_direction_two_sparse(black_box(&model), &socio, &ext, &cfg).ic)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_sphere, bench_two_sparse);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation: beam width/depth versus solution quality, with the
+//! branch-and-bound optimum as the yardstick (dy = 1).
+//!
+//! The paper controls computation through the beam parameters (§III-E) and
+//! leaves optimal search as future work (§V). Having implemented the
+//! branch-and-bound miner, we can report how close the heuristic beam gets
+//! to the provable optimum on the single-target crime simulacrum.
+
+use sisd_bench::{f2, print_table, section};
+use sisd_data::datasets::crime_synthetic;
+use sisd_model::BackgroundModel;
+use sisd_search::{
+    branch_bound::branch_bound_search, BeamConfig, BeamSearch, BranchBoundConfig,
+};
+use std::time::Instant;
+
+fn main() {
+    let data = crime_synthetic(2018);
+    section("Ablation — beam width/depth vs the branch-and-bound optimum (crime)");
+
+    // Ground truth: exact optimum at depth ≤ 2 (deeper exact search is
+    // feasible but slow on 976 conditions; depth 2 matches the beam rows).
+    let model = BackgroundModel::from_empirical(&data).expect("model");
+    let t0 = Instant::now();
+    let bb = branch_bound_search(
+        &data,
+        &model,
+        BranchBoundConfig {
+            max_depth: 2,
+            min_coverage: 20,
+            ..BranchBoundConfig::default()
+        },
+    );
+    let bb_time = t0.elapsed();
+    let best = bb.best.expect("optimum exists");
+    println!(
+        "branch-and-bound optimum (depth ≤ 2): SI = {:.3} | {} | evaluated {} pruned {} in {:?}",
+        best.score.si,
+        best.intention.describe(&data),
+        bb.evaluated,
+        bb.pruned,
+        bb_time
+    );
+
+    let mut rows = Vec::new();
+    for &width in &[1usize, 2, 4, 8, 16, 40, 64] {
+        for &depth in &[1usize, 2] {
+            let mut model = BackgroundModel::from_empirical(&data).expect("model");
+            let cfg = BeamConfig {
+                width,
+                max_depth: depth,
+                top_k: 10,
+                min_coverage: 20,
+                ..BeamConfig::default()
+            };
+            let t = Instant::now();
+            let result = BeamSearch::new(cfg).run(&data, &mut model);
+            let si = result.best().map(|p| p.score.si).unwrap_or(f64::NAN);
+            rows.push(vec![
+                width.to_string(),
+                depth.to_string(),
+                f2(si),
+                format!("{:.1}%", 100.0 * si / best.score.si),
+                result.evaluated.to_string(),
+                format!("{:?}", t.elapsed()),
+            ]);
+        }
+    }
+    print_table(
+        &["width", "depth", "best SI", "% of optimum", "evaluated", "time"],
+        &rows,
+    );
+    println!();
+    println!(
+        "Expected shape: the beam reaches the exact optimum already at small widths\n\
+         on this data (the top subgroup is a single strong condition), while the\n\
+         exact search certifies optimality at a few times the cost."
+    );
+}

@@ -1,0 +1,59 @@
+//! Ablation: sensitivity of the ranking to the DL parameter γ.
+//!
+//! The paper (Remark 1) fixes γ = 0.1 and notes that "tuning γ biases the
+//! results toward more or fewer conditions". This ablation sweeps γ and
+//! reports, on the synthetic data, (a) the rank of the best true
+//! single-condition description and (b) the condition count of the top
+//! pattern — quantifying exactly that bias.
+
+use sisd_bench::{print_table, section};
+use sisd_core::DlParams;
+use sisd_data::datasets::synthetic_paper;
+use sisd_model::BackgroundModel;
+use sisd_search::{BeamConfig, BeamSearch};
+
+fn main() {
+    let (data, truth) = synthetic_paper(2018);
+    section("Ablation — γ sweep on the synthetic data");
+
+    let gammas = [0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0];
+    let mut rows = Vec::new();
+    for &gamma in &gammas {
+        let mut model = BackgroundModel::from_empirical(&data).expect("model");
+        let cfg = BeamConfig {
+            width: 40,
+            max_depth: 3,
+            top_k: 150,
+            dl: DlParams { gamma, eta: 1.0 },
+            ..BeamConfig::default()
+        };
+        let result = BeamSearch::new(cfg).run(&data, &mut model);
+        // Rank of the first pattern whose extension is a planted cluster.
+        let rank = result
+            .top
+            .iter()
+            .position(|p| truth.cluster_extensions.contains(&p.extension))
+            .map(|r| (r + 1).to_string())
+            .unwrap_or_else(|| ">150".into());
+        let top_len = result
+            .best()
+            .map(|p| p.intention.len().to_string())
+            .unwrap_or_else(|| "-".into());
+        let top_si = result
+            .best()
+            .map(|p| format!("{:.2}", p.score.si))
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![format!("{gamma}"), rank, top_len, top_si]);
+    }
+    print_table(
+        &["gamma", "rank of true cluster", "|C| of top pattern", "top SI"],
+        &rows,
+    );
+    println!();
+    println!(
+        "Expected shape: at γ = 0 description length is free, so redundant longer\n\
+         conjunctions tie with their parents; moderate γ (the paper's 0.1) puts the\n\
+         concise true descriptions on top; very large γ still ranks by IC within\n\
+         equal-length patterns, so rank stays 1 while SI shrinks."
+    );
+}

@@ -1,0 +1,93 @@
+//! Fig. 1 + §I example: the top crime subgroup and its coverage plot.
+//!
+//! The paper's introduction mines the Communities & Crime data and reports
+//! the top pattern `PctIlleg >= 0.39` (coverage 20.5%, subgroup mean 0.53
+//! vs 0.24 overall); Fig. 1 shows Gaussian-KDE curves of the violent-crime
+//! distribution for the full data, the part covered by the subgroup, and
+//! the subgroup-internal distribution. This harness mines the simulacrum
+//! and prints the same three KDE series.
+
+use sisd_bench::{f2, f4, print_table, print_tsv, section};
+use sisd_data::datasets::crime_synthetic;
+use sisd_search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+use sisd_stats::GaussianKde;
+
+fn main() {
+    let data = crime_synthetic(2018);
+    section("Fig. 1 / §I — top location pattern on the crime simulacrum");
+
+    let config = MinerConfig {
+        beam: BeamConfig {
+            width: 40,
+            max_depth: 4,
+            top_k: 150,
+            min_coverage: 20,
+            ..BeamConfig::default()
+        },
+        sphere: SphereConfig::default(),
+        two_sparse_spread: false,
+        refit_tol: 1e-9,
+        refit_max_cycles: 200,
+    };
+    let mut miner = Miner::from_empirical(data.clone(), config).expect("model fits");
+    let result = miner.search_locations();
+    let best = result.best().expect("pattern found").clone();
+
+    let all_mean = data.target_mean_all()[0];
+    println!("best pattern : {}", best.summary(&data));
+    println!("overall mean : {}", f2(all_mean));
+    println!(
+        "subgroup mean: {}  (paper: 0.53 in subgroup vs 0.24 overall, 20.5% coverage)",
+        f2(best.observed_mean[0])
+    );
+    println!("evaluated {} candidates in {:?}", result.evaluated, result.elapsed);
+
+    // Top-5 patterns for context.
+    let rows: Vec<Vec<String>> = result
+        .top
+        .iter()
+        .take(5)
+        .map(|p| {
+            vec![
+                p.intention.describe(&data),
+                p.extension.count().to_string(),
+                format!("{:.1}%", 100.0 * p.coverage()),
+                f2(p.observed_mean[0]),
+                f2(p.score.si),
+            ]
+        })
+        .collect();
+    print_table(&["intention", "n", "coverage", "mean", "SI"], &rows);
+
+    // Fig. 1's three KDE curves over [0, 1].
+    let y = data.target_col(0);
+    let sub_y: Vec<f64> = best.extension.iter().map(|i| y[i]).collect();
+    let full_kde = GaussianKde::new(&y);
+    // "Part covered by subgroup": subgroup sample, full-data normalization.
+    let covered_kde = GaussianKde::new(&sub_y).with_normalization(y.len() as f64);
+    // "Distribution within subgroup": subgroup sample, own normalization.
+    let within_kde = GaussianKde::new(&sub_y);
+
+    let steps = 60;
+    let mut tsv = Vec::with_capacity(steps + 1);
+    for k in 0..=steps {
+        let x = k as f64 / steps as f64;
+        tsv.push(vec![
+            f4(x),
+            f4(full_kde.density(x)),
+            f4(covered_kde.density(x)),
+            f4(within_kde.density(x)),
+        ]);
+    }
+    print_tsv(
+        "fig1",
+        &["violent_crime", "full_data", "covered_by_subgroup", "within_subgroup"],
+        &tsv,
+    );
+    println!();
+    println!(
+        "Expected shape (paper Fig. 1): the full-data density piles up at low crime\n\
+         rates; the covered-part density sits under the full curve but dominates the\n\
+         high-crime tail; the within-subgroup density is clearly right-shifted."
+    );
+}

@@ -1,0 +1,91 @@
+//! Fig. 3: noise robustness — SI of the true descriptions under label noise.
+//!
+//! The paper corrupts the synthetic data's description attributes by
+//! flipping every bit with probability p (the "distortion") and tracks the
+//! SI of the subgroups induced by the three true descriptions, against a
+//! baseline of random subgroups of the same size. Patterns remain
+//! recoverable up to p ≈ 0.22–0.25.
+
+use sisd_bench::{f2, print_table, print_tsv, section};
+use sisd_core::{location_si, Condition, ConditionOp, DlParams, Intention};
+use sisd_data::datasets::{corrupt_descriptions, synthetic_paper};
+use sisd_data::BitSet;
+use sisd_model::BackgroundModel;
+use sisd_stats::Xoshiro256pp;
+
+fn main() {
+    let (data, _) = synthetic_paper(2018);
+    let dl = DlParams::default();
+    section("Fig. 3 — SI of true-description subgroups vs distortion");
+
+    let distortions: Vec<f64> = (0..=14).map(|k| k as f64 * 0.025).collect();
+    let repeats = 10;
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+
+    for &p in &distortions {
+        // Average over corruption seeds.
+        let mut sums = [0.0f64; 3];
+        let mut baseline_sum = 0.0;
+        for rep in 0..repeats {
+            let corrupted = corrupt_descriptions(&data, p, 1000 + rep);
+            let mut model = BackgroundModel::from_empirical(&corrupted).expect("model");
+            for (k, sum) in sums.iter_mut().enumerate() {
+                // True description aₖ₊₃ = '1' evaluated on corrupted labels.
+                let intent = Intention::empty().with(Condition {
+                    attr: k,
+                    op: ConditionOp::Eq(1),
+                });
+                let ext = intent.evaluate(&corrupted);
+                if ext.count() == 0 {
+                    continue;
+                }
+                let s = location_si(&mut model, &corrupted, &intent, &ext, &dl)
+                    .expect("non-empty");
+                *sum += s.si;
+            }
+            // Baseline: random subgroup of size 40 with a 1-condition DL.
+            let mut rng = Xoshiro256pp::seed_from_u64(5000 + rep);
+            let idx = rng.sample_indices(corrupted.n(), 40);
+            let ext = BitSet::from_indices(corrupted.n(), idx);
+            let intent = Intention::empty().with(Condition {
+                attr: 0,
+                op: ConditionOp::Eq(0),
+            });
+            baseline_sum += location_si(&mut model, &corrupted, &intent, &ext, &dl)
+                .expect("non-empty")
+                .si;
+        }
+        let r = repeats as f64;
+        rows.push(vec![
+            format!("{p:.3}"),
+            f2(sums[0] / r),
+            f2(sums[1] / r),
+            f2(sums[2] / r),
+            f2(baseline_sum / r),
+        ]);
+        tsv.push(vec![
+            format!("{p:.3}"),
+            format!("{}", sums[0] / r),
+            format!("{}", sums[1] / r),
+            format!("{}", sums[2] / r),
+            format!("{}", baseline_sum / r),
+        ]);
+    }
+
+    print_table(
+        &["distortion", "SI a3='1'", "SI a4='1'", "SI a5='1'", "baseline"],
+        &rows,
+    );
+    print_tsv(
+        "fig3",
+        &["distortion", "si_a3", "si_a4", "si_a5", "baseline"],
+        &tsv,
+    );
+    println!();
+    println!(
+        "Expected shape (paper Fig. 3): SI of the true descriptions decays smoothly\n\
+         with distortion, staying far above the random baseline until p ≈ 0.22 and\n\
+         approaching it around p ≈ 0.25–0.30."
+    );
+}

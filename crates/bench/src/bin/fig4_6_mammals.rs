@@ -1,0 +1,106 @@
+//! Figs. 4–6: three iterations of location patterns on the mammal data.
+//!
+//! The paper mines location patterns (spread patterns are uninformative for
+//! binary targets, §III-B), reporting per iteration the climate intention
+//! (Fig. 6) and the species whose presence deviates most from the model,
+//! with the model's 95% bands (Figs. 4–5).
+
+use sisd_bench::{f2, f3, print_table, section};
+use sisd_data::datasets::mammals_synthetic;
+use sisd_search::{BeamConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
+
+fn main() {
+    let (data, coords) = mammals_synthetic(2018);
+    section("Figs. 4–6 — mammal simulacrum, 3 iterations of location patterns");
+    println!("n={} climate attrs={} species={}", data.n(), data.dx(), data.dy());
+
+    let config = MinerConfig {
+        beam: BeamConfig {
+            width: 40,
+            max_depth: 2,
+            top_k: 150,
+            min_coverage: 50,
+            refine: RefineConfig::default(),
+            ..BeamConfig::default()
+        },
+        sphere: SphereConfig::default(),
+        two_sparse_spread: false,
+        refit_tol: 1e-7,
+        refit_max_cycles: 50,
+    };
+    let mut miner = Miner::from_empirical(data.clone(), config).expect("model fits");
+
+    for iter in 1..=3 {
+        let it = miner
+            .step_location()
+            .expect("model update")
+            .expect("pattern found");
+        let p = &it.location;
+        section(&format!("iteration {iter}"));
+        println!("intention: {}", p.intention.describe(&data));
+        println!(
+            "coverage : {} cells ({:.1}%), SI = {}",
+            p.extension.count(),
+            100.0 * p.coverage(),
+            f2(p.score.si)
+        );
+        // Geographic footprint (Fig. 6): mean lat/lon of the extension.
+        let (mut lat, mut lon) = (0.0, 0.0);
+        for i in p.extension.iter() {
+            lat += coords[i].0;
+            lon += coords[i].1;
+        }
+        let m = p.extension.count() as f64;
+        println!("centroid : {:.1}°N {:.1}°E", lat / m, lon / m);
+
+        // Fig. 5: top-5 species by per-attribute surprise (observed vs the
+        // *pre-assimilation* marginal band). We reconstruct the marginals
+        // the model had before this pattern was absorbed by ranking with
+        // the post-update means of the complement cells; simpler and
+        // faithful enough for the ranking: use |observed − model mean|/sd
+        // against the current model's complement-based expectation.
+        let marginals = miner
+            .model()
+            .location_marginals(&p.extension)
+            .expect("non-empty");
+        let observed = &p.observed_mean;
+        let mut scored: Vec<(usize, f64)> = (0..data.dy())
+            .map(|j| {
+                // After assimilation the model mean equals the observed
+                // mean; the informative ranking is the *shift* absorbed,
+                // i.e. observed vs the full-data mean, scaled by the
+                // subgroup-mean sd.
+                let full_mean = data.target_mean_all()[j];
+                let sd = marginals[j].1.max(1e-9);
+                (j, ((observed[j] - full_mean) / sd).abs())
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let rows: Vec<Vec<String>> = scored
+            .iter()
+            .take(5)
+            .map(|&(j, z)| {
+                let full_mean = data.target_mean_all()[j];
+                vec![
+                    data.target_names()[j].clone(),
+                    f3(observed[j]),
+                    f3(full_mean),
+                    format!("±{}", f3(1.96 * marginals[j].1)),
+                    f2(z),
+                ]
+            })
+            .collect();
+        print_table(
+            &["species", "observed", "prior mean", "95% band", "|z|"],
+            &rows,
+        );
+    }
+
+    println!();
+    println!(
+        "Expected shape (paper Figs. 4–6): iteration intentions are concise climate\n\
+         conditions (cold late winter; dry summer; dry autumn + warm wet season);\n\
+         each subgroup is geographically coherent, and the top species' observed\n\
+         presence falls far outside the model's 95% band."
+    );
+}

@@ -1,0 +1,108 @@
+//! Figs. 7–8: socio-economics case study — location + 2-sparse spread.
+//!
+//! The paper's §III-C mines three iterations on the German socio-economics
+//! data with a 2-sparsity constraint on the spread direction. The headline
+//! results: (1) the top pattern is "few children" (East Germany), with Left
+//! over-performing at the expense of every other party; (2) after the
+//! location update, the most interesting spread direction is
+//! w ≈ (0.5704, 0.8214) on (CDU, SPD) with much *smaller* variance than
+//! expected — the parties battle for the same voters.
+
+use sisd_bench::{f2, f3, print_table, section};
+use sisd_data::datasets::german_socio_synthetic;
+use sisd_search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+
+fn main() {
+    let (data, truth) = german_socio_synthetic(2018);
+    section("Figs. 7–8 — socio-economics simulacrum, 3 iterations (2-sparse spread)");
+    println!(
+        "n={} dx={} dy={} (planted: {} eastern districts)",
+        data.n(),
+        data.dx(),
+        data.dy(),
+        truth.east.iter().filter(|&&e| e).count()
+    );
+
+    let config = MinerConfig {
+        beam: BeamConfig {
+            width: 40,
+            max_depth: 4,
+            top_k: 150,
+            min_coverage: 10,
+            ..BeamConfig::default()
+        },
+        sphere: SphereConfig::default(),
+        two_sparse_spread: true,
+        refit_tol: 1e-9,
+        refit_max_cycles: 200,
+    };
+    let mut miner = Miner::from_empirical(data.clone(), config).expect("model fits");
+
+    for iter in 1..=3 {
+        // Marginal expectations *before* this iteration's assimilation
+        // (the blue "Model" bars of Fig. 8a).
+        let result = miner.search_locations();
+        let best = result.best().expect("pattern found").clone();
+        let pre_marginals = miner
+            .model()
+            .location_marginals(&best.extension)
+            .expect("non-empty");
+
+        section(&format!("iteration {iter}"));
+        println!("location : {}", best.summary(&data));
+        // Fraction of the subgroup that is planted-eastern.
+        let east_frac = best
+            .extension
+            .iter()
+            .filter(|&i| truth.east[i])
+            .count() as f64
+            / best.extension.count() as f64;
+        println!("eastern share of subgroup: {:.1}%", 100.0 * east_frac);
+
+        let rows: Vec<Vec<String>> = (0..data.dy())
+            .map(|j| {
+                vec![
+                    data.target_names()[j].clone(),
+                    f2(best.observed_mean[j]),
+                    f2(pre_marginals[j].0),
+                    format!("±{}", f2(1.96 * pre_marginals[j].1)),
+                ]
+            })
+            .collect();
+        print_table(&["party", "observed %", "expected %", "95% band"], &rows);
+
+        miner.assimilate_location(&best).expect("assimilation");
+        let spread = miner.mine_spread(&best);
+        miner.assimilate_spread(&spread).expect("assimilation");
+        println!("spread   : {}", spread.summary(&data));
+        let nz: Vec<(usize, f64)> = spread
+            .w
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.abs() > 1e-6)
+            .map(|(j, &v)| (j, v))
+            .collect();
+        let pair: Vec<String> = nz
+            .iter()
+            .map(|&(j, v)| format!("{}: {}", data.target_names()[j], f3(v)))
+            .collect();
+        println!("w (2-sparse): {}", pair.join(", "));
+        println!(
+            "variance ratio observed/expected = {:.3} ({})",
+            spread.variance_ratio(),
+            if spread.variance_ratio() < 1.0 {
+                "smaller than expected — anti-correlated block"
+            } else {
+                "larger than expected"
+            }
+        );
+    }
+
+    println!();
+    println!(
+        "Expected shape (paper Figs. 7–8): iteration 1 selects low-children districts\n\
+         (the East) with LEFT far above its expected share and all others below;\n\
+         the 2-sparse spread direction concentrates on (CDU, SPD) ≈ (0.57, 0.82)\n\
+         with a variance ratio well below 1."
+    );
+}

@@ -1,0 +1,125 @@
+//! Figs. 9–10: water-quality case study — a *high*-variance spread pattern.
+//!
+//! §III-D's headline: the top location pattern
+//! `Gammarus fossarum <= 0 ∧ Tubifex >= 3` (91 polluted records) has
+//! elevated oxygen-demand chemistry, and — unusually — the most interesting
+//! spread direction has *larger* variance than expected, with the weight
+//! concentrated on BOD and KMnO₄ without any sparsity being enforced.
+
+use sisd_bench::{f2, f3, print_table, section};
+use sisd_data::datasets::water_quality_synthetic;
+use sisd_search::{BeamConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
+
+fn main() {
+    let data = water_quality_synthetic(2018);
+    section("Figs. 9–10 — water-quality simulacrum: location + full-sphere spread");
+    println!("n={} bioindicators={} chemical targets={}", data.n(), data.dx(), data.dy());
+
+    let config = MinerConfig {
+        beam: BeamConfig {
+            width: 40,
+            max_depth: 2,
+            top_k: 150,
+            min_coverage: 30,
+            refine: RefineConfig::default(),
+            ..BeamConfig::default()
+        },
+        sphere: SphereConfig {
+            random_starts: 10,
+            ..SphereConfig::default()
+        },
+        two_sparse_spread: false,
+        refit_tol: 1e-7,
+        refit_max_cycles: 100,
+    };
+    let mut miner = Miner::from_empirical(data.clone(), config).expect("model fits");
+
+    let result = miner.search_locations();
+    let best = result.best().expect("pattern found").clone();
+    let pre_marginals = miner
+        .model()
+        .location_marginals(&best.extension)
+        .expect("non-empty");
+
+    println!("location: {}", best.summary(&data));
+
+    // Fig. 10: observed vs expected means for the most-shifted parameters.
+    let mut scored: Vec<(usize, f64)> = (0..data.dy())
+        .map(|j| {
+            let z = (best.observed_mean[j] - pre_marginals[j].0) / pre_marginals[j].1.max(1e-9);
+            (j, z.abs())
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let rows: Vec<Vec<String>> = scored
+        .iter()
+        .take(6)
+        .map(|&(j, z)| {
+            vec![
+                data.target_names()[j].clone(),
+                f2(best.observed_mean[j]),
+                f2(pre_marginals[j].0),
+                format!("±{}", f2(1.96 * pre_marginals[j].1)),
+                f2(z),
+            ]
+        })
+        .collect();
+    print_table(
+        &["parameter", "observed", "expected", "95% band", "|z|"],
+        &rows,
+    );
+
+    miner.assimilate_location(&best).expect("assimilation");
+
+    // Per-axis spread surprise (paper Fig. 9c interpretation): the single
+    // most surprising axes must be the oxygen-demand parameters.
+    section("per-axis variance surprise after the location update");
+    let mut axis_rows: Vec<(f64, Vec<String>)> = (0..data.dy())
+        .map(|j| {
+            let mut w = vec![0.0; data.dy()];
+            w[j] = 1.0;
+            let s = sisd_core::spread_si(
+                miner.model(),
+                &data,
+                &best.intention,
+                &best.extension,
+                &w,
+                &sisd_core::DlParams::default(),
+            )
+            .expect("non-empty");
+            (
+                s.ic,
+                vec![
+                    data.target_names()[j].clone(),
+                    f2(s.observed / s.expected),
+                    f2(s.ic),
+                ],
+            )
+        })
+        .collect();
+    axis_rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let axis_table: Vec<Vec<String>> = axis_rows.into_iter().map(|(_, r)| r).take(6).collect();
+    print_table(&["axis", "var ratio", "IC"], &axis_table);
+
+    let spread = miner.mine_spread(&best);
+
+    section("spread pattern (no sparsity enforced)");
+    println!("{}", spread.summary(&data));
+    // Fig. 9c: the full weight vector.
+    let rows: Vec<Vec<String>> = (0..data.dy())
+        .map(|j| vec![data.target_names()[j].clone(), f3(spread.w[j])])
+        .collect();
+    print_table(&["parameter", "w"], &rows);
+    println!(
+        "variance ratio observed/expected = {:.2}",
+        spread.variance_ratio()
+    );
+
+    println!();
+    println!(
+        "Expected shape (paper Figs. 9–10): the top location pattern is the polluted\n\
+         subgroup (sensitive taxa absent, tolerant abundant) with BOD/KMnO4/K2Cr2O7/Cl\n\
+         elevated; the learned w concentrates on the oxygen-demand axes and the\n\
+         variance ratio is ABOVE 1 — a surprising high-variance direction."
+    );
+}

@@ -1,0 +1,94 @@
+//! Table I: change in SI for the top patterns over four iterations.
+//!
+//! The paper's Table I takes the top-10 patterns of the first iteration on
+//! the synthetic data and re-scores them after each background-model
+//! update: the SI of assimilated (and derived) patterns collapses to small
+//! negative values while untouched patterns keep their score.
+
+use sisd_bench::{f2, print_table, section};
+use sisd_core::location_si;
+use sisd_data::datasets::synthetic_paper;
+use sisd_search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+
+fn main() {
+    let (data, _) = synthetic_paper(2018);
+    section("Table I — SI of iteration-1 top patterns across 4 iterations (synthetic)");
+
+    let config = MinerConfig {
+        beam: BeamConfig {
+            width: 40,
+            max_depth: 4,
+            top_k: 150,
+            ..BeamConfig::default()
+        },
+        sphere: SphereConfig::default(),
+        two_sparse_spread: false,
+        refit_tol: 1e-9,
+        refit_max_cycles: 200,
+    };
+    let mut miner = Miner::from_empirical(data.clone(), config).expect("model fits");
+
+    // Iteration 1 search: log the top-10 patterns.
+    let first = miner.search_locations();
+    let top10: Vec<_> = first.top.iter().take(10).cloned().collect();
+    let dl = miner_dl();
+
+    // SI of each logged pattern after each of four assimilation rounds.
+    let mut si_by_iter: Vec<Vec<f64>> = vec![Vec::new(); top10.len()];
+    for iteration in 0..4 {
+        if iteration == 0 {
+            for (k, p) in top10.iter().enumerate() {
+                si_by_iter[k].push(p.score.si);
+            }
+        } else {
+            for (k, p) in top10.iter().enumerate() {
+                let s = location_si(
+                    miner.model_mut(),
+                    &data,
+                    &p.intention,
+                    &p.extension,
+                    &dl,
+                )
+                .expect("non-empty");
+                si_by_iter[k].push(s.si);
+            }
+        }
+        if iteration < 3 {
+            // Assimilate the currently-best pattern (location + spread),
+            // mirroring the paper's two-step iterations.
+            miner
+                .step_with_spread()
+                .expect("model update")
+                .expect("pattern found");
+        }
+    }
+
+    let rows: Vec<Vec<String>> = top10
+        .iter()
+        .zip(&si_by_iter)
+        .map(|(p, sis)| {
+            let mut row = vec![
+                p.intention.describe(&data),
+                p.extension.count().to_string(),
+            ];
+            row.extend(sis.iter().map(|&s| f2(s)));
+            row
+        })
+        .collect();
+    print_table(
+        &["intention", "size", "SI iter1", "iter2", "iter3", "iter4"],
+        &rows,
+    );
+    println!();
+    println!(
+        "Expected shape (paper Table I): the three aᵢ = '1' patterns rank on top with\n\
+         SI ≈ 30–50; once a pattern (or an equivalent-extension refinement) is\n\
+         assimilated, its SI drops to a small value (slightly negative is normal —\n\
+         the IC is a density) and stays there; longer redundant descriptions rank\n\
+         below their parents by DL."
+    );
+}
+
+fn miner_dl() -> sisd_core::DlParams {
+    sisd_core::DlParams::default()
+}

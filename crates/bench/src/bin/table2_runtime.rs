@@ -1,0 +1,180 @@
+//! Table II: runtime of background-distribution updates over 20 iterations.
+//!
+//! The paper measures, per dataset, the time to fit the initial MaxEnt
+//! distribution and then the time until convergence when incorporating
+//! each additional pattern, separately for location and spread patterns
+//! (spread updates stay cheap because they are rank-one). We reproduce the
+//! protocol: take the top-20 distinct-extension patterns of one beam
+//! search, assimilate them one by one, and time `assimilate + refit` at
+//! each step. Absolute numbers are far below the paper's Matlab timings;
+//! the *shape* to check is growth with the number of constraints, the
+//! Mammals blow-up (dy = 124), and spread staying flat.
+
+use sisd_bench::{print_table, section};
+use sisd_core::LocationPattern;
+use sisd_data::datasets::{
+    crime_synthetic, german_socio_synthetic, mammals_synthetic, water_quality_synthetic,
+};
+use sisd_data::Dataset;
+use sisd_model::BackgroundModel;
+use sisd_search::{optimize_direction, BeamConfig, BeamSearch, SphereConfig};
+use std::time::Instant;
+
+const ITERS: usize = 20;
+
+struct Timing {
+    init_ms: f64,
+    per_iter_ms: Vec<f64>,
+}
+
+/// Top-`k` distinct-extension patterns from one beam search on the initial
+/// model.
+fn distinct_patterns(data: &Dataset, k: usize, min_cov: usize) -> Vec<LocationPattern> {
+    let mut model = BackgroundModel::from_empirical(data).expect("model");
+    let cfg = BeamConfig {
+        width: 40,
+        max_depth: 2,
+        top_k: 5000,
+        min_coverage: min_cov,
+        ..BeamConfig::default()
+    };
+    let result = BeamSearch::new(cfg).run(data, &mut model);
+    // The paper notes convergence is fast because "the extensions of the
+    // different patterns have limited overlaps"; enforce that here with a
+    // Jaccard cap, as consecutive beam log entries are near-duplicates.
+    let mut out: Vec<LocationPattern> = Vec::new();
+    for p in result.top {
+        let overlaps = out.iter().any(|q| {
+            let inter = q.extension.intersection_count(&p.extension) as f64;
+            let union = (q.extension.count() + p.extension.count()) as f64 - inter;
+            inter / union > 0.55
+        });
+        if !overlaps {
+            out.push(p);
+        }
+        if out.len() == k {
+            break;
+        }
+    }
+    out
+}
+
+fn time_location_updates(data: &Dataset, patterns: &[LocationPattern]) -> Timing {
+    let t0 = Instant::now();
+    let mut model = BackgroundModel::from_empirical(data).expect("model");
+    let init_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut per_iter_ms = Vec::new();
+    for p in patterns {
+        let t = Instant::now();
+        model
+            .assimilate_location(&p.extension, p.observed_mean.clone())
+            .expect("update");
+        model.refit(1e-7, 200).expect("refit");
+        per_iter_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Timing {
+        init_ms,
+        per_iter_ms,
+    }
+}
+
+fn time_spread_updates(data: &Dataset, patterns: &[LocationPattern]) -> Timing {
+    let t0 = Instant::now();
+    let mut model = BackgroundModel::from_empirical(data).expect("model");
+    let init_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let sphere = SphereConfig {
+        random_starts: 2,
+        ..SphereConfig::default()
+    };
+    let mut per_iter_ms = Vec::new();
+    for p in patterns {
+        // Following the paper's protocol, the location of each subgroup is
+        // assimilated first (untimed), then the spread update is timed.
+        model
+            .assimilate_location(&p.extension, p.observed_mean.clone())
+            .expect("update");
+        let w = optimize_direction(&model, data, &p.extension, &sphere).w;
+        let center = data.target_mean(&p.extension);
+        let observed = data.target_variance_along(&p.extension, &w);
+        let t = Instant::now();
+        model
+            .assimilate_spread(&p.extension, w, center, observed)
+            .expect("update");
+        model.refit(1e-7, 200).expect("refit");
+        per_iter_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Timing {
+        init_ms,
+        per_iter_ms,
+    }
+}
+
+fn main() {
+    section("Table II — background-update runtimes (ms per iteration)");
+
+    let (gse, _) = german_socio_synthetic(2018);
+    let wq = water_quality_synthetic(2018);
+    let cr = crime_synthetic(2018);
+    let (ma, _) = mammals_synthetic(2018);
+
+    let sets: Vec<(&str, &Dataset, usize)> = vec![
+        ("GSE", &gse, 10),
+        ("WQ", &wq, 30),
+        ("Cr", &cr, 30),
+        ("Ma", &ma, 50),
+    ];
+
+    let mut loc_timings = Vec::new();
+    let mut spread_timings = Vec::new();
+    for (name, data, min_cov) in &sets {
+        eprintln!("mining patterns for {name}…");
+        let patterns = distinct_patterns(data, ITERS, *min_cov);
+        eprintln!("  {} distinct patterns", patterns.len());
+        loc_timings.push(time_location_updates(data, &patterns));
+        // Paper reports spread columns for GSE, WQ, Cr only (binary
+        // targets make spread patterns uninteresting on Mammals).
+        if *name != "Ma" {
+            spread_timings.push(Some(time_spread_updates(data, &patterns)));
+        } else {
+            spread_timings.push(None);
+        }
+    }
+
+    let mut rows = Vec::new();
+    let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into());
+    rows.push({
+        let mut r = vec!["Init".to_string()];
+        for t in &loc_timings {
+            r.push(format!("{:.2}", t.init_ms));
+        }
+        for t in &spread_timings {
+            r.push(fmt(t.as_ref().map(|t| t.init_ms)));
+        }
+        r
+    });
+    for i in 0..ITERS {
+        let mut r = vec![(i + 1).to_string()];
+        for t in &loc_timings {
+            r.push(fmt(t.per_iter_ms.get(i).copied()));
+        }
+        for t in &spread_timings {
+            r.push(fmt(t.as_ref().and_then(|t| t.per_iter_ms.get(i).copied())));
+        }
+        rows.push(r);
+    }
+    print_table(
+        &[
+            "iter", "loc GSE", "loc WQ", "loc Cr", "loc Ma", "spr GSE", "spr WQ", "spr Cr",
+            "spr Ma",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "Expected shape (paper Table II): location-update time grows with the number\n\
+         of assimilated patterns (more constraints to re-converge), the Mammals\n\
+         column grows fastest (dy = 124 means dy new constraints per pattern), and\n\
+         spread updates stay much cheaper (rank-one tilts). Absolute numbers are\n\
+         milliseconds here vs seconds in the paper's Matlab implementation."
+    );
+}

@@ -1,0 +1,105 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the index) and prints it as aligned text plus
+//! machine-readable TSV blocks, so EXPERIMENTS.md can quote the output
+//! directly.
+
+use std::fmt::Write as _;
+
+/// Prints a section header in the harness output.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Formats an aligned text table. `rows` are already-stringified cells.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "render_table: ragged row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Prints an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(headers, rows));
+}
+
+/// Prints a TSV block (easy to paste into plotting tools), tagged with a
+/// series name.
+pub fn print_tsv(tag: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("#tsv {tag}");
+    println!("{}", headers.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+    println!("#end {tag}");
+}
+
+/// Two-decimal formatting shorthand.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Three-decimal formatting shorthand.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Four-decimal formatting shorthand.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f4(1.23456), "1.2346");
+    }
+}

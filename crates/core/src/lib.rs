@@ -1,0 +1,31 @@
+//! Subjectively interesting subgroup discovery on real-valued targets.
+//!
+//! This crate is the paper's primary contribution as a library:
+//!
+//! * [`pattern`] — the description language (conjunctive conditions over
+//!   arbitrarily-typed attributes) and the two pattern syntaxes of §II-A:
+//!   *location patterns* (an intention plus the subgroup's target mean) and
+//!   *spread patterns* (an intention, a unit direction `w`, and the
+//!   subgroup's variance along `w`);
+//! * [`score`] — subjective interestingness (§II-C): information content
+//!   under the evolving background distribution, description length, and
+//!   their ratio `SI = IC / DL` (Eqs. 13–14 and 17–20);
+//! * [`result`] — the pattern records a miner reports to the user.
+//!
+//! The search strategies (§II-D) live in the `sisd-search` crate, which
+//! composes these pieces with the `sisd-model` background distribution.
+
+pub mod explain;
+pub mod parse;
+pub mod pattern;
+pub mod result;
+pub mod score;
+
+pub use explain::{explain_location, AttributeSurprise, LocationExplanation};
+pub use parse::{parse_intention, ParseError};
+pub use pattern::{Condition, ConditionOp, Intention};
+pub use result::{LocationPattern, SpreadPattern};
+pub use score::{
+    location_ic, location_si, location_si_shared, spread_ic, spread_si, DlParams, LocationScore,
+    SpreadScore,
+};

@@ -1,0 +1,193 @@
+//! Parsing intentions back from their textual form.
+//!
+//! [`Intention::describe`] renders a conjunction like
+//! `PctIlleg >= 0.3952 ∧ region = 'east'`; this module provides the inverse,
+//! so saved mining reports (or a user's hand-written description) can be
+//! re-evaluated against a dataset. Round-tripping is exact for categorical
+//! conditions and matches to printed precision for numeric thresholds.
+
+use crate::pattern::{Condition, ConditionOp, Intention};
+use sisd_data::Dataset;
+
+/// Errors from intention parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A conjunct did not contain a recognized operator.
+    MissingOperator(String),
+    /// The attribute name is not a description attribute of the dataset.
+    UnknownAttribute(String),
+    /// The categorical level is not a label of the attribute.
+    UnknownLevel { attribute: String, level: String },
+    /// The threshold failed to parse as a number.
+    BadThreshold(String),
+    /// Operator/column-type mismatch (e.g. `>=` on a categorical column).
+    TypeMismatch(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingOperator(s) => write!(f, "no operator in '{s}'"),
+            ParseError::UnknownAttribute(s) => write!(f, "unknown attribute '{s}'"),
+            ParseError::UnknownLevel { attribute, level } => {
+                write!(f, "attribute '{attribute}' has no level '{level}'")
+            }
+            ParseError::BadThreshold(s) => write!(f, "bad numeric threshold '{s}'"),
+            ParseError::TypeMismatch(s) => write!(f, "operator/type mismatch in '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one conjunct, e.g. `temp_mar <= -1.68` or `a3 = '1'`.
+fn parse_condition(data: &Dataset, text: &str) -> Result<Condition, ParseError> {
+    let text = text.trim();
+    // Order matters: check two-character operators before '='.
+    let (op_pos, op_len, kind) = [" >= ", " <= ", " = "]
+        .iter()
+        .enumerate()
+        .find_map(|(k, pat)| text.find(pat).map(|p| (p, pat.len(), k)))
+        .ok_or_else(|| ParseError::MissingOperator(text.to_string()))?;
+
+    let name = text[..op_pos].trim();
+    let value = text[op_pos + op_len..].trim();
+    let attr = data
+        .desc_index(name)
+        .ok_or_else(|| ParseError::UnknownAttribute(name.to_string()))?;
+    let col = data.desc_col(attr);
+
+    let op = match kind {
+        0 | 1 => {
+            if !col.is_numeric() {
+                return Err(ParseError::TypeMismatch(text.to_string()));
+            }
+            let t: f64 = value
+                .parse()
+                .map_err(|_| ParseError::BadThreshold(value.to_string()))?;
+            if kind == 0 {
+                ConditionOp::Ge(t)
+            } else {
+                ConditionOp::Le(t)
+            }
+        }
+        _ => {
+            let (_, labels) = col
+                .as_categorical()
+                .ok_or_else(|| ParseError::TypeMismatch(text.to_string()))?;
+            let label = value.trim_matches('\'');
+            let level = labels
+                .iter()
+                .position(|l| l == label)
+                .ok_or_else(|| ParseError::UnknownLevel {
+                    attribute: name.to_string(),
+                    level: label.to_string(),
+                })?;
+            ConditionOp::Eq(level as u32)
+        }
+    };
+    Ok(Condition { attr, op })
+}
+
+/// Parses a full intention: conjuncts joined by `∧` (or `AND`), or the
+/// match-all symbol `⊤`.
+pub fn parse_intention(data: &Dataset, text: &str) -> Result<Intention, ParseError> {
+    let text = text.trim();
+    if text.is_empty() || text == "⊤" {
+        return Ok(Intention::empty());
+    }
+    let mut intent = Intention::empty();
+    // Accept both the pretty '∧' and an ASCII 'AND'.
+    let normalized = text.replace(" AND ", " ∧ ");
+    for part in normalized.split('∧') {
+        intent = intent.with(parse_condition(data, part)?);
+    }
+    Ok(intent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisd_data::Column;
+    use sisd_linalg::Matrix;
+
+    fn data() -> Dataset {
+        Dataset::new(
+            "p",
+            vec!["num".into(), "cat".into()],
+            vec![
+                Column::Numeric(vec![1.0, 2.0, 3.0, 4.0]),
+                Column::categorical_from_strs(&["a", "b", "a", "b"]),
+            ],
+            vec!["t".into()],
+            Matrix::zeros(4, 1),
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_describe() {
+        let d = data();
+        let intent = Intention::empty()
+            .with(Condition {
+                attr: 0,
+                op: ConditionOp::Ge(2.5),
+            })
+            .with(Condition {
+                attr: 1,
+                op: ConditionOp::Eq(1),
+            });
+        let text = intent.describe(&d);
+        let parsed = parse_intention(&d, &text).unwrap();
+        assert_eq!(parsed.evaluate(&d), intent.evaluate(&d));
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn ascii_and_is_accepted() {
+        let d = data();
+        let parsed = parse_intention(&d, "num <= 3.0 AND cat = 'a'").unwrap();
+        assert_eq!(parsed.evaluate(&d).to_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn top_symbol_and_empty_match_all() {
+        let d = data();
+        assert_eq!(parse_intention(&d, "⊤").unwrap().evaluate(&d).count(), 4);
+        assert_eq!(parse_intention(&d, "  ").unwrap().evaluate(&d).count(), 4);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let d = data();
+        assert!(matches!(
+            parse_intention(&d, "nope >= 1.0"),
+            Err(ParseError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            parse_intention(&d, "cat >= 1.0"),
+            Err(ParseError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            parse_intention(&d, "cat = 'zzz'"),
+            Err(ParseError::UnknownLevel { .. })
+        ));
+        assert!(matches!(
+            parse_intention(&d, "num >= abc"),
+            Err(ParseError::BadThreshold(_))
+        ));
+        assert!(matches!(
+            parse_intention(&d, "num 3"),
+            Err(ParseError::MissingOperator(_))
+        ));
+        // Display renders something useful.
+        let e = parse_intention(&d, "nope >= 1.0").unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn negative_thresholds_parse() {
+        let d = data();
+        let parsed = parse_intention(&d, "num >= -1.5").unwrap();
+        assert_eq!(parsed.evaluate(&d).count(), 4);
+    }
+}

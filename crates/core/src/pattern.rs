@@ -1,0 +1,309 @@
+//! The subgroup description language.
+//!
+//! An *intention* is a conjunction of conditions on individual description
+//! attributes (paper §II-A): inequality conditions (`x ≥ v`, `x ≤ v`) on
+//! numeric/ordinal attributes and equality conditions on categorical
+//! attributes. The *extension* is the set of rows whose description
+//! satisfies every condition.
+
+use sisd_data::{BitSet, Column, Dataset};
+
+/// The relational part of a condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConditionOp {
+    /// `attribute ≥ threshold` on a numeric attribute.
+    Ge(f64),
+    /// `attribute ≤ threshold` on a numeric attribute.
+    Le(f64),
+    /// `attribute = level` on a categorical attribute (level code).
+    Eq(u32),
+}
+
+/// One condition on one description attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Condition {
+    /// Index of the description attribute.
+    pub attr: usize,
+    /// The test applied to that attribute.
+    pub op: ConditionOp,
+}
+
+impl Condition {
+    /// Evaluates the condition over the whole dataset as a bitset.
+    ///
+    /// # Panics
+    /// Panics when the operator kind does not match the column type (the
+    /// refinement operator in the search crate only generates well-typed
+    /// conditions).
+    pub fn evaluate(&self, data: &Dataset) -> BitSet {
+        let col = data.desc_col(self.attr);
+        match (self.op, col) {
+            (ConditionOp::Ge(t), Column::Numeric(v)) => {
+                BitSet::from_fn(data.n(), |i| v[i] >= t)
+            }
+            (ConditionOp::Le(t), Column::Numeric(v)) => {
+                BitSet::from_fn(data.n(), |i| v[i] <= t)
+            }
+            (ConditionOp::Eq(level), Column::Categorical { codes, .. }) => {
+                BitSet::from_fn(data.n(), |i| codes[i] == level)
+            }
+            (op, col) => panic!(
+                "condition {:?} applied to mismatched column (numeric={})",
+                op,
+                col.is_numeric()
+            ),
+        }
+    }
+
+    /// True when the single row `i` satisfies the condition.
+    pub fn matches(&self, data: &Dataset, i: usize) -> bool {
+        let col = data.desc_col(self.attr);
+        match (self.op, col) {
+            (ConditionOp::Ge(t), Column::Numeric(v)) => v[i] >= t,
+            (ConditionOp::Le(t), Column::Numeric(v)) => v[i] <= t,
+            (ConditionOp::Eq(level), Column::Categorical { codes, .. }) => codes[i] == level,
+            _ => false,
+        }
+    }
+
+    /// Renders the condition with attribute/level names from the dataset.
+    pub fn describe(&self, data: &Dataset) -> String {
+        let name = &data.desc_names()[self.attr];
+        match self.op {
+            ConditionOp::Ge(t) => format!("{name} >= {t:.4}"),
+            ConditionOp::Le(t) => format!("{name} <= {t:.4}"),
+            ConditionOp::Eq(level) => {
+                let label = data
+                    .desc_col(self.attr)
+                    .as_categorical()
+                    .map(|(_, labels)| labels[level as usize].clone())
+                    .unwrap_or_else(|| level.to_string());
+                format!("{name} = '{label}'")
+            }
+        }
+    }
+
+    /// True when two conditions constrain the same attribute with the same
+    /// operator *kind* (used to avoid `x ≥ 3 ∧ x ≥ 5`-style refinements).
+    pub fn same_slot(&self, other: &Condition) -> bool {
+        self.attr == other.attr
+            && std::mem::discriminant(&self.op) == std::mem::discriminant(&other.op)
+    }
+}
+
+/// A conjunction of conditions — the subgroup intention.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Intention {
+    conditions: Vec<Condition>,
+}
+
+impl Intention {
+    /// The empty intention (matches every row).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a condition list.
+    pub fn new(conditions: Vec<Condition>) -> Self {
+        Self { conditions }
+    }
+
+    /// The conditions in the conjunction.
+    pub fn conditions(&self) -> &[Condition] {
+        &self.conditions
+    }
+
+    /// `|C|` — the condition count entering the description length.
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// True for the empty intention.
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+
+    /// Extends the conjunction with one more condition (returns a new
+    /// intention; intentions are value types in the beam).
+    pub fn with(&self, c: Condition) -> Intention {
+        let mut conditions = self.conditions.clone();
+        conditions.push(c);
+        Intention { conditions }
+    }
+
+    /// True when adding `c` would be redundant or contradictory at the
+    /// syntax level: the same attribute+operator slot is already used.
+    pub fn conflicts_with(&self, c: &Condition) -> bool {
+        self.conditions.iter().any(|existing| existing.same_slot(c))
+    }
+
+    /// Evaluates the conjunction as an extension bitset.
+    pub fn evaluate(&self, data: &Dataset) -> BitSet {
+        let mut ext = BitSet::full(data.n());
+        for c in &self.conditions {
+            ext.and_assign(&c.evaluate(data));
+        }
+        ext
+    }
+
+    /// Refines a known parent extension with this intention's *last*
+    /// condition only — the beam-search hot path (the parent's bitset is
+    /// already the AND of the earlier conditions).
+    pub fn refine_extension(&self, data: &Dataset, parent: &BitSet) -> BitSet {
+        match self.conditions.last() {
+            None => parent.clone(),
+            Some(c) => parent.and(&c.evaluate(data)),
+        }
+    }
+
+    /// Renders the conjunction, e.g. `a3 = '1' ∧ temp_mar <= -1.68`.
+    pub fn describe(&self, data: &Dataset) -> String {
+        if self.conditions.is_empty() {
+            return "⊤".to_string();
+        }
+        self.conditions
+            .iter()
+            .map(|c| c.describe(data))
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisd_data::Column;
+    use sisd_linalg::Matrix;
+
+    fn data() -> Dataset {
+        Dataset::new(
+            "t",
+            vec!["num".into(), "cat".into()],
+            vec![
+                Column::Numeric(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+                Column::categorical_from_strs(&["a", "b", "a", "b", "a"]),
+            ],
+            vec!["y".into()],
+            Matrix::zeros(5, 1),
+        )
+    }
+
+    #[test]
+    fn numeric_conditions() {
+        let d = data();
+        let ge = Condition {
+            attr: 0,
+            op: ConditionOp::Ge(3.0),
+        };
+        assert_eq!(ge.evaluate(&d).to_indices(), vec![2, 3, 4]);
+        let le = Condition {
+            attr: 0,
+            op: ConditionOp::Le(2.0),
+        };
+        assert_eq!(le.evaluate(&d).to_indices(), vec![0, 1]);
+        assert!(ge.matches(&d, 2));
+        assert!(!ge.matches(&d, 1));
+    }
+
+    #[test]
+    fn categorical_condition() {
+        let d = data();
+        let eq = Condition {
+            attr: 1,
+            op: ConditionOp::Eq(0),
+        };
+        assert_eq!(eq.evaluate(&d).to_indices(), vec![0, 2, 4]);
+        assert_eq!(eq.describe(&d), "cat = 'a'");
+    }
+
+    #[test]
+    fn conjunction_evaluation() {
+        let d = data();
+        let intent = Intention::empty()
+            .with(Condition {
+                attr: 0,
+                op: ConditionOp::Ge(2.0),
+            })
+            .with(Condition {
+                attr: 1,
+                op: ConditionOp::Eq(0),
+            });
+        assert_eq!(intent.evaluate(&d).to_indices(), vec![2, 4]);
+        assert_eq!(intent.len(), 2);
+        assert!(intent.describe(&d).contains('∧'));
+    }
+
+    #[test]
+    fn empty_intention_matches_all() {
+        let d = data();
+        let intent = Intention::empty();
+        assert_eq!(intent.evaluate(&d).count(), 5);
+        assert_eq!(intent.describe(&d), "⊤");
+        assert!(intent.is_empty());
+    }
+
+    #[test]
+    fn refine_extension_matches_full_eval() {
+        let d = data();
+        let parent = Intention::empty().with(Condition {
+            attr: 0,
+            op: ConditionOp::Ge(2.0),
+        });
+        let parent_ext = parent.evaluate(&d);
+        let child = parent.with(Condition {
+            attr: 1,
+            op: ConditionOp::Eq(1),
+        });
+        assert_eq!(
+            child.refine_extension(&d, &parent_ext),
+            child.evaluate(&d)
+        );
+    }
+
+    #[test]
+    fn slot_conflicts() {
+        let a = Condition {
+            attr: 0,
+            op: ConditionOp::Ge(1.0),
+        };
+        let b = Condition {
+            attr: 0,
+            op: ConditionOp::Ge(3.0),
+        };
+        let c = Condition {
+            attr: 0,
+            op: ConditionOp::Le(3.0),
+        };
+        assert!(a.same_slot(&b));
+        assert!(!a.same_slot(&c));
+        let intent = Intention::empty().with(a);
+        assert!(intent.conflicts_with(&b));
+        assert!(!intent.conflicts_with(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched column")]
+    fn type_mismatch_panics() {
+        let d = data();
+        Condition {
+            attr: 1,
+            op: ConditionOp::Ge(0.0),
+        }
+        .evaluate(&d);
+    }
+
+    #[test]
+    fn describe_formats() {
+        let d = data();
+        let ge = Condition {
+            attr: 0,
+            op: ConditionOp::Ge(3.0),
+        };
+        assert_eq!(ge.describe(&d), "num >= 3.0000");
+        let le = Condition {
+            attr: 0,
+            op: ConditionOp::Le(1.5),
+        };
+        assert_eq!(le.describe(&d), "num <= 1.5000");
+    }
+}

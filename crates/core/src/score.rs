@@ -1,0 +1,341 @@
+//! Subjective interestingness: IC, DL, and SI (paper §II-C).
+
+use crate::pattern::Intention;
+use sisd_data::{BitSet, Dataset};
+use sisd_model::{BackgroundModel, ModelError};
+use sisd_stats::Chi2MixtureApprox;
+
+/// Description-length parameters: `DL = γ|C| + η` for location patterns and
+/// `γ|C| + η + 1` for spread patterns (which carry one more term, the
+/// direction `w` with its magnitude).
+///
+/// The paper sets `η = 1` without loss of generality and uses `γ = 0.1` in
+/// every experiment (Remark 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DlParams {
+    /// Cost per condition in the intention.
+    pub gamma: f64,
+    /// Fixed cost of communicating a pattern.
+    pub eta: f64,
+}
+
+impl Default for DlParams {
+    fn default() -> Self {
+        Self {
+            gamma: 0.1,
+            eta: 1.0,
+        }
+    }
+}
+
+impl DlParams {
+    /// Description length of a location pattern with `n_conditions`.
+    pub fn location_dl(&self, n_conditions: usize) -> f64 {
+        self.gamma * n_conditions as f64 + self.eta
+    }
+
+    /// Description length of a spread pattern with `n_conditions`.
+    pub fn spread_dl(&self, n_conditions: usize) -> f64 {
+        self.location_dl(n_conditions) + 1.0
+    }
+}
+
+/// Scoring breakdown for a location pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationScore {
+    /// Information content (Eq. 13; can be negative — densities).
+    pub ic: f64,
+    /// Description length.
+    pub dl: f64,
+    /// Subjective interestingness `IC / DL` (Eq. 14).
+    pub si: f64,
+}
+
+/// Scoring breakdown for a spread pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpreadScore {
+    /// Information content (Eq. 19).
+    pub ic: f64,
+    /// Description length (location DL + 1).
+    pub dl: f64,
+    /// Subjective interestingness (Eq. 20).
+    pub si: f64,
+    /// The observed variance statistic `g_I^w(Ŷ)`.
+    pub observed: f64,
+    /// The model-expected variance statistic.
+    pub expected: f64,
+}
+
+/// Information content of a location pattern (paper Eq. 13, with the
+/// corrected `Cov(f_I) = Σ_{i∈I} Σᵢ/|I|²`; see DESIGN.md):
+///
+/// `IC = ½ log((2π)^dy |Cov|) + ½ (ŷ_I − μ_I)ᵀ Cov⁻¹ (ŷ_I − μ_I)`.
+pub fn location_ic(
+    model: &mut BackgroundModel,
+    ext: &BitSet,
+    observed_mean: &[f64],
+) -> Result<f64, ModelError> {
+    let stats = model.location_stats(ext, observed_mean)?;
+    let dy = model.dy() as f64;
+    Ok(0.5 * (dy * (2.0 * std::f64::consts::PI).ln() + stats.log_det_cov)
+        + 0.5 * stats.mahalanobis)
+}
+
+/// Full SI evaluation for a location pattern given its intention and the
+/// dataset (computes the observed subgroup mean internally).
+pub fn location_si(
+    model: &mut BackgroundModel,
+    data: &Dataset,
+    intention: &Intention,
+    ext: &BitSet,
+    dl_params: &DlParams,
+) -> Result<LocationScore, ModelError> {
+    if ext.count() == 0 {
+        return Err(ModelError::EmptyExtension);
+    }
+    let observed = data.target_mean(ext);
+    let ic = location_ic(model, ext, &observed)?;
+    let dl = dl_params.location_dl(intention.len());
+    Ok(LocationScore {
+        ic,
+        dl,
+        si: ic / dl,
+    })
+}
+
+/// Shared-reference variant of [`location_si`] for concurrent evaluation;
+/// the model must have been prepared with
+/// [`BackgroundModel::warm_factorizations`].
+pub fn location_si_shared(
+    model: &BackgroundModel,
+    data: &Dataset,
+    intention: &Intention,
+    ext: &BitSet,
+    dl_params: &DlParams,
+) -> Result<LocationScore, ModelError> {
+    if ext.count() == 0 {
+        return Err(ModelError::EmptyExtension);
+    }
+    let observed = data.target_mean(ext);
+    let stats = model.location_stats_shared(ext, &observed)?;
+    let dy = model.dy() as f64;
+    let ic = 0.5 * (dy * (2.0 * std::f64::consts::PI).ln() + stats.log_det_cov)
+        + 0.5 * stats.mahalanobis;
+    let dl = dl_params.location_dl(intention.len());
+    Ok(LocationScore {
+        ic,
+        dl,
+        si: ic / dl,
+    })
+}
+
+/// Information content of a spread pattern (paper Eqs. 17–19): the observed
+/// variance statistic is scored under the Zhang approximation of the
+/// χ²-mixture distribution implied by the background model.
+///
+/// `center` is the vector the statistic is centred on — the subgroup's
+/// empirical mean, which the user already knows because spread patterns are
+/// only shown after the corresponding location pattern.
+pub fn spread_ic(
+    model: &BackgroundModel,
+    ext: &BitSet,
+    w: &[f64],
+    center: &[f64],
+    observed_g: f64,
+) -> Result<f64, ModelError> {
+    let stats = model.spread_stats(ext, w, center)?;
+    let (s1, s2, s3) = stats.power_sums;
+    let approx = Chi2MixtureApprox::from_power_sums(s1, s2, s3);
+    Ok(approx.information_content(observed_g))
+}
+
+/// Full SI evaluation for a spread pattern.
+pub fn spread_si(
+    model: &BackgroundModel,
+    data: &Dataset,
+    intention: &Intention,
+    ext: &BitSet,
+    w: &[f64],
+    dl_params: &DlParams,
+) -> Result<SpreadScore, ModelError> {
+    if ext.count() == 0 {
+        return Err(ModelError::EmptyExtension);
+    }
+    let center = data.target_mean(ext);
+    let observed = data.target_variance_along(ext, w);
+    let stats = model.spread_stats(ext, w, &center)?;
+    let (s1, s2, s3) = stats.power_sums;
+    let approx = Chi2MixtureApprox::from_power_sums(s1, s2, s3);
+    let ic = approx.information_content(observed);
+    let dl = dl_params.spread_dl(intention.len());
+    Ok(SpreadScore {
+        ic,
+        dl,
+        si: ic / dl,
+        observed,
+        expected: stats.expected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Condition, ConditionOp};
+    use sisd_data::Column;
+    use sisd_linalg::Matrix;
+
+    /// 20 rows: rows 0–9 targets near (0,0), rows 10–19 near (3,3).
+    fn setup() -> (Dataset, BackgroundModel) {
+        let mut targets = Matrix::zeros(20, 2);
+        for i in 0..20 {
+            let base = if i < 10 { 0.0 } else { 3.0 };
+            // Small deterministic jitter, so covariances are non-singular.
+            let j = (i as f64 * 0.7).sin() * 0.3;
+            targets[(i, 0)] = base + j;
+            targets[(i, 1)] = base - j;
+        }
+        let flags: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let data = Dataset::new(
+            "t",
+            vec!["flag".into()],
+            vec![Column::binary(&flags)],
+            vec!["y1".into(), "y2".into()],
+            targets,
+        );
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        (data, model)
+    }
+
+    fn flag_intention() -> Intention {
+        Intention::empty().with(Condition {
+            attr: 0,
+            op: ConditionOp::Eq(1),
+        })
+    }
+
+    #[test]
+    fn dl_matches_formula() {
+        let p = DlParams::default();
+        assert!((p.location_dl(0) - 1.0).abs() < 1e-15);
+        assert!((p.location_dl(3) - 1.3).abs() < 1e-15);
+        assert!((p.spread_dl(3) - 2.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn displaced_subgroup_scores_higher_than_random_subset() {
+        let (data, mut model) = setup();
+        let intent = flag_intention();
+        let ext = intent.evaluate(&data);
+        let score = location_si(&mut model, &data, &intent, &ext, &DlParams::default()).unwrap();
+        // A same-size subset straddling both halves is unremarkable.
+        let mixed = BitSet::from_indices(20, (0..20).step_by(2));
+        let mixed_score =
+            location_si(&mut model, &data, &intent, &mixed, &DlParams::default()).unwrap();
+        assert!(
+            score.si > mixed_score.si + 1.0,
+            "subgroup {} vs mixed {}",
+            score.si,
+            mixed_score.si
+        );
+    }
+
+    #[test]
+    fn ic_drops_after_assimilation() {
+        let (data, mut model) = setup();
+        let intent = flag_intention();
+        let ext = intent.evaluate(&data);
+        let before = location_si(&mut model, &data, &intent, &ext, &DlParams::default())
+            .unwrap()
+            .si;
+        let mean = data.target_mean(&ext);
+        model.assimilate_location(&ext, mean).unwrap();
+        let after = location_si(&mut model, &data, &intent, &ext, &DlParams::default())
+            .unwrap()
+            .si;
+        assert!(
+            after < before - 1.0,
+            "SI did not drop: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn more_conditions_lower_si_for_same_extension() {
+        let (data, mut model) = setup();
+        let intent1 = flag_intention();
+        let intent2 = intent1.with(Condition {
+            attr: 0,
+            op: ConditionOp::Eq(1),
+        }); // redundant second condition
+        let ext = intent1.evaluate(&data);
+        let s1 = location_si(&mut model, &data, &intent1, &ext, &DlParams::default()).unwrap();
+        let s2 = location_si(&mut model, &data, &intent2, &ext, &DlParams::default()).unwrap();
+        assert!((s1.ic - s2.ic).abs() < 1e-12, "same extension, same IC");
+        assert!(s2.si < s1.si, "longer description must rank lower");
+    }
+
+    #[test]
+    fn coverage_increases_ic() {
+        // Two subgroups with identical displacement, different sizes: the
+        // larger one carries more information (the /|I|² correction).
+        let (data, mut model) = setup();
+        let big = BitSet::from_indices(20, 10..20);
+        let small = BitSet::from_indices(20, 10..14);
+        let mean_big = data.target_mean(&big);
+        let mean_small = data.target_mean(&small);
+        let ic_big = location_ic(&mut model, &big, &mean_big).unwrap();
+        let ic_small = location_ic(&mut model, &small, &mean_small).unwrap();
+        assert!(
+            ic_big > ic_small,
+            "bigger coverage must be more informative: {ic_big} vs {ic_small}"
+        );
+    }
+
+    #[test]
+    fn spread_si_detects_wrong_variance() {
+        let (data, model) = setup();
+        let intent = flag_intention();
+        let ext = intent.evaluate(&data);
+        let mut w = vec![1.0, 1.0];
+        sisd_linalg::normalize(&mut w);
+        let score = spread_si(&model, &data, &intent, &ext, &w, &DlParams::default()).unwrap();
+        // The within-subgroup variance is tiny compared to the full-data
+        // covariance the model believes in → highly informative.
+        assert!(score.observed < score.expected);
+        assert!(score.si > 0.5, "spread SI = {}", score.si);
+        assert!(score.dl > 2.0 - 1e-12);
+    }
+
+    #[test]
+    fn spread_ic_drops_after_spread_assimilation() {
+        let (data, mut model) = setup();
+        let intent = flag_intention();
+        let ext = intent.evaluate(&data);
+        let mut w = vec![1.0, 0.0];
+        sisd_linalg::normalize(&mut w);
+        // Assimilate location first (the paper's protocol).
+        let mean = data.target_mean(&ext);
+        model.assimilate_location(&ext, mean.clone()).unwrap();
+        let before = spread_si(&model, &data, &intent, &ext, &w, &DlParams::default())
+            .unwrap()
+            .ic;
+        let observed = data.target_variance_along(&ext, &w);
+        model
+            .assimilate_spread(&ext, w.clone(), mean, observed)
+            .unwrap();
+        let after = spread_si(&model, &data, &intent, &ext, &w, &DlParams::default())
+            .unwrap()
+            .ic;
+        assert!(after < before, "spread IC did not drop: {before} → {after}");
+    }
+
+    #[test]
+    fn empty_extension_is_an_error() {
+        let (data, mut model) = setup();
+        let intent = flag_intention();
+        let empty = BitSet::empty(20);
+        assert!(location_si(&mut model, &data, &intent, &empty, &DlParams::default()).is_err());
+        assert!(
+            spread_si(&model, &data, &intent, &empty, &[1.0, 0.0], &DlParams::default()).is_err()
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Fixed-capacity dense bitsets for subgroup extensions.
+//!
+//! A subgroup's extension is an index set `I ⊆ [n]` (paper §II-A). Beam
+//! search refines millions of candidate extensions by intersecting the rows
+//! matched by individual conditions, and the model layer repeatedly needs
+//! `|I ∩ cell|` counts — both are word-parallel operations on a dense
+//! bitset, so extensions are bitsets everywhere in this codebase.
+
+/// A fixed-length bitset over row indices `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// All-zeros bitset over `len` rows.
+    pub fn empty(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-ones bitset over `len` rows.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        s.clear_tail();
+        s
+    }
+
+    /// Builds from an iterator of member indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(len);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds from a boolean predicate evaluated on every row.
+    pub fn from_fn(len: usize, mut pred: impl FnMut(usize) -> bool) -> Self {
+        let mut s = Self::empty(len);
+        for i in 0..len {
+            if pred(i) {
+                s.insert(i);
+            }
+        }
+        s
+    }
+
+    /// Number of rows the bitset ranges over (not the population count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset has zero capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts row `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "BitSet::insert: index {i} out of range");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes row `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "BitSet::remove: index {i} out of range");
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Population count `|I|`.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "BitSet: length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Intersection as a new bitset.
+    pub fn and(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "BitSet: length mismatch");
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// In-place intersection.
+    pub fn and_assign(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "BitSet: length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Union as a new bitset.
+    pub fn or(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "BitSet: length mismatch");
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Set difference `self \ other` as a new bitset.
+    pub fn minus(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "BitSet: length mismatch");
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Complement within `[0, len)`.
+    pub fn complement(&self) -> BitSet {
+        let mut out = BitSet {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.clear_tail();
+        out
+    }
+
+    /// True when the sets share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// True when `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates member indices in ascending order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Member indices collected into a vector.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitSet({}/{}; ", self.count(), self.len)?;
+        let idx = self.to_indices();
+        if idx.len() <= 12 {
+            write!(f, "{idx:?})")
+        } else {
+            write!(f, "{:?}…)", &idx[..12])
+        }
+    }
+}
+
+/// Ascending iterator over set bits.
+pub struct BitIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::empty(100);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1) && !s.contains(98));
+        assert_eq!(s.count(), 4);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn full_and_complement_respect_tail() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        let c = s.complement();
+        assert_eq!(c.count(), 0);
+        let e = BitSet::empty(70).complement();
+        assert_eq!(e.count(), 70);
+        assert!(!e.contains(70));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indices(10, [1, 2, 3, 7]);
+        let b = BitSet::from_indices(10, [2, 3, 4]);
+        assert_eq!(a.and(&b).to_indices(), vec![2, 3]);
+        assert_eq!(a.or(&b).to_indices(), vec![1, 2, 3, 4, 7]);
+        assert_eq!(a.minus(&b).to_indices(), vec![1, 7]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.and(&b).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        let disjoint = BitSet::from_indices(10, [0, 9]);
+        assert!(a.is_disjoint(&disjoint));
+    }
+
+    #[test]
+    fn and_assign_matches_and() {
+        let mut a = BitSet::from_indices(130, (0..130).step_by(3));
+        let b = BitSet::from_indices(130, (0..130).step_by(2));
+        let expect = a.and(&b);
+        a.and_assign(&b);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn iterator_crosses_word_boundaries() {
+        let idx = vec![0, 5, 63, 64, 65, 127, 128, 199];
+        let s = BitSet::from_indices(200, idx.clone());
+        assert_eq!(s.to_indices(), idx);
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let s = BitSet::from_fn(50, |i| i % 7 == 0);
+        assert_eq!(s.to_indices(), vec![0, 7, 14, 21, 28, 35, 42, 49]);
+    }
+
+    #[test]
+    fn empty_capacity() {
+        let s = BitSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        BitSet::empty(10).insert(10);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let s = BitSet::from_indices(100, 0..50);
+        let d = format!("{s:?}");
+        assert!(d.contains("50/100"));
+        assert!(d.contains('…'));
+    }
+}

@@ -1,0 +1,271 @@
+//! Minimal CSV reading/writing for datasets.
+//!
+//! The paper's tool ingests tabular files (Cortana's ARFF-like format); this
+//! reproduction supports plain CSV with a header row. Column typing is
+//! inferred: a column whose every non-empty cell parses as `f64` becomes
+//! numeric, anything else categorical. Which columns are targets is chosen
+//! by name at load time.
+//!
+//! The writer exists so harness binaries can persist generated synthetic
+//! datasets for inspection.
+
+use crate::column::Column;
+use crate::table::Dataset;
+use sisd_linalg::Matrix;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from CSV parsing/dataset assembly.
+#[derive(Debug)]
+pub enum CsvError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Structural problem (ragged rows, missing header, unknown target…).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Malformed(m) => write!(f, "malformed csv: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Splits one CSV line honouring double-quoted fields (with `""` escapes).
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parses CSV text into `(header, rows)`.
+pub fn parse(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .map(split_line)
+        .ok_or_else(|| CsvError::Malformed("empty file".into()))?;
+    let mut rows = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let row = split_line(line);
+        if row.len() != header.len() {
+            return Err(CsvError::Malformed(format!(
+                "row {} has {} fields, header has {}",
+                lineno + 2,
+                row.len(),
+                header.len()
+            )));
+        }
+        rows.push(row);
+    }
+    Ok((header, rows))
+}
+
+/// Loads a dataset from CSV text. Columns named in `target_names` become
+/// targets (and must be fully numeric); the rest become description
+/// attributes with inferred types.
+pub fn dataset_from_csv_str(
+    name: &str,
+    text: &str,
+    target_names: &[&str],
+) -> Result<Dataset, CsvError> {
+    let (header, rows) = parse(text)?;
+    let n = rows.len();
+    let mut target_idx = Vec::with_capacity(target_names.len());
+    for t in target_names {
+        let idx = header
+            .iter()
+            .position(|h| h == t)
+            .ok_or_else(|| CsvError::Malformed(format!("target column '{t}' not found")))?;
+        target_idx.push(idx);
+    }
+
+    let mut targets = Matrix::zeros(n, target_idx.len());
+    for (j, &cidx) in target_idx.iter().enumerate() {
+        for (i, row) in rows.iter().enumerate() {
+            let v: f64 = row[cidx].trim().parse().map_err(|_| {
+                CsvError::Malformed(format!(
+                    "target '{}' row {} is not numeric: '{}'",
+                    header[cidx],
+                    i + 2,
+                    row[cidx]
+                ))
+            })?;
+            targets[(i, j)] = v;
+        }
+    }
+
+    let mut desc_names = Vec::new();
+    let mut desc_cols = Vec::new();
+    for (cidx, cname) in header.iter().enumerate() {
+        if target_idx.contains(&cidx) {
+            continue;
+        }
+        let raw: Vec<&str> = rows.iter().map(|r| r[cidx].trim()).collect();
+        let all_numeric = raw.iter().all(|v| !v.is_empty() && v.parse::<f64>().is_ok());
+        let col = if all_numeric {
+            Column::Numeric(raw.iter().map(|v| v.parse().unwrap()).collect())
+        } else {
+            Column::categorical_from_strs(&raw)
+        };
+        desc_names.push(cname.clone());
+        desc_cols.push(col);
+    }
+
+    Ok(Dataset::new(
+        name,
+        desc_names,
+        desc_cols,
+        target_names.iter().map(|s| s.to_string()).collect(),
+        targets,
+    ))
+}
+
+/// Loads a dataset from a CSV file on disk.
+pub fn dataset_from_csv_path(
+    name: &str,
+    path: &Path,
+    target_names: &[&str],
+) -> Result<Dataset, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    dataset_from_csv_str(name, &text, target_names)
+}
+
+/// Quotes a CSV field when needed.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes a dataset to CSV text (descriptions first, then targets).
+pub fn dataset_to_csv_string(d: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = d
+        .desc_names()
+        .iter()
+        .chain(d.target_names())
+        .map(|s| quote(s))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for i in 0..d.n() {
+        let mut fields: Vec<String> = Vec::with_capacity(d.dx() + d.dy());
+        for col in d.desc_cols() {
+            fields.push(quote(&col.display_value(i)));
+        }
+        for j in 0..d.dy() {
+            fields.push(format!("{}", d.targets()[(i, j)]));
+        }
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+region,score,age,outcome
+north,1.5,30,0.2
+south,2.5,40,0.4
+\"east, far\",3.5,50,0.6
+";
+
+    #[test]
+    fn parse_with_quotes_and_commas() {
+        let (header, rows) = parse(SAMPLE).unwrap();
+        assert_eq!(header, vec!["region", "score", "age", "outcome"]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2][0], "east, far");
+    }
+
+    #[test]
+    fn dataset_loading_and_type_inference() {
+        let d = dataset_from_csv_str("s", SAMPLE, &["outcome"]).unwrap();
+        assert_eq!(d.n(), 3);
+        assert_eq!(d.dx(), 3);
+        assert_eq!(d.dy(), 1);
+        assert!(d.desc_col(d.desc_index("score").unwrap()).is_numeric());
+        assert!(!d.desc_col(d.desc_index("region").unwrap()).is_numeric());
+        assert_eq!(d.target_col(0), vec![0.2, 0.4, 0.6]);
+    }
+
+    #[test]
+    fn multi_target_loading() {
+        let d = dataset_from_csv_str("s", SAMPLE, &["score", "outcome"]).unwrap();
+        assert_eq!(d.dy(), 2);
+        assert_eq!(d.dx(), 2);
+        assert_eq!(d.target_names(), &["score".to_string(), "outcome".to_string()]);
+    }
+
+    #[test]
+    fn unknown_target_errors() {
+        let err = dataset_from_csv_str("s", SAMPLE, &["nope"]).unwrap_err();
+        assert!(err.to_string().contains("not found"));
+    }
+
+    #[test]
+    fn non_numeric_target_errors() {
+        let err = dataset_from_csv_str("s", SAMPLE, &["region"]).unwrap_err();
+        assert!(err.to_string().contains("not numeric"));
+    }
+
+    #[test]
+    fn ragged_row_errors() {
+        let bad = "a,b\n1,2\n3\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.to_string().contains("fields"));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let d = dataset_from_csv_str("s", SAMPLE, &["outcome"]).unwrap();
+        let text = dataset_to_csv_string(&d);
+        let d2 = dataset_from_csv_str("s2", &text, &["outcome"]).unwrap();
+        assert_eq!(d2.n(), d.n());
+        assert_eq!(d2.dx(), d.dx());
+        assert_eq!(d2.target_col(0), d.target_col(0));
+        // The quoted label survives.
+        let region = d2.desc_col(d2.desc_index("region").unwrap());
+        assert_eq!(region.display_value(2), "east, far");
+    }
+
+    #[test]
+    fn empty_file_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("\n\n").is_err());
+    }
+}

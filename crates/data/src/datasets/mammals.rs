@@ -1,0 +1,375 @@
+//! Simulacrum of the European Mammals / WorldClim dataset.
+//!
+//! The real data (Heikinheimo et al. 2007 preprocessing): 2220 grid cells
+//! covering Europe, 124 binary presence/absence indicators used as targets
+//! and 67 climate indicators used as descriptions. This generator lays the
+//! cells on a 60 × 37 latitude/longitude grid and builds:
+//!
+//! * **climate attributes** — 12 monthly mean temperatures, 12 monthly
+//!   rainfalls, plus 43 derived indicators (seasonal means/extremes,
+//!   continentality, "mean temperature of wettest quarter", …), all smooth
+//!   fields of latitude/continentality with noise, so that threshold
+//!   conditions carve out geographically coherent regions (as in Fig. 6);
+//! * **species** — 124 logistic niches, each responding to 1–3 climate
+//!   variables. A block of boreal species co-occurs in the cold north
+//!   (the wood-mouse/mountain-hare/moose story of Figs. 4–5), a block of
+//!   Mediterranean species in the dry south, the rest have randomized
+//!   niches. Species correlate through the shared climate fields exactly
+//!   the way the paper exploits ("the background model already accounts
+//!   for correlation between species").
+
+use crate::column::Column;
+use crate::table::Dataset;
+use sisd_linalg::Matrix;
+use sisd_stats::Xoshiro256pp;
+
+/// Grid width (longitude steps).
+pub const GRID_W: usize = 60;
+/// Grid height (latitude steps).
+pub const GRID_H: usize = 37;
+/// Number of cells (= rows), matching the paper's 2220.
+pub const N: usize = GRID_W * GRID_H;
+/// Number of climate description attributes.
+pub const DX: usize = 67;
+/// Number of species target attributes.
+pub const DY: usize = 124;
+
+/// Generates the mammal-atlas simulacrum. Returns the dataset plus the
+/// cell coordinates `(lat, lon)` for map-style interpretation (the paper
+/// uses geolocation only for visualization, never for mining).
+pub fn mammals_synthetic(seed: u64) -> (Dataset, Vec<(f64, f64)>) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+
+    // Cell geography: lat 35–71 °N, lon −10–40 °E.
+    let mut coords = Vec::with_capacity(N);
+    for gy in 0..GRID_H {
+        for gx in 0..GRID_W {
+            let lat = 35.0 + 36.0 * gy as f64 / (GRID_H - 1) as f64;
+            let lon = -10.0 + 50.0 * gx as f64 / (GRID_W - 1) as f64;
+            coords.push((lat, lon));
+        }
+    }
+
+    // Latent climate drivers per cell.
+    let northness: Vec<f64> = coords.iter().map(|&(lat, _)| (lat - 53.0) / 18.0).collect();
+    let continentality: Vec<f64> = coords.iter().map(|&(_, lon)| (lon - 15.0) / 25.0).collect();
+    // Smooth regional noise so fields are not perfectly collinear.
+    let regional: Vec<f64> = coords
+        .iter()
+        .map(|&(lat, lon)| ((lat * 0.21).sin() + (lon * 0.17).cos()) * 0.5)
+        .collect();
+
+    let month_name = |m: usize| {
+        [
+            "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+        ][m]
+    };
+
+    let mut desc_names: Vec<String> = Vec::with_capacity(DX);
+    let mut desc_cols: Vec<Column> = Vec::with_capacity(DX);
+    // Keep the raw fields for species niches.
+    let mut climate_fields: Vec<Vec<f64>> = Vec::with_capacity(DX);
+
+    // 12 monthly mean temperatures (°C).
+    for m in 0..12 {
+        let season = (2.0 * std::f64::consts::PI * (m as f64 - 6.5) / 12.0).cos();
+        let vals: Vec<f64> = (0..N)
+            .map(|i| {
+                let annual_mean = 11.0 - 12.0 * northness[i] - 1.5 * regional[i];
+                let amplitude = 9.0 + 7.0 * continentality[i].max(-0.5);
+                annual_mean + amplitude * season + rng.normal_with(0.0, 0.8)
+            })
+            .collect();
+        desc_names.push(format!("temp_{}", month_name(m)));
+        climate_fields.push(vals.clone());
+        desc_cols.push(Column::Numeric(vals));
+    }
+
+    // 12 monthly rainfalls (mm); the south is summer-dry (Mediterranean).
+    for m in 0..12 {
+        let summer = (2.0 * std::f64::consts::PI * (m as f64 - 6.5) / 12.0).cos();
+        let vals: Vec<f64> = (0..N)
+            .map(|i| {
+                let south_dryness = (-northness[i]).max(0.0);
+                let base = 65.0 + 18.0 * regional[i] - 12.0 * continentality[i];
+                let seasonal = -35.0 * summer * south_dryness + 8.0 * summer * northness[i].max(0.0);
+                (base + seasonal + rng.normal_with(0.0, 6.0)).max(0.0)
+            })
+            .collect();
+        desc_names.push(format!("rain_{}", month_name(m)));
+        climate_fields.push(vals.clone());
+        desc_cols.push(Column::Numeric(vals));
+    }
+
+    // 43 derived indicators (means over quarters, extremes, ranges, and the
+    // two the paper's Fig. 6 captions mention explicitly).
+    {
+        let get = |name: &str, fields: &[Vec<f64>], names: &[String]| -> Vec<f64> {
+            let idx = names.iter().position(|n| n == name).expect("field exists");
+            fields[idx].clone()
+        };
+        let push_derived = |name: String, vals: Vec<f64>,
+                                desc_names: &mut Vec<String>,
+                                desc_cols: &mut Vec<Column>,
+                                climate_fields: &mut Vec<Vec<f64>>| {
+            desc_names.push(name);
+            climate_fields.push(vals.clone());
+            desc_cols.push(Column::Numeric(vals));
+        };
+
+        // Quarterly temperature and rain means (8 indicators).
+        for (qi, months) in [(0, [11usize, 0, 1]), (1, [2, 3, 4]), (2, [5, 6, 7]), (3, [8, 9, 10])] {
+            let t: Vec<f64> = (0..N)
+                .map(|i| months.iter().map(|&m| climate_fields[m][i]).sum::<f64>() / 3.0)
+                .collect();
+            push_derived(
+                format!("temp_q{qi}"),
+                t,
+                &mut desc_names,
+                &mut desc_cols,
+                &mut climate_fields,
+            );
+            let r: Vec<f64> = (0..N)
+                .map(|i| months.iter().map(|&m| climate_fields[12 + m][i]).sum::<f64>() / 3.0)
+                .collect();
+            push_derived(
+                format!("rain_q{qi}"),
+                r,
+                &mut desc_names,
+                &mut desc_cols,
+                &mut climate_fields,
+            );
+        }
+
+        // Annual aggregates (6).
+        let tmean: Vec<f64> = (0..N)
+            .map(|i| (0..12).map(|m| climate_fields[m][i]).sum::<f64>() / 12.0)
+            .collect();
+        let tmax: Vec<f64> = (0..N)
+            .map(|i| (0..12).map(|m| climate_fields[m][i]).fold(f64::MIN, f64::max))
+            .collect();
+        let tmin: Vec<f64> = (0..N)
+            .map(|i| (0..12).map(|m| climate_fields[m][i]).fold(f64::MAX, f64::min))
+            .collect();
+        let trange: Vec<f64> = (0..N).map(|i| tmax[i] - tmin[i]).collect();
+        let rtotal: Vec<f64> = (0..N)
+            .map(|i| (0..12).map(|m| climate_fields[12 + m][i]).sum::<f64>())
+            .collect();
+        let rdriest: Vec<f64> = (0..N)
+            .map(|i| (0..12).map(|m| climate_fields[12 + m][i]).fold(f64::MAX, f64::min))
+            .collect();
+        for (nm, v) in [
+            ("temp_annual_mean", tmean.clone()),
+            ("temp_annual_max", tmax),
+            ("temp_annual_min", tmin),
+            ("temp_annual_range", trange),
+            ("rain_annual_total", rtotal),
+            ("rain_driest_month", rdriest),
+        ] {
+            push_derived(
+                nm.to_string(),
+                v,
+                &mut desc_names,
+                &mut desc_cols,
+                &mut climate_fields,
+            );
+        }
+
+        // Mean temperature of the wettest quarter (Fig. 6c's condition).
+        let rain_q: Vec<&str> = vec!["rain_q0", "rain_q1", "rain_q2", "rain_q3"];
+        let temp_q: Vec<&str> = vec!["temp_q0", "temp_q1", "temp_q2", "temp_q3"];
+        let wettest_temp: Vec<f64> = (0..N)
+            .map(|i| {
+                let mut best_q = 0;
+                let mut best_rain = f64::MIN;
+                #[allow(clippy::needless_range_loop)] // q indexes two parallel tables
+                for q in 0..4 {
+                    let r = get(rain_q[q], &climate_fields, &desc_names)[i];
+                    if r > best_rain {
+                        best_rain = r;
+                        best_q = q;
+                    }
+                }
+                get(temp_q[best_q], &climate_fields, &desc_names)[i]
+            })
+            .collect();
+        push_derived(
+            "temp_wettest_quarter".to_string(),
+            wettest_temp,
+            &mut desc_names,
+            &mut desc_cols,
+            &mut climate_fields,
+        );
+
+        // Remaining indicators: noisy mixtures of the latent drivers
+        // (frost days, snow cover, humidity indices, …).
+        let mut k = 0;
+        while desc_names.len() < DX {
+            let a = rng.normal_with(0.0, 1.0);
+            let b = rng.normal_with(0.0, 1.0);
+            let c = rng.normal_with(0.0, 0.5);
+            let vals: Vec<f64> = (0..N)
+                .map(|i| {
+                    10.0 * (a * northness[i] + b * continentality[i] + c * regional[i])
+                        + rng.normal_with(0.0, 2.0)
+                })
+                .collect();
+            push_derived(
+                format!("bioclim_{k:02}"),
+                vals,
+                &mut desc_names,
+                &mut desc_cols,
+                &mut climate_fields,
+            );
+            k += 1;
+        }
+    }
+    assert_eq!(desc_names.len(), DX);
+
+    // Species: logistic niches over climate fields. Targets are 0/1 reals.
+    let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+    let mut targets = Matrix::zeros(N, DY);
+    let mut target_names = Vec::with_capacity(DY);
+
+    // Standardize fields once for niche definitions.
+    let standardized: Vec<Vec<f64>> = climate_fields
+        .iter()
+        .map(|f| {
+            let mean = f.iter().sum::<f64>() / N as f64;
+            let var = f.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / N as f64;
+            let sd = var.sqrt().max(1e-9);
+            f.iter().map(|v| (v - mean) / sd).collect()
+        })
+        .collect();
+    let march_temp = 2usize; // temp_mar
+    let aug_rain = 12 + 7; // rain_aug
+
+    for s in 0..DY {
+        let name = format!("species_{s:03}");
+        target_names.push(name);
+        // First 20 species: boreal block keyed on cold March (wood mouse is
+        // the *absence* side: widespread except the cold north).
+        // Next 20: Mediterranean block keyed on dry August.
+        // Rest: random niches on 1–3 standardized fields.
+        let score: Vec<f64> = match s {
+            0..=19 => {
+                let sign = if s % 4 == 0 { 1.0 } else { -1.0 }; // some present in the south instead
+                let shift = rng.uniform_range(-0.6, 0.6);
+                (0..N)
+                    .map(|i| sign * (-standardized[march_temp][i]) * 2.2 + shift)
+                    .collect()
+            }
+            20..=39 => {
+                let sign = if s % 5 == 0 { -1.0 } else { 1.0 };
+                let shift = rng.uniform_range(-0.6, 0.6);
+                (0..N)
+                    .map(|i| sign * (-standardized[aug_rain][i]) * 2.0 + shift)
+                    .collect()
+            }
+            _ => {
+                let k = 1 + rng.below(3);
+                let fields: Vec<usize> = (0..k).map(|_| rng.below(DX)).collect();
+                let weights: Vec<f64> = (0..k).map(|_| rng.normal_with(0.0, 1.2)).collect();
+                let shift = rng.uniform_range(-1.0, 1.0);
+                (0..N)
+                    .map(|i| {
+                        fields
+                            .iter()
+                            .zip(&weights)
+                            .map(|(&f, &w)| w * standardized[f][i])
+                            .sum::<f64>()
+                            + shift
+                    })
+                    .collect()
+            }
+        };
+        for i in 0..N {
+            let p = sigmoid(score[i] + rng.normal_with(0.0, 0.4));
+            targets[(i, s)] = if rng.bernoulli(p) { 1.0 } else { 0.0 };
+        }
+    }
+
+    let dataset = Dataset::new("mammals", desc_names, desc_cols, target_names, targets);
+    (dataset, coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitSet;
+
+    #[test]
+    fn shape_matches_paper() {
+        let (d, coords) = mammals_synthetic(1);
+        assert_eq!(d.n(), 2220);
+        assert_eq!(d.dx(), 67);
+        assert_eq!(d.dy(), 124);
+        assert_eq!(coords.len(), 2220);
+    }
+
+    #[test]
+    fn targets_are_binary() {
+        let (d, _) = mammals_synthetic(2);
+        for i in (0..d.n()).step_by(37) {
+            for j in 0..d.dy() {
+                let v = d.targets()[(i, j)];
+                assert!(v == 0.0 || v == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn march_temperature_decreases_northward() {
+        let (d, coords) = mammals_synthetic(3);
+        let tm = d.desc_col(d.desc_index("temp_mar").unwrap()).as_numeric().unwrap();
+        // Correlation with latitude must be clearly negative.
+        let lat: Vec<f64> = coords.iter().map(|&(la, _)| la).collect();
+        let n = d.n() as f64;
+        let (ml, mt) = (lat.iter().sum::<f64>() / n, tm.iter().sum::<f64>() / n);
+        let mut cov = 0.0;
+        let mut vl = 0.0;
+        let mut vt = 0.0;
+        for i in 0..d.n() {
+            cov += (lat[i] - ml) * (tm[i] - mt);
+            vl += (lat[i] - ml).powi(2);
+            vt += (tm[i] - mt).powi(2);
+        }
+        let corr = cov / (vl.sqrt() * vt.sqrt());
+        assert!(corr < -0.8, "lat/temp_mar correlation {corr}");
+    }
+
+    #[test]
+    fn cold_subgroup_shifts_boreal_species() {
+        let (d, _) = mammals_synthetic(4);
+        let tm = d
+            .desc_col(d.desc_index("temp_mar").unwrap())
+            .as_numeric()
+            .unwrap()
+            .to_vec();
+        let cold = BitSet::from_fn(d.n(), |i| tm[i] <= -1.5);
+        assert!(cold.count() > 100, "cold region too small");
+        let sub = d.target_mean(&cold);
+        let all = d.target_mean_all();
+        // Species 0 (sign = +1: boreal, present in the cold north) must be
+        // enriched; species 1 (sign = −1: southern) must be depleted.
+        assert!(
+            sub[0] > all[0] + 0.2,
+            "boreal species not enriched: {} vs {}",
+            sub[0],
+            all[0]
+        );
+        assert!(
+            sub[1] < all[1] - 0.2,
+            "southern species not depleted: {} vs {}",
+            sub[1],
+            all[1]
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = mammals_synthetic(7);
+        let (b, _) = mammals_synthetic(7);
+        assert_eq!(a.targets().as_slice(), b.targets().as_slice());
+    }
+}

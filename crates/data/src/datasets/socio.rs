@@ -1,0 +1,245 @@
+//! Simulacrum of the German socio-economics dataset (Boley et al. 2013).
+//!
+//! The real data: 412 administrative districts, 13 description attributes
+//! (age and workforce distribution) and 5 targets (2009 vote shares of
+//! CDU/CSU, SPD, FDP, GREEN, LEFT). The generator plants the three stories
+//! the paper's case study (§III-C, Figs. 7–8) tells:
+//!
+//! 1. *East Germany*: few children, Left strong at the expense of all other
+//!    parties — the top location pattern "Children Pop. <= 14.1".
+//! 2. *Large cities*: many middle-aged residents and service jobs, Greens
+//!    strong at the expense of Left — the second pattern.
+//! 3. Within the eastern subgroup, CDU and SPD vote shares anti-correlate
+//!    far more strongly than country-wide (they "battle for the same
+//!    voters"), so that the most interesting *spread* direction is
+//!    `w ≈ (0.57, 0.82)` on (CDU, SPD) with much-smaller-than-expected
+//!    variance.
+
+use crate::column::Column;
+use crate::table::Dataset;
+use sisd_linalg::Matrix;
+use sisd_stats::Xoshiro256pp;
+
+/// Number of districts.
+pub const N: usize = 412;
+/// Number of description attributes (checked by tests via `Dataset::dx`).
+pub const DX: usize = 13;
+/// Number of targets (parties).
+pub const DY: usize = 5;
+
+/// Region labels for interpretation (not part of the mined attributes).
+#[derive(Debug, Clone)]
+pub struct SocioGroundTruth {
+    /// True for districts planted as eastern.
+    pub east: Vec<bool>,
+    /// Urbanization score (large = big city).
+    pub urbanization: Vec<f64>,
+}
+
+/// Generates the socio-economics simulacrum.
+pub fn german_socio_synthetic(seed: u64) -> (Dataset, SocioGroundTruth) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+
+    // ~21% of districts are eastern (East Germany incl. Berlin).
+    let east: Vec<bool> = (0..N).map(|_| rng.bernoulli(0.21)).collect();
+    // Urbanization: heavy-tailed; a handful of big cities.
+    let urbanization: Vec<f64> = (0..N)
+        .map(|_| (rng.normal_with(0.0, 1.0)).exp() * 0.5)
+        .collect();
+
+    // --- Description attributes (age + workforce distribution) ---
+    let mut children = Vec::with_capacity(N); // % under 15
+    let mut young = Vec::with_capacity(N); // 15–30
+    let mut middle = Vec::with_capacity(N); // 30–50
+    let mut old = Vec::with_capacity(N); // 65+
+    for i in 0..N {
+        let e = east[i] as u8 as f64;
+        let u = urbanization[i];
+        // East has markedly fewer children and more elderly; cities have
+        // more middle-aged and young (students/jobs).
+        children.push(16.3 - 3.4 * e - 0.15 * u.min(3.0) + rng.normal_with(0.0, 0.55));
+        young.push(16.5 + 1.2 * u.min(3.0) - 0.4 * e + rng.normal_with(0.0, 0.9));
+        middle.push(25.3 + 1.8 * u.min(3.0) + 0.3 * e + rng.normal_with(0.0, 0.9));
+        old.push(20.5 + 2.2 * e - 1.0 * u.min(3.0) + rng.normal_with(0.0, 1.0));
+    }
+
+    let mut agri = Vec::with_capacity(N);
+    let mut industry = Vec::with_capacity(N);
+    let mut service = Vec::with_capacity(N);
+    let mut trade = Vec::with_capacity(N);
+    let mut finance = Vec::with_capacity(N);
+    let mut public = Vec::with_capacity(N);
+    let mut selfemp = Vec::with_capacity(N);
+    let mut unemployed = Vec::with_capacity(N);
+    let mut jobs_density = Vec::with_capacity(N);
+    for i in 0..N {
+        let e = east[i] as u8 as f64;
+        let u = urbanization[i];
+        agri.push((3.5 - 1.1 * u.min(2.5) + 0.8 * e + rng.normal_with(0.0, 0.6)).max(0.1));
+        industry.push(28.0 - 2.5 * u.min(3.0) - 1.5 * e + rng.normal_with(0.0, 2.0));
+        service.push(35.0 + 4.5 * u.min(3.0) + rng.normal_with(0.0, 2.0));
+        trade.push(14.0 + 0.8 * u.min(3.0) + rng.normal_with(0.0, 1.0));
+        finance.push(3.0 + 1.6 * u.min(3.0) + rng.normal_with(0.0, 0.5));
+        public.push(7.0 + 1.2 * e + rng.normal_with(0.0, 0.8));
+        selfemp.push(9.5 + 0.5 * u.min(3.0) - 0.6 * e + rng.normal_with(0.0, 0.7));
+        unemployed.push((6.5 + 3.2 * e - 0.3 * u.min(3.0) + rng.normal_with(0.0, 1.7)).max(1.0));
+        jobs_density.push(450.0 + 260.0 * u.min(4.0) + rng.normal_with(0.0, 60.0));
+    }
+
+    // --- Targets: 2009 vote shares ---
+    // Country-wide 2009 baseline (%): CDU 33.8, SPD 23.0, FDP 14.6,
+    // GREEN 10.7, LEFT 11.9 — generate logits around these and renormalize.
+    let mut targets = Matrix::zeros(N, DY);
+    for i in 0..N {
+        let e = east[i] as u8 as f64;
+        let u = urbanization[i].min(3.0);
+        // The CDU–SPD "battle" factor: common-voter swings. Eastern
+        // districts get a much larger loading, planting the low-variance
+        // direction w ∝ (0.57, 0.82): 0.57·a − 0.82·0.694·a ≈ 0.
+        let b = rng.normal();
+        let battle = if east[i] { 2.4 } else { 1.3 };
+        let cdu_sway = battle * b;
+        let spd_sway = -0.694 * battle * b;
+
+        let mut shares = [
+            34.0 - 11.0 * e - 1.5 * u + cdu_sway + rng.normal_with(0.0, 2.2 - 1.7 * e),
+            23.5 - 9.5 * e - 0.3 * u + spd_sway + rng.normal_with(0.0, 2.2 - 1.7 * e),
+            15.0 - 3.5 * e + 0.2 * u + rng.normal_with(0.0, 1.4),
+            10.0 - 3.0 * e + 2.4 * u + rng.normal_with(0.0, 1.7),
+            8.5 + 7.5 * e - 1.2 * u + rng.normal_with(0.0, 1.8 + 1.6 * e),
+        ];
+        // Clamp to positive and renormalize to 100%.
+        for s in &mut shares {
+            *s = s.max(0.5);
+        }
+        let total: f64 = shares.iter().sum();
+        for (j, s) in shares.iter().enumerate() {
+            targets[(i, j)] = 100.0 * s / total;
+        }
+    }
+
+    let desc_names: Vec<String> = [
+        "children_pop",
+        "young_pop",
+        "middle_aged_pop",
+        "elder_pop",
+        "wf_agriculture",
+        "wf_industry",
+        "wf_service",
+        "wf_trade",
+        "wf_finance",
+        "wf_public",
+        "wf_self_employed",
+        "unemployment",
+        "jobs_density",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let desc_cols = vec![
+        Column::Numeric(children),
+        Column::Numeric(young),
+        Column::Numeric(middle),
+        Column::Numeric(old),
+        Column::Numeric(agri),
+        Column::Numeric(industry),
+        Column::Numeric(service),
+        Column::Numeric(trade),
+        Column::Numeric(finance),
+        Column::Numeric(public),
+        Column::Numeric(selfemp),
+        Column::Numeric(unemployed),
+        Column::Numeric(jobs_density),
+    ];
+    let target_names = ["CDU_2009", "SPD_2009", "FDP_2009", "GREEN_2009", "LEFT_2009"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    let dataset = Dataset::new("german-socio", desc_names, desc_cols, target_names, targets);
+    (
+        dataset,
+        SocioGroundTruth {
+            east,
+            urbanization,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitSet;
+
+    #[test]
+    fn shape_matches_paper() {
+        let (d, _) = german_socio_synthetic(1);
+        assert_eq!(d.n(), N);
+        assert_eq!(d.dx(), DX);
+        assert_eq!(d.dy(), DY);
+    }
+
+    #[test]
+    fn vote_shares_sum_to_hundred() {
+        let (d, _) = german_socio_synthetic(2);
+        for i in 0..d.n() {
+            let total: f64 = (0..5).map(|j| d.targets()[(i, j)]).sum();
+            assert!((total - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn east_has_fewer_children_and_more_left() {
+        let (d, truth) = german_socio_synthetic(3);
+        let east_ext = BitSet::from_fn(d.n(), |i| truth.east[i]);
+        let west_ext = east_ext.complement();
+        assert!(east_ext.count() > 40);
+        let cj = d.desc_index("children_pop").unwrap();
+        let children = d.desc_col(cj).as_numeric().unwrap();
+        let east_children: f64 =
+            east_ext.iter().map(|i| children[i]).sum::<f64>() / east_ext.count() as f64;
+        let west_children: f64 =
+            west_ext.iter().map(|i| children[i]).sum::<f64>() / west_ext.count() as f64;
+        assert!(east_children < west_children - 1.5);
+        // LEFT (index 4) much stronger in the east.
+        let left_east = d.target_mean(&east_ext)[4];
+        let left_west = d.target_mean(&west_ext)[4];
+        assert!(left_east > left_west + 8.0, "{left_east} vs {left_west}");
+    }
+
+    #[test]
+    fn planted_low_variance_direction_in_east() {
+        let (d, truth) = german_socio_synthetic(4);
+        let east_ext = BitSet::from_fn(d.n(), |i| truth.east[i]);
+        // Variance along w = (0.5704, 0.8214) on (CDU, SPD), normalized,
+        // must be far below the variance along the orthogonal direction.
+        let w_full = [0.5704, 0.8214, 0.0, 0.0, 0.0];
+        let mut w = w_full.to_vec();
+        sisd_linalg::normalize(&mut w);
+        let v_w = d.target_variance_along(&east_ext, &w);
+        let mut orth = vec![0.8214, -0.5704, 0.0, 0.0, 0.0];
+        sisd_linalg::normalize(&mut orth);
+        let v_orth = d.target_variance_along(&east_ext, &orth);
+        assert!(
+            v_w * 4.0 < v_orth,
+            "planted direction not low-variance: {v_w} vs {v_orth}"
+        );
+    }
+
+    #[test]
+    fn cities_are_greener() {
+        let (d, truth) = german_socio_synthetic(5);
+        let city = BitSet::from_fn(d.n(), |i| truth.urbanization[i] > 1.5);
+        assert!(city.count() > 10);
+        let green_city = d.target_mean(&city)[3];
+        let green_all = d.target_mean_all()[3];
+        assert!(green_city > green_all + 2.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = german_socio_synthetic(9);
+        let (b, _) = german_socio_synthetic(9);
+        assert_eq!(a.targets().as_slice(), b.targets().as_slice());
+    }
+}

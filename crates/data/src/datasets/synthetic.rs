@@ -1,0 +1,245 @@
+//! The paper's synthetic dataset (§III-A), generated to specification.
+//!
+//! 620 data points with two real-valued targets and five binary description
+//! attributes: 500 background points from `N(0, I₂)` plus three embedded
+//! subgroups of 40 points each, at distance 2 from the origin, each with an
+//! anisotropic covariance (variance along the main eigenvector much larger
+//! than the other). Description attributes 3–5 carry the true subgroup
+//! labels, attributes 6–7 are Bernoulli(½) noise.
+
+use super::{cov2d, mvn_sample};
+use crate::column::Column;
+use crate::table::Dataset;
+use crate::BitSet;
+use sisd_linalg::{Cholesky, Matrix};
+use sisd_stats::Xoshiro256pp;
+
+/// Ground truth of the synthetic generator, used by the noise-robustness
+/// experiment (Fig. 3) and by tests.
+#[derive(Debug, Clone)]
+pub struct SyntheticGroundTruth {
+    /// Extensions of the three embedded subgroups (rows 500–539, 540–579,
+    /// 580–619).
+    pub cluster_extensions: Vec<BitSet>,
+    /// Cluster centers in target space.
+    pub centers: Vec<[f64; 2]>,
+    /// Major-axis angle (radians) of each cluster's covariance.
+    pub angles: Vec<f64>,
+}
+
+/// Number of background points.
+pub const N_BACKGROUND: usize = 500;
+/// Number of points per embedded cluster.
+pub const CLUSTER_SIZE: usize = 40;
+/// Number of embedded clusters.
+pub const N_CLUSTERS: usize = 3;
+/// Total rows.
+pub const N_TOTAL: usize = N_BACKGROUND + N_CLUSTERS * CLUSTER_SIZE;
+
+/// Generates the §III-A synthetic dataset.
+///
+/// Returns the dataset together with its ground truth. Attribute names
+/// follow the paper's indexing: the targets are "attribute 1/2", the
+/// descriptors `a3`–`a7`.
+pub fn synthetic_paper(seed: u64) -> (Dataset, SyntheticGroundTruth) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let n = N_TOTAL;
+    let mut targets = Matrix::zeros(n, 2);
+
+    // 500 background points ~ N(0, I).
+    let eye = Cholesky::new(&Matrix::identity(2)).expect("identity is SPD");
+    for i in 0..N_BACKGROUND {
+        let x = mvn_sample(&mut rng, &[0.0, 0.0], &eye);
+        targets[(i, 0)] = x[0];
+        targets[(i, 1)] = x[1];
+    }
+
+    // Three clusters at distance 2 from the origin, at evenly spread
+    // angles, each elongated along a distinct major axis.
+    let center_angles = [
+        std::f64::consts::FRAC_PI_2,                                // up
+        std::f64::consts::FRAC_PI_2 + 2.0 * std::f64::consts::FRAC_PI_3 * 2.0, // lower right
+        std::f64::consts::FRAC_PI_2 + 2.0 * std::f64::consts::FRAC_PI_3,       // lower left
+    ];
+    let major_axis_angles = [0.0, 1.1, 2.2];
+    let mut centers = Vec::with_capacity(N_CLUSTERS);
+    let mut extensions = Vec::with_capacity(N_CLUSTERS);
+    for (k, (&ca, &ma)) in center_angles.iter().zip(&major_axis_angles).enumerate() {
+        let center = [2.0 * ca.cos(), 2.0 * ca.sin()];
+        centers.push([center[0], center[1]]);
+        // Variance along the main eigenvector much larger than the other.
+        let cov = cov2d(0.5, 0.02, ma);
+        let chol = Cholesky::new(&cov).expect("cluster covariance is SPD");
+        let start = N_BACKGROUND + k * CLUSTER_SIZE;
+        for i in start..start + CLUSTER_SIZE {
+            let x = mvn_sample(&mut rng, &center, &chol);
+            targets[(i, 0)] = x[0];
+            targets[(i, 1)] = x[1];
+        }
+        extensions.push(BitSet::from_indices(n, start..start + CLUSTER_SIZE));
+    }
+
+    // Descriptors: a3–a5 true labels, a6–a7 Bernoulli(1/2) noise.
+    let mut desc_names = Vec::new();
+    let mut desc_cols = Vec::new();
+    for (k, ext) in extensions.iter().enumerate() {
+        let values: Vec<bool> = (0..n).map(|i| ext.contains(i)).collect();
+        desc_names.push(format!("a{}", k + 3));
+        desc_cols.push(Column::binary(&values));
+    }
+    for k in 0..2 {
+        let values: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
+        desc_names.push(format!("a{}", k + 6));
+        desc_cols.push(Column::binary(&values));
+    }
+
+    let dataset = Dataset::new(
+        "synthetic",
+        desc_names,
+        desc_cols,
+        vec!["attribute1".into(), "attribute2".into()],
+        targets,
+    );
+    let truth = SyntheticGroundTruth {
+        cluster_extensions: extensions,
+        centers,
+        angles: major_axis_angles.to_vec(),
+    };
+    (dataset, truth)
+}
+
+/// Returns a copy of `dataset` where every *binary categorical* description
+/// value is flipped independently with probability `p` (the corruption
+/// process of the Fig. 3 noise-robustness experiment).
+///
+/// Non-binary columns are copied untouched.
+pub fn corrupt_descriptions(dataset: &Dataset, p: f64, seed: u64) -> Dataset {
+    assert!((0.0..=1.0).contains(&p), "corrupt: p must be in [0,1]");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let cols = dataset
+        .desc_cols()
+        .iter()
+        .map(|col| match col {
+            Column::Categorical { codes, labels } if labels.len() == 2 => {
+                let flipped: Vec<u32> = codes
+                    .iter()
+                    .map(|&c| if rng.bernoulli(p) { 1 - c } else { c })
+                    .collect();
+                Column::Categorical {
+                    codes: flipped,
+                    labels: labels.clone(),
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    Dataset::new(
+        format!("{}-corrupt{p}", dataset.name),
+        dataset.desc_names().to_vec(),
+        cols,
+        dataset.target_names().to_vec(),
+        dataset.targets().clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let (d, truth) = synthetic_paper(1);
+        assert_eq!(d.n(), 620);
+        assert_eq!(d.dx(), 5);
+        assert_eq!(d.dy(), 2);
+        assert_eq!(truth.cluster_extensions.len(), 3);
+        for ext in &truth.cluster_extensions {
+            assert_eq!(ext.count(), 40);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = synthetic_paper(7);
+        let (b, _) = synthetic_paper(7);
+        assert_eq!(a.targets().as_slice(), b.targets().as_slice());
+        let (c, _) = synthetic_paper(8);
+        assert_ne!(a.targets().as_slice(), c.targets().as_slice());
+    }
+
+    #[test]
+    fn clusters_sit_at_distance_two() {
+        let (d, truth) = synthetic_paper(3);
+        for (ext, center) in truth.cluster_extensions.iter().zip(&truth.centers) {
+            let mean = d.target_mean(ext);
+            let dist = (center[0] * center[0] + center[1] * center[1]).sqrt();
+            assert!((dist - 2.0).abs() < 1e-12);
+            // Empirical mean close to the intended center.
+            let err = ((mean[0] - center[0]).powi(2) + (mean[1] - center[1]).powi(2)).sqrt();
+            assert!(err < 0.35, "cluster mean off by {err}");
+        }
+    }
+
+    #[test]
+    fn clusters_are_anisotropic() {
+        let (d, truth) = synthetic_paper(5);
+        for ext in &truth.cluster_extensions {
+            let cov = d.target_covariance(ext);
+            let e = sisd_linalg::SymEigen::new(&cov, 1e-12, 100);
+            assert!(
+                e.values[0] > 5.0 * e.values[1],
+                "eigenvalues {:?} not anisotropic",
+                e.values
+            );
+        }
+    }
+
+    #[test]
+    fn labels_describe_clusters_exactly() {
+        let (d, truth) = synthetic_paper(11);
+        for (k, ext) in truth.cluster_extensions.iter().enumerate() {
+            let (codes, _) = d.desc_col(k).as_categorical().unwrap();
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..d.n() {
+                assert_eq!(codes[i] == 1, ext.contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_attributes_are_roughly_balanced() {
+        let (d, _) = synthetic_paper(13);
+        for j in 3..5 {
+            let (codes, _) = d.desc_col(j).as_categorical().unwrap();
+            let ones = codes.iter().filter(|&&c| c == 1).count();
+            assert!((ones as f64 / 620.0 - 0.5).abs() < 0.08);
+        }
+    }
+
+    #[test]
+    fn corruption_flips_expected_fraction() {
+        let (d, _) = synthetic_paper(17);
+        let c = corrupt_descriptions(&d, 0.25, 99);
+        let mut flips = 0;
+        let mut total = 0;
+        for j in 0..d.dx() {
+            let (a, _) = d.desc_col(j).as_categorical().unwrap();
+            let (b, _) = c.desc_col(j).as_categorical().unwrap();
+            flips += a.iter().zip(b).filter(|(x, y)| x != y).count();
+            total += a.len();
+        }
+        let rate = flips as f64 / total as f64;
+        assert!((rate - 0.25).abs() < 0.03, "flip rate {rate}");
+        // Targets untouched.
+        assert_eq!(c.targets().as_slice(), d.targets().as_slice());
+    }
+
+    #[test]
+    fn corruption_zero_is_identity() {
+        let (d, _) = synthetic_paper(19);
+        let c = corrupt_descriptions(&d, 0.0, 1);
+        for j in 0..d.dx() {
+            assert_eq!(d.desc_col(j), c.desc_col(j));
+        }
+    }
+}

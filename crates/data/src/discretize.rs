@@ -1,0 +1,176 @@
+//! Numeric-attribute discretization.
+//!
+//! The beam search's condition language handles numeric attributes through
+//! percentile split points directly, but Cortana-style workflows (and the
+//! paper's ordinal bioindicators) often want an explicit *conversion* of a
+//! numeric column into a categorical one — equal-frequency or equal-width
+//! bins — e.g. to feed attributes with heavy ties into the `=`-condition
+//! language, or to coarsen a column before sharing a dataset.
+
+use crate::column::Column;
+use crate::table::Dataset;
+use sisd_stats::quantile::quantile;
+
+/// Binning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binning {
+    /// Bins with (approximately) equal row counts (quantile cuts).
+    EqualFrequency,
+    /// Bins of equal value width between min and max.
+    EqualWidth,
+}
+
+/// Discretizes a numeric slice into `bins` labelled intervals.
+///
+/// Returns a categorical [`Column`] whose labels render the interval
+/// boundaries (`[lo, hi)` style). Degenerate inputs (constant columns,
+/// duplicate cut points) collapse into fewer bins.
+pub fn discretize(values: &[f64], bins: usize, strategy: Binning) -> Column {
+    assert!(bins >= 2, "discretize: need at least 2 bins");
+    assert!(!values.is_empty(), "discretize: empty column");
+    let (min, max) = values.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
+
+    // Interior cut points, deduplicated and strictly inside (min, max).
+    let mut cuts: Vec<f64> = Vec::with_capacity(bins - 1);
+    for k in 1..bins {
+        let cut = match strategy {
+            Binning::EqualFrequency => quantile(values, k as f64 / bins as f64),
+            Binning::EqualWidth => min + (max - min) * k as f64 / bins as f64,
+        };
+        if cut > min && cut < max && cuts.last().is_none_or(|&last| cut > last) {
+            cuts.push(cut);
+        }
+    }
+
+    let labels: Vec<String> = {
+        let mut out = Vec::with_capacity(cuts.len() + 1);
+        let mut lo = min;
+        for &c in &cuts {
+            out.push(format!("[{lo:.4}, {c:.4})"));
+            lo = c;
+        }
+        out.push(format!("[{lo:.4}, {max:.4}]"));
+        out
+    };
+    let codes: Vec<u32> = values
+        .iter()
+        .map(|&v| cuts.partition_point(|&c| c <= v) as u32)
+        .collect();
+    Column::Categorical { codes, labels }
+}
+
+/// Returns a copy of the dataset with the given numeric description
+/// attribute replaced by its discretization.
+///
+/// # Panics
+/// Panics if `attr` is out of range or not numeric.
+pub fn discretize_attribute(
+    data: &Dataset,
+    attr: usize,
+    bins: usize,
+    strategy: Binning,
+) -> Dataset {
+    let values = data
+        .desc_col(attr)
+        .as_numeric()
+        .expect("discretize_attribute: attribute must be numeric");
+    let new_col = discretize(values, bins, strategy);
+    let cols: Vec<Column> = data
+        .desc_cols()
+        .iter()
+        .enumerate()
+        .map(|(j, c)| if j == attr { new_col.clone() } else { c.clone() })
+        .collect();
+    Dataset::new(
+        data.name.clone(),
+        data.desc_names().to_vec(),
+        cols,
+        data.target_names().to_vec(),
+        data.targets().clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let col = discretize(&values, 4, Binning::EqualFrequency);
+        let (codes, labels) = col.as_categorical().unwrap();
+        assert_eq!(labels.len(), 4);
+        let mut counts = [0usize; 4];
+        for &c in codes {
+            counts[c as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((23..=27).contains(&c), "imbalanced bins: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn equal_width_has_even_boundaries() {
+        let values: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let col = discretize(&values, 2, Binning::EqualWidth);
+        let (codes, labels) = col.as_categorical().unwrap();
+        assert_eq!(labels.len(), 2);
+        // Cut at 5.0: values < 5 in bin 0, ≥ 5 in bin 1.
+        assert_eq!(codes[4], 0);
+        assert_eq!(codes[5], 1);
+        assert!(labels[0].starts_with("[0.0000"));
+    }
+
+    #[test]
+    fn heavy_ties_collapse_bins() {
+        // Ordinal levels 0/0/.../3/5: quantile cuts coincide → fewer bins.
+        let mut values = vec![0.0; 90];
+        values.extend([3.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0]);
+        let col = discretize(&values, 5, Binning::EqualFrequency);
+        let (_, labels) = col.as_categorical().unwrap();
+        assert!(labels.len() < 5, "got {} bins", labels.len());
+        assert!(!labels.is_empty());
+    }
+
+    #[test]
+    fn constant_column_yields_single_bin() {
+        let col = discretize(&[7.0; 20], 4, Binning::EqualWidth);
+        let (codes, labels) = col.as_categorical().unwrap();
+        assert_eq!(labels.len(), 1);
+        assert!(codes.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn dataset_level_replacement() {
+        use sisd_linalg::Matrix;
+        let data = Dataset::new(
+            "d",
+            vec!["x".into(), "y".into()],
+            vec![
+                Column::Numeric((0..50).map(|i| i as f64).collect()),
+                Column::Numeric(vec![1.0; 50]),
+            ],
+            vec!["t".into()],
+            Matrix::zeros(50, 1),
+        );
+        let out = discretize_attribute(&data, 0, 5, Binning::EqualFrequency);
+        assert!(!out.desc_col(0).is_numeric());
+        assert!(out.desc_col(1).is_numeric());
+        assert_eq!(out.desc_col(0).cardinality(), 5);
+        // Mining still works on the discretized data.
+        use crate::BitSet;
+        let ext = BitSet::from_fn(out.n(), |i| {
+            let (codes, _) = out.desc_col(0).as_categorical().unwrap();
+            codes[i] == 0
+        });
+        assert_eq!(ext.count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bins")]
+    fn one_bin_rejected() {
+        discretize(&[1.0, 2.0], 1, Binning::EqualWidth);
+    }
+}

@@ -1,0 +1,26 @@
+//! Tabular data substrate for the SISD reproduction.
+//!
+//! The paper (§II) works with `n` data points, each carrying `dx`
+//! arbitrarily-typed *description attributes* and a real-valued *target
+//! vector* in `R^dy`. This crate provides:
+//!
+//! * [`Dataset`] — the container pairing typed description columns with an
+//!   `n × dy` target matrix, plus subgroup statistics (mean / covariance /
+//!   variance-along-direction, paper Eqs. 1–2),
+//! * [`Column`] — numeric / categorical description columns,
+//! * [`BitSet`] — dense extensions `I ⊆ [n]` with fast intersection counts,
+//! * [`csv`] — a small CSV loader/writer,
+//! * [`datasets`] — seeded generators for the paper's synthetic data and
+//!   simulacra of its three real datasets.
+
+pub mod bitset;
+pub mod column;
+pub mod csv;
+pub mod datasets;
+pub mod discretize;
+pub mod table;
+
+pub use bitset::BitSet;
+pub use discretize::{discretize, discretize_attribute, Binning};
+pub use column::Column;
+pub use table::Dataset;

@@ -1,0 +1,275 @@
+//! The dataset container: description attributes + real-valued targets.
+//!
+//! Mirrors the paper's notation (§II): `n` data points, each with a tuple of
+//! `dx` arbitrarily-typed description attributes `x̂ᵢ` and a real-valued
+//! target vector `ŷᵢ ∈ R^dy`, stacked into `Ŷ`.
+
+use crate::bitset::BitSet;
+use crate::column::Column;
+use sisd_linalg::Matrix;
+
+/// A dataset with a description part and a real-valued target part.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (used by harness output).
+    pub name: String,
+    desc_names: Vec<String>,
+    desc_cols: Vec<Column>,
+    target_names: Vec<String>,
+    /// `n × dy` target matrix `Ŷ`.
+    targets: Matrix,
+}
+
+impl Dataset {
+    /// Assembles a dataset.
+    ///
+    /// # Panics
+    /// Panics when the shapes disagree: every description column must have
+    /// `targets.rows()` rows and names must pair with columns.
+    pub fn new(
+        name: impl Into<String>,
+        desc_names: Vec<String>,
+        desc_cols: Vec<Column>,
+        target_names: Vec<String>,
+        targets: Matrix,
+    ) -> Self {
+        assert_eq!(
+            desc_names.len(),
+            desc_cols.len(),
+            "Dataset: {} names for {} description columns",
+            desc_names.len(),
+            desc_cols.len()
+        );
+        assert_eq!(
+            target_names.len(),
+            targets.cols(),
+            "Dataset: target name count must equal dy"
+        );
+        for (nm, col) in desc_names.iter().zip(&desc_cols) {
+            assert_eq!(
+                col.len(),
+                targets.rows(),
+                "Dataset: column '{nm}' has {} rows, targets have {}",
+                col.len(),
+                targets.rows()
+            );
+        }
+        Self {
+            name: name.into(),
+            desc_names,
+            desc_cols,
+            target_names,
+            targets,
+        }
+    }
+
+    /// Number of data points `n`.
+    pub fn n(&self) -> usize {
+        self.targets.rows()
+    }
+
+    /// Number of description attributes `dx`.
+    pub fn dx(&self) -> usize {
+        self.desc_cols.len()
+    }
+
+    /// Number of target attributes `dy`.
+    pub fn dy(&self) -> usize {
+        self.targets.cols()
+    }
+
+    /// Description attribute names.
+    pub fn desc_names(&self) -> &[String] {
+        &self.desc_names
+    }
+
+    /// Description columns.
+    pub fn desc_cols(&self) -> &[Column] {
+        &self.desc_cols
+    }
+
+    /// Description column by index.
+    pub fn desc_col(&self, j: usize) -> &Column {
+        &self.desc_cols[j]
+    }
+
+    /// Index of a description attribute by name.
+    pub fn desc_index(&self, name: &str) -> Option<usize> {
+        self.desc_names.iter().position(|n| n == name)
+    }
+
+    /// Target attribute names.
+    pub fn target_names(&self) -> &[String] {
+        &self.target_names
+    }
+
+    /// The full `n × dy` target matrix.
+    pub fn targets(&self) -> &Matrix {
+        &self.targets
+    }
+
+    /// Target vector `ŷᵢ` of row `i`.
+    pub fn target_row(&self, i: usize) -> &[f64] {
+        self.targets.row(i)
+    }
+
+    /// Target column `j` as an owned vector.
+    pub fn target_col(&self, j: usize) -> Vec<f64> {
+        (0..self.n()).map(|i| self.targets[(i, j)]).collect()
+    }
+
+    /// Empirical mean of the targets over an extension (paper Eq. 1).
+    ///
+    /// # Panics
+    /// Panics when the extension is empty.
+    pub fn target_mean(&self, ext: &BitSet) -> Vec<f64> {
+        let cnt = ext.count();
+        assert!(cnt > 0, "target_mean: empty extension");
+        let mut mean = vec![0.0; self.dy()];
+        for i in ext.iter() {
+            sisd_linalg::add_assign(&mut mean, self.targets.row(i));
+        }
+        sisd_linalg::scale(1.0 / cnt as f64, &mut mean);
+        mean
+    }
+
+    /// Empirical mean over all rows.
+    pub fn target_mean_all(&self) -> Vec<f64> {
+        self.target_mean(&BitSet::full(self.n()))
+    }
+
+    /// Empirical (population) covariance of the targets over an extension,
+    /// centred at the extension's own mean.
+    pub fn target_covariance(&self, ext: &BitSet) -> Matrix {
+        let cnt = ext.count();
+        assert!(cnt > 0, "target_covariance: empty extension");
+        let mean = self.target_mean(ext);
+        let dy = self.dy();
+        let mut cov = Matrix::zeros(dy, dy);
+        let mut centred = vec![0.0; dy];
+        for i in ext.iter() {
+            centred.copy_from_slice(self.targets.row(i));
+            sisd_linalg::sub_assign(&mut centred, &mean);
+            cov.rank_one_update(1.0 / cnt as f64, &centred, &centred);
+        }
+        cov.symmetrize();
+        cov
+    }
+
+    /// Empirical covariance over all rows.
+    pub fn target_covariance_all(&self) -> Matrix {
+        self.target_covariance(&BitSet::full(self.n()))
+    }
+
+    /// Variance of the extension's targets along unit direction `w`,
+    /// centred at the extension mean — the spread statistic `g_I^w(Ŷ)`
+    /// (paper Eq. 2).
+    pub fn target_variance_along(&self, ext: &BitSet, w: &[f64]) -> f64 {
+        let cnt = ext.count();
+        assert!(cnt > 0, "target_variance_along: empty extension");
+        assert_eq!(w.len(), self.dy(), "target_variance_along: bad direction");
+        let mean = self.target_mean(ext);
+        let proj_mean = sisd_linalg::dot(&mean, w);
+        let mut acc = 0.0;
+        for i in ext.iter() {
+            let p = sisd_linalg::dot(self.targets.row(i), w) - proj_mean;
+            acc += p * p;
+        }
+        acc / cnt as f64
+    }
+
+    /// Scatter matrix `Σ_{i∈I} (ŷᵢ − ŷ_I)(ŷᵢ − ŷ_I)ᵀ / |I|` of an
+    /// extension; `wᵀ S w` is the spread statistic for any direction, so
+    /// the spread optimizer computes `S` once per subgroup.
+    pub fn target_scatter(&self, ext: &BitSet) -> Matrix {
+        self.target_covariance(ext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // 4 rows, 1 categorical + 1 numeric descriptor, 2 targets.
+        let targets = Matrix::from_rows(&[
+            &[1.0, 10.0],
+            &[2.0, 20.0],
+            &[3.0, 30.0],
+            &[4.0, 40.0],
+        ]);
+        Dataset::new(
+            "toy",
+            vec!["cat".into(), "num".into()],
+            vec![
+                Column::categorical_from_strs(&["a", "a", "b", "b"]),
+                Column::Numeric(vec![0.1, 0.2, 0.3, 0.4]),
+            ],
+            vec!["t1".into(), "t2".into()],
+            targets,
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = toy();
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.dx(), 2);
+        assert_eq!(d.dy(), 2);
+        assert_eq!(d.desc_index("num"), Some(1));
+        assert_eq!(d.desc_index("missing"), None);
+        assert_eq!(d.target_col(1), vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(d.target_row(2), &[3.0, 30.0]);
+    }
+
+    #[test]
+    fn subgroup_mean() {
+        let d = toy();
+        let ext = BitSet::from_indices(4, [0, 3]);
+        assert_eq!(d.target_mean(&ext), vec![2.5, 25.0]);
+        assert_eq!(d.target_mean_all(), vec![2.5, 25.0]);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_targets() {
+        let d = toy();
+        let cov = d.target_covariance_all();
+        // t2 = 10 * t1 → Cov = [[v, 10v], [10v, 100v]] with v = 1.25.
+        assert!((cov[(0, 0)] - 1.25).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 12.5).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_along_direction_matches_quad_form() {
+        let d = toy();
+        let ext = BitSet::full(4);
+        let w = {
+            let mut w = vec![1.0, 1.0];
+            sisd_linalg::normalize(&mut w);
+            w
+        };
+        let direct = d.target_variance_along(&ext, &w);
+        let via_scatter = d.target_scatter(&ext).quad_form(&w);
+        assert!((direct - via_scatter).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty extension")]
+    fn empty_extension_mean_panics() {
+        toy().target_mean(&BitSet::empty(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn ragged_columns_rejected() {
+        let targets = Matrix::zeros(3, 1);
+        Dataset::new(
+            "bad",
+            vec!["c".into()],
+            vec![Column::Numeric(vec![1.0, 2.0])],
+            vec!["t".into()],
+            targets,
+        );
+    }
+}

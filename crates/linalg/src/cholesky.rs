@@ -1,0 +1,292 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! The information content of a location pattern (paper Eq. 13) needs
+//! `log |Σ|` and `Σ⁻¹ r` for the covariance of a subgroup mean; both come out
+//! of one LLᵀ factorization. The model updates (Thm. 1) additionally need
+//! linear solves against sums of covariances. All of that lives here.
+
+use crate::Matrix;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CholeskyError {
+    /// Pivot index at which the factorization broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} not positive)",
+            self.pivot
+        )
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored dense (upper part zeroed).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so slight asymmetry from
+    /// floating-point drift is harmless.
+    pub fn new(a: &Matrix) -> Result<Self, CholeskyError> {
+        assert!(a.is_square(), "Cholesky: matrix must be square");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(CholeskyError { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Factorizes with an escalating diagonal jitter; used by the model layer
+    /// where covariance matrices can become near-singular after many
+    /// assimilated patterns. Returns the factorization and the jitter used.
+    pub fn new_with_jitter(a: &Matrix, max_tries: usize) -> Result<(Self, f64), CholeskyError> {
+        match Self::new(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(e) if max_tries == 0 => return Err(e),
+            Err(_) => {}
+        }
+        let scale = {
+            let n = a.rows();
+            let mut s: f64 = 0.0;
+            for i in 0..n {
+                s = s.max(a[(i, i)].abs());
+            }
+            if s == 0.0 {
+                1.0
+            } else {
+                s
+            }
+        };
+        let mut jitter = scale * 1e-12;
+        let mut last = CholeskyError { pivot: 0 };
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diag(jitter);
+            match Self::new(&aj) {
+                Ok(c) => return Ok((c, jitter)),
+                Err(e) => last = e,
+            }
+            jitter *= 100.0;
+        }
+        Err(last)
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    #[inline]
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        let n = self.dim();
+        let mut s = 0.0;
+        for i in 0..n {
+            s += self.l[(i, i)].ln();
+        }
+        2.0 * s
+    }
+
+    /// Solves `L z = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower: dimension mismatch");
+        let mut z = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                z[i] -= self.l[(i, k)] * z[k];
+            }
+            z[i] /= self.l[(i, i)];
+        }
+        z
+    }
+
+    /// Solves `Lᵀ x = z` (backward substitution).
+    pub fn solve_lower_transpose(&self, z: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(z.len(), n, "solve_lower_transpose: dimension mismatch");
+        let mut x = z.to_vec();
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[(k, i)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_lower_transpose(&self.solve_lower(b))
+    }
+
+    /// Mahalanobis-style quadratic form `bᵀ A⁻¹ b`, computed stably as
+    /// `‖L⁻¹ b‖²`.
+    pub fn inv_quad_form(&self, b: &[f64]) -> f64 {
+        let z = self.solve_lower(b);
+        crate::dot(&z, &z)
+    }
+
+    /// Dense inverse `A⁻¹` (column-by-column solve). Only used on the small
+    /// (≤ dy) matrices of the model layer, never per data point.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv.symmetrize();
+        inv
+    }
+
+    /// Samples `x = μ + L u` transformation helper: multiplies the factor by
+    /// a vector of standard normals to produce a draw from `N(0, A)`.
+    #[allow(clippy::needless_range_loop)] // triangular access pattern
+    pub fn mul_factor(&self, u: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(u.len(), n, "mul_factor: dimension mismatch");
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for k in 0..=i {
+                acc += self.l[(i, k)] * u[k];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B, guaranteed SPD.
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let recon = l.mul_mat(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = ch.solve(&b);
+        let ax = a.mul_vec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - (24.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inv_quad_form_matches_solve() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let direct = crate::dot(&b, &x);
+        assert!((ch.inv_quad_form(&b) - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        let prod = a.mul_mat(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // indefinite
+        let err = Cholesky::new(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn jitter_recovers_semidefinite() {
+        // Rank-one matrix: PSD but singular.
+        let mut a = Matrix::zeros(2, 2);
+        a.rank_one_update(1.0, &[1.0, 1.0], &[1.0, 1.0]);
+        assert!(Cholesky::new(&a).is_err());
+        let (ch, jitter) = Cholesky::new_with_jitter(&a, 8).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(ch.dim(), 2);
+    }
+
+    #[test]
+    fn mul_factor_consistency() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let u = vec![1.0, 2.0, 3.0];
+        let direct = ch.factor().mul_vec(&u);
+        assert_eq!(ch.mul_factor(&u), direct);
+    }
+}

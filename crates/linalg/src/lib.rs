@@ -1,0 +1,45 @@
+//! Dense linear-algebra kernels for the SISD reproduction.
+//!
+//! The background model of the paper (Lijffijt et al., ICDE 2018) manipulates
+//! multivariate normal distributions over the target space `R^dy`, with
+//! `dy ≤ 124` across all experiments. At these sizes dense `O(dy³)` kernels
+//! are both simple and fast, so this crate deliberately implements a small,
+//! fully-owned subset of linear algebra rather than pulling in a BLAS:
+//!
+//! * [`Matrix`] — a row-major dense matrix with the usual arithmetic,
+//! * [`Cholesky`] — an LLᵀ factorization with solves, log-determinant and
+//!   inverse, the workhorse behind information-content evaluation (Eq. 13),
+//! * [`SymEigen`] — a cyclic Jacobi symmetric eigendecomposition, used to
+//!   seed the spread-direction search with scatter-matrix eigenvectors,
+//! * free functions over `&[f64]` vectors ([`dot`], [`axpy`], …).
+//!
+//! Everything is deterministic and allocation-conscious: the hot paths reuse
+//! caller-provided buffers where it matters.
+
+mod cholesky;
+mod eigen;
+mod matrix;
+mod vector;
+
+pub use cholesky::{Cholesky, CholeskyError};
+pub use eigen::SymEigen;
+pub use matrix::Matrix;
+pub use vector::{
+    add_assign, axpy, dot, norm2, normalize, outer_add_assign, scale, sub, sub_assign,
+};
+
+/// Numerical tolerance used across the crate for positive-definiteness and
+/// convergence checks.
+pub const EPS: f64 = 1e-12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_smoke() {
+        let a = Matrix::identity(3);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 0.0).abs() < 1e-12);
+    }
+}

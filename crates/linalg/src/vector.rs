@@ -1,0 +1,151 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! The model crate stores means and directions as plain `Vec<f64>`; these
+//! helpers keep that code readable without committing to a vector newtype.
+
+/// Dot product `x · y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y ← y + alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise difference `x − y` as a new vector.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// `x ← x − y`.
+#[inline]
+pub fn sub_assign(x: &mut [f64], y: &[f64]) {
+    assert_eq!(x.len(), y.len(), "sub_assign: length mismatch");
+    for (a, b) in x.iter_mut().zip(y) {
+        *a -= b;
+    }
+}
+
+/// `x ← x + y`.
+#[inline]
+pub fn add_assign(x: &mut [f64], y: &[f64]) {
+    assert_eq!(x.len(), y.len(), "add_assign: length mismatch");
+    for (a, b) in x.iter_mut().zip(y) {
+        *a += b;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean length in place and returns the former
+/// norm. Leaves `x` untouched (and returns 0) when the norm underflows.
+#[inline]
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 && n.is_finite() {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Rank-one update of a row-major `d × d` buffer: `a ← a + alpha * x xᵀ`.
+///
+/// Used for scatter-matrix accumulation where allocating a full [`Matrix`]
+/// per data point would be wasteful.
+#[inline]
+pub fn outer_add_assign(a: &mut [f64], alpha: f64, x: &[f64]) {
+    let d = x.len();
+    assert_eq!(a.len(), d * d, "outer_add_assign: buffer is not d*d");
+    for i in 0..d {
+        let xi = alpha * x[i];
+        let row = &mut a[i * d..(i + 1) * d];
+        for (aij, xj) in row.iter_mut().zip(x) {
+            *aij += xi * xj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let mut v = vec![3.0, 4.0];
+        assert!((norm2(&v) - 5.0).abs() < 1e-15);
+        let old = normalize(&mut v);
+        assert!((old - 5.0).abs() < 1e-15);
+        assert!((norm2(&v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_and_arith() {
+        let x = vec![1.0, -1.0];
+        let mut y = vec![10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 8.0]);
+        sub_assign(&mut y, &x);
+        assert_eq!(y, vec![11.0, 9.0]);
+        add_assign(&mut y, &x);
+        assert_eq!(y, vec![12.0, 8.0]);
+        assert_eq!(sub(&y, &x), vec![11.0, 9.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![6.0, 4.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulation() {
+        let mut a = vec![0.0; 4];
+        outer_add_assign(&mut a, 2.0, &[1.0, 3.0]);
+        assert_eq!(a, vec![2.0, 6.0, 6.0, 18.0]);
+        outer_add_assign(&mut a, -1.0, &[1.0, 1.0]);
+        assert_eq!(a, vec![1.0, 5.0, 5.0, 17.0]);
+    }
+}

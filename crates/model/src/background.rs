@@ -1,0 +1,953 @@
+//! The background distribution itself.
+
+use crate::cell::Cell;
+use crate::constraint::Constraint;
+use crate::solver::{solve_spread_lambda, SpreadCellStat};
+use sisd_data::{BitSet, Dataset};
+use sisd_linalg::{Cholesky, Matrix};
+
+/// Errors surfaced by model operations.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A constraint refers to an empty extension.
+    EmptyExtension,
+    /// Dimension mismatch between the model and an argument.
+    Dimension { expected: usize, got: usize },
+    /// The spread multiplier equation could not be solved.
+    SpreadSolve(String),
+    /// The prior covariance is not positive definite.
+    BadPrior,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::EmptyExtension => write!(f, "pattern extension is empty"),
+            ModelError::Dimension { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            ModelError::SpreadSolve(m) => write!(f, "spread multiplier solve failed: {m}"),
+            ModelError::BadPrior => write!(f, "prior covariance is not positive definite"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Sufficient statistics of the subgroup-mean distribution for one
+/// extension, as needed by the location information content (Eq. 13).
+#[derive(Debug, Clone)]
+pub struct LocationStats {
+    /// `|I|`.
+    pub count: usize,
+    /// Model mean of the subgroup mean, `μ_I = Σ_{i∈I} μᵢ / |I|`.
+    pub mean: Vec<f64>,
+    /// `log |Cov(f_I)|` with `Cov(f_I) = Σ_{i∈I} Σᵢ / |I|²` (the variance
+    /// of a mean of independent Gaussians; see DESIGN.md on the paper's
+    /// `1/|I|` typo).
+    pub log_det_cov: f64,
+    /// Mahalanobis distance `(ŷ_I − μ_I)ᵀ Cov(f_I)⁻¹ (ŷ_I − μ_I)` of the
+    /// observed subgroup mean.
+    pub mahalanobis: f64,
+}
+
+/// Sufficient statistics for the spread information content (Eqs. 17–19).
+#[derive(Debug, Clone)]
+pub struct SpreadStats {
+    /// `|I|`.
+    pub count: usize,
+    /// Power sums `(Σa, Σa², Σa³)` of the mixture coefficients
+    /// `aᵢ = wᵀΣᵢw / |I|`.
+    pub power_sums: (f64, f64, f64),
+    /// Model expectation of the variance statistic,
+    /// `E[g] = Σ_{i∈I} (wᵀΣᵢw + (wᵀ(c−μᵢ))²)/|I|`.
+    pub expected: f64,
+}
+
+/// The evolving FORSIED background distribution (paper Eq. 4): independent
+/// per-row multivariate normals whose parameters are shared within cells.
+#[derive(Debug, Clone)]
+pub struct BackgroundModel {
+    n: usize,
+    dy: usize,
+    cells: Vec<Cell>,
+    cell_of_row: Vec<u32>,
+    constraints: Vec<Constraint>,
+    next_cov_id: u64,
+}
+
+impl BackgroundModel {
+    /// Initial MaxEnt background distribution (paper Eq. 3): every row is
+    /// `N(mu, sigma)`.
+    pub fn new(n: usize, mu: Vec<f64>, sigma: Matrix) -> Result<Self, ModelError> {
+        if sigma.rows() != mu.len() || !sigma.is_square() {
+            return Err(ModelError::Dimension {
+                expected: mu.len(),
+                got: sigma.rows(),
+            });
+        }
+        Cholesky::new_with_jitter(&sigma, 4).map_err(|_| ModelError::BadPrior)?;
+        let dy = mu.len();
+        let cell = Cell::new(BitSet::full(n), mu, sigma, 0);
+        Ok(Self {
+            n,
+            dy,
+            cells: vec![cell],
+            cell_of_row: vec![0; n],
+            constraints: Vec::new(),
+            next_cov_id: 1,
+        })
+    }
+
+    /// Initial model with prior mean/covariance set to the dataset's
+    /// empirical values — the setup used in every experiment of the paper.
+    pub fn from_empirical(dataset: &Dataset) -> Result<Self, ModelError> {
+        let mu = dataset.target_mean_all();
+        let mut sigma = dataset.target_covariance_all();
+        // Guard against degenerate empirical covariances (constant targets).
+        if Cholesky::new(&sigma).is_err() {
+            let scale = (0..sigma.rows()).map(|i| sigma[(i, i)]).fold(0.0, f64::max);
+            sigma.add_diag((scale * 1e-8).max(1e-12));
+        }
+        Self::new(dataset.n(), mu, sigma)
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Target dimensionality.
+    pub fn dy(&self) -> usize {
+        self.dy
+    }
+
+    /// The parameter cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of parameter cells (grows with assimilated patterns).
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Constraints assimilated so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Mean vector of row `i`.
+    pub fn row_mean(&self, i: usize) -> &[f64] {
+        &self.cells[self.cell_of_row[i] as usize].mu
+    }
+
+    /// Covariance matrix of row `i`.
+    pub fn row_cov(&self, i: usize) -> &Matrix {
+        &self.cells[self.cell_of_row[i] as usize].sigma
+    }
+
+    /// Splits cells so that each is fully inside or outside `ext`.
+    fn refine(&mut self, ext: &BitSet) {
+        let mut new_cells = Vec::with_capacity(self.cells.len() + 4);
+        for cell in self.cells.drain(..) {
+            let (inside, outside) = cell.split(ext);
+            if let Some(c) = inside {
+                new_cells.push(c);
+            }
+            if let Some(c) = outside {
+                new_cells.push(c);
+            }
+        }
+        self.cells = new_cells;
+        for (idx, cell) in self.cells.iter().enumerate() {
+            for row in cell.ext.iter() {
+                self.cell_of_row[row] = idx as u32;
+            }
+        }
+    }
+
+    /// Indices and in-extension counts of cells intersecting `ext`.
+    /// After `refine(ext)` the count is either 0 or the full cell size,
+    /// but statistics queries run on arbitrary candidate extensions.
+    fn cell_counts(&self, ext: &BitSet) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (idx, cell) in self.cells.iter().enumerate() {
+            let c = cell.ext.intersection_count(ext);
+            if c > 0 {
+                out.push((idx, c));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics queries (used by SI evaluation — hot path)
+    // ------------------------------------------------------------------
+
+    /// Precomputes every cell's Cholesky factor so that subsequent
+    /// [`BackgroundModel::location_stats_shared`] calls can run from a
+    /// shared reference (enables multi-threaded beam evaluation).
+    pub fn warm_factorizations(&mut self) {
+        for cell in &mut self.cells {
+            let _ = cell.chol();
+        }
+    }
+
+    /// Shared-reference variant of [`BackgroundModel::location_stats`] for
+    /// concurrent SI evaluation. Requires
+    /// [`BackgroundModel::warm_factorizations`] to have been called since
+    /// the last parameter update.
+    ///
+    /// # Panics
+    /// Panics if a needed Cholesky factor is missing (model not warmed).
+    pub fn location_stats_shared(
+        &self,
+        ext: &BitSet,
+        observed: &[f64],
+    ) -> Result<LocationStats, ModelError> {
+        if observed.len() != self.dy {
+            return Err(ModelError::Dimension {
+                expected: self.dy,
+                got: observed.len(),
+            });
+        }
+        let counts = self.cell_counts(ext);
+        let m: usize = counts.iter().map(|&(_, c)| c).sum();
+        if m == 0 {
+            return Err(ModelError::EmptyExtension);
+        }
+        let mf = m as f64;
+        let mut mean = vec![0.0; self.dy];
+        for &(g, c) in &counts {
+            sisd_linalg::axpy(c as f64 / mf, &self.cells[g].mu, &mut mean);
+        }
+        let mut resid = observed.to_vec();
+        sisd_linalg::sub_assign(&mut resid, &mean);
+
+        let single_cov = counts
+            .iter()
+            .all(|&(g, _)| self.cells[g].cov_id == self.cells[counts[0].0].cov_id);
+        let (log_det_cov, mahalanobis) = if single_cov {
+            let chol = self.cells[counts[0].0]
+                .chol_cached()
+                .expect("warm_factorizations must be called before shared stats");
+            let ld = chol.log_det() - self.dy as f64 * mf.ln();
+            (ld, mf * chol.inv_quad_form(&resid))
+        } else {
+            let mut cov = Matrix::zeros(self.dy, self.dy);
+            for &(g, c) in &counts {
+                let w = c as f64 / (mf * mf);
+                for (o, s) in cov
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.cells[g].sigma.as_slice())
+                {
+                    *o += w * s;
+                }
+            }
+            let (chol, _) =
+                Cholesky::new_with_jitter(&cov, 8).map_err(|_| ModelError::BadPrior)?;
+            (chol.log_det(), chol.inv_quad_form(&resid))
+        };
+        Ok(LocationStats {
+            count: m,
+            mean,
+            log_det_cov,
+            mahalanobis,
+        })
+    }
+
+    /// Location statistics of an arbitrary candidate extension, evaluated
+    /// against an observed subgroup mean `observed`.
+    ///
+    /// Fast path: while no spread pattern has been assimilated all cells
+    /// share one covariance value, so `Cov(f_I) = Σ/|I|` and one cached
+    /// Cholesky factorization serves every candidate.
+    pub fn location_stats(
+        &mut self,
+        ext: &BitSet,
+        observed: &[f64],
+    ) -> Result<LocationStats, ModelError> {
+        if observed.len() != self.dy {
+            return Err(ModelError::Dimension {
+                expected: self.dy,
+                got: observed.len(),
+            });
+        }
+        let counts = self.cell_counts(ext);
+        let m: usize = counts.iter().map(|&(_, c)| c).sum();
+        if m == 0 {
+            return Err(ModelError::EmptyExtension);
+        }
+        let mf = m as f64;
+
+        let mut mean = vec![0.0; self.dy];
+        for &(g, c) in &counts {
+            sisd_linalg::axpy(c as f64 / mf, &self.cells[g].mu, &mut mean);
+        }
+        let mut resid = observed.to_vec();
+        sisd_linalg::sub_assign(&mut resid, &mean);
+
+        let single_cov = counts
+            .iter()
+            .all(|&(g, _)| self.cells[g].cov_id == self.cells[counts[0].0].cov_id);
+
+        let (log_det_cov, mahalanobis) = if single_cov {
+            // Cov = Σ/|I| → log|Cov| = log|Σ| − dy·log|I|;
+            // r'Cov⁻¹r = |I| · r'Σ⁻¹r.
+            let g0 = counts[0].0;
+            let chol = self.cells[g0].chol();
+            let ld = chol.log_det() - self.dy as f64 * mf.ln();
+            let maha = mf * chol.inv_quad_form(&resid);
+            (ld, maha)
+        } else {
+            // Dense: Cov = Σ_g c_g Σ_g / |I|².
+            let mut cov = Matrix::zeros(self.dy, self.dy);
+            for &(g, c) in &counts {
+                let w = c as f64 / (mf * mf);
+                let sg = &self.cells[g].sigma;
+                for (o, s) in cov.as_mut_slice().iter_mut().zip(sg.as_slice()) {
+                    *o += w * s;
+                }
+            }
+            let (chol, _) =
+                Cholesky::new_with_jitter(&cov, 8).map_err(|_| ModelError::BadPrior)?;
+            (chol.log_det(), chol.inv_quad_form(&resid))
+        };
+
+        Ok(LocationStats {
+            count: m,
+            mean,
+            log_det_cov,
+            mahalanobis,
+        })
+    }
+
+    /// Per-target-attribute marginal `(mean, sd)` of the subgroup-mean
+    /// statistic `f_I` — the model bands of the paper's Fig. 5 / Fig. 8a.
+    pub fn location_marginals(&self, ext: &BitSet) -> Result<Vec<(f64, f64)>, ModelError> {
+        let counts = self.cell_counts(ext);
+        let m: usize = counts.iter().map(|&(_, c)| c).sum();
+        if m == 0 {
+            return Err(ModelError::EmptyExtension);
+        }
+        let mf = m as f64;
+        let mut out = vec![(0.0, 0.0); self.dy];
+        for &(g, c) in &counts {
+            let cell = &self.cells[g];
+            for (j, o) in out.iter_mut().enumerate() {
+                o.0 += c as f64 / mf * cell.mu[j];
+                o.1 += c as f64 / (mf * mf) * cell.sigma[(j, j)];
+            }
+        }
+        for o in &mut out {
+            o.1 = o.1.sqrt();
+        }
+        Ok(out)
+    }
+
+    /// Spread statistics of a candidate extension for direction `w` and
+    /// centering vector `center` (normally the empirical subgroup mean).
+    pub fn spread_stats(
+        &self,
+        ext: &BitSet,
+        w: &[f64],
+        center: &[f64],
+    ) -> Result<SpreadStats, ModelError> {
+        if w.len() != self.dy || center.len() != self.dy {
+            return Err(ModelError::Dimension {
+                expected: self.dy,
+                got: w.len(),
+            });
+        }
+        let counts = self.cell_counts(ext);
+        let m: usize = counts.iter().map(|&(_, c)| c).sum();
+        if m == 0 {
+            return Err(ModelError::EmptyExtension);
+        }
+        let mf = m as f64;
+        let (mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0);
+        let mut expected = 0.0;
+        for &(g, c) in &counts {
+            let cell = &self.cells[g];
+            let s = cell.sigma_quad(w);
+            let a = s / mf;
+            let cf = c as f64;
+            s1 += cf * a;
+            s2 += cf * a * a;
+            s3 += cf * a * a * a;
+            let d = sisd_linalg::dot(w, center) - sisd_linalg::dot(w, &cell.mu);
+            expected += cf * (s + d * d) / mf;
+        }
+        Ok(SpreadStats {
+            count: m,
+            power_sums: (s1, s2, s3),
+            expected,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Assimilation (Theorems 1 and 2)
+    // ------------------------------------------------------------------
+
+    /// Exact I-projection onto one location constraint (Thm. 1).
+    fn project_location(&mut self, ext: &BitSet, target: &[f64]) -> Result<(), ModelError> {
+        let inside: Vec<usize> = (0..self.cells.len())
+            .filter(|&g| self.cells[g].ext.intersection_count(ext) > 0)
+            .collect();
+        let m: usize = inside.iter().map(|&g| self.cells[g].count).sum();
+        if m == 0 {
+            return Err(ModelError::EmptyExtension);
+        }
+        let mf = m as f64;
+
+        let mut mu_bar = vec![0.0; self.dy];
+        let mut s_sum = Matrix::zeros(self.dy, self.dy);
+        for &g in &inside {
+            let cell = &self.cells[g];
+            sisd_linalg::axpy(cell.count as f64 / mf, &cell.mu, &mut mu_bar);
+            for (o, s) in s_sum.as_mut_slice().iter_mut().zip(cell.sigma.as_slice()) {
+                *o += cell.count as f64 * s;
+            }
+        }
+        let mut rhs = target.to_vec();
+        sisd_linalg::sub_assign(&mut rhs, &mu_bar);
+        sisd_linalg::scale(mf, &mut rhs);
+        let (chol, _) = Cholesky::new_with_jitter(&s_sum, 8).map_err(|_| ModelError::BadPrior)?;
+        let lambda = chol.solve(&rhs);
+
+        for &g in &inside {
+            let shift = self.cells[g].sigma.mul_vec(&lambda);
+            sisd_linalg::add_assign(&mut self.cells[g].mu, &shift);
+        }
+        Ok(())
+    }
+
+    /// Exact I-projection onto one spread constraint (Thm. 2).
+    fn project_spread(
+        &mut self,
+        ext: &BitSet,
+        w: &[f64],
+        center: &[f64],
+        value: f64,
+    ) -> Result<(), ModelError> {
+        let inside: Vec<usize> = (0..self.cells.len())
+            .filter(|&g| self.cells[g].ext.intersection_count(ext) > 0)
+            .collect();
+        let m: usize = inside.iter().map(|&g| self.cells[g].count).sum();
+        if m == 0 {
+            return Err(ModelError::EmptyExtension);
+        }
+
+        let all_stats: Vec<SpreadCellStat> = inside
+            .iter()
+            .map(|&g| {
+                let cell = &self.cells[g];
+                SpreadCellStat {
+                    n: cell.count as f64,
+                    s: cell.sigma_quad(w).max(0.0),
+                    d: sisd_linalg::dot(w, center) - sisd_linalg::dot(w, &cell.mu),
+                }
+            })
+            .collect();
+        // Cells whose variance along w has (numerically) collapsed cannot
+        // be tilted further; their expected contribution n·d² is a constant
+        // that moves into the target of the solve over the live cells.
+        let s_scale = all_stats.iter().fold(0.0_f64, |acc, st| acc.max(st.s));
+        let s_floor = s_scale * 1e-12;
+        let mut frozen_contribution = 0.0;
+        let mut live: Vec<usize> = Vec::with_capacity(inside.len());
+        let mut stats: Vec<SpreadCellStat> = Vec::with_capacity(inside.len());
+        for (k, st) in all_stats.iter().enumerate() {
+            if st.s <= s_floor {
+                frozen_contribution += st.n * st.d * st.d;
+            } else {
+                live.push(inside[k]);
+                stats.push(*st);
+            }
+        }
+        if stats.is_empty() {
+            return Err(ModelError::SpreadSolve(
+                "constraint unimprovable: no cell has variance along w".into(),
+            ));
+        }
+        // When the frozen cells alone already exceed the demanded value the
+        // exact projection does not exist; clamp to the closest feasible
+        // target (live cells shrink toward zero) instead of failing — the
+        // residual violation is visible through `max_violation`.
+        let target = (m as f64 * value - frozen_contribution).max(m as f64 * value * 1e-6);
+        let inside = live;
+        let lambda = solve_spread_lambda(&stats, target).map_err(ModelError::SpreadSolve)?;
+        if lambda.abs() < 1e-14 {
+            return Ok(());
+        }
+
+        for (&g, st) in inside.iter().zip(&stats) {
+            let q = 1.0 + lambda * st.s;
+            let u = self.cells[g].sigma_mul(w); // Σw
+            // μ ← μ + (λ d / q) Σw          (Eq. 10)
+            sisd_linalg::axpy(lambda * st.d / q, &u, &mut self.cells[g].mu);
+            // Σ ← Σ − (λ/q) (Σw)(Σw)ᵀ       (Eq. 11)
+            self.cells[g].sigma.rank_one_update(-lambda / q, &u, &u);
+            self.cells[g].sigma.symmetrize();
+            self.cells[g].cov_id = self.next_cov_id;
+            self.next_cov_id += 1;
+            self.cells[g].invalidate_chol();
+        }
+        Ok(())
+    }
+
+    /// Assimilates a location pattern: refines the cell partition, projects
+    /// onto the new constraint, and stores it for future re-projection.
+    /// Follow with [`BackgroundModel::refit`] when earlier patterns overlap.
+    pub fn assimilate_location(
+        &mut self,
+        ext: &BitSet,
+        target: Vec<f64>,
+    ) -> Result<(), ModelError> {
+        if ext.count() == 0 {
+            return Err(ModelError::EmptyExtension);
+        }
+        if target.len() != self.dy {
+            return Err(ModelError::Dimension {
+                expected: self.dy,
+                got: target.len(),
+            });
+        }
+        self.refine(ext);
+        self.project_location(ext, &target)?;
+        self.constraints.push(Constraint::Location {
+            ext: ext.clone(),
+            target,
+        });
+        Ok(())
+    }
+
+    /// Assimilates a spread pattern (direction `w`, centring vector
+    /// `center = ŷ_I`, communicated variance `value`).
+    pub fn assimilate_spread(
+        &mut self,
+        ext: &BitSet,
+        w: Vec<f64>,
+        center: Vec<f64>,
+        value: f64,
+    ) -> Result<(), ModelError> {
+        if ext.count() == 0 {
+            return Err(ModelError::EmptyExtension);
+        }
+        if w.len() != self.dy || center.len() != self.dy {
+            return Err(ModelError::Dimension {
+                expected: self.dy,
+                got: w.len(),
+            });
+        }
+        self.refine(ext);
+        self.project_spread(ext, &w, &center, value)?;
+        self.constraints.push(Constraint::Spread {
+            ext: ext.clone(),
+            w,
+            center,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Violation of one stored constraint under the current parameters:
+    /// `‖E[f_I] − target‖_∞` for location, `|E[g] − v̂|` for spread.
+    pub fn violation(&self, constraint: &Constraint) -> f64 {
+        match constraint {
+            Constraint::Location { ext, target } => {
+                let counts = self.cell_counts(ext);
+                let m: f64 = counts.iter().map(|&(_, c)| c as f64).sum();
+                let mut mean = vec![0.0; self.dy];
+                for &(g, c) in &counts {
+                    sisd_linalg::axpy(c as f64 / m, &self.cells[g].mu, &mut mean);
+                }
+                mean.iter()
+                    .zip(target)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            }
+            Constraint::Spread {
+                ext,
+                w,
+                center,
+                value,
+            } => {
+                let st = self
+                    .spread_stats(ext, w, center)
+                    .expect("stored constraint has non-empty extension");
+                (st.expected - value).abs()
+            }
+        }
+    }
+
+    /// Maximum violation across all stored constraints.
+    pub fn max_violation(&self) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| self.violation(c))
+            .fold(0.0, f64::max)
+    }
+
+    /// Cyclic coordinate descent: re-projects onto every stored constraint
+    /// until the maximum violation is at most `tol` or `max_cycles` full
+    /// passes have run. Returns the number of passes used.
+    ///
+    /// Convergence is guaranteed (Csiszár's cyclic I-projection theorem for
+    /// linear families); with little overlap between extensions it takes
+    /// one or two passes, matching the paper's observation.
+    pub fn refit(&mut self, tol: f64, max_cycles: usize) -> Result<usize, ModelError> {
+        let constraints = self.constraints.clone();
+        let mut last_violation = f64::INFINITY;
+        for cycle in 0..max_cycles {
+            let violation = self.max_violation();
+            if violation <= tol {
+                return Ok(cycle);
+            }
+            // Stalled (e.g. an unimprovable spread constraint): stop early
+            // rather than burning the full cycle budget.
+            if violation > last_violation * 0.999 && cycle > 0 {
+                return Ok(cycle);
+            }
+            last_violation = violation;
+            for c in &constraints {
+                match c {
+                    Constraint::Location { ext, target } => {
+                        self.project_location(ext, target)?;
+                    }
+                    Constraint::Spread {
+                        ext,
+                        w,
+                        center,
+                        value,
+                    } => {
+                        // A spread constraint can become numerically
+                        // unimprovable when later patterns collapse the
+                        // variance along its direction; skip it rather than
+                        // aborting the whole refit (other constraints can
+                        // still be converged).
+                        match self.project_spread(ext, w, center, *value) {
+                            Ok(()) | Err(ModelError::SpreadSolve(_)) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(max_cycles)
+    }
+
+    /// KL divergence `KL(self ‖ other)` summed over rows. Both models must
+    /// have identical shape. Used in tests and diagnostics (the projections
+    /// minimize exactly this quantity toward the *previous* model).
+    pub fn kl_divergence_from(&self, other: &BackgroundModel) -> f64 {
+        assert_eq!(self.n, other.n, "kl: row count mismatch");
+        assert_eq!(self.dy, other.dy, "kl: dimension mismatch");
+        let d = self.dy as f64;
+        // Cache per (cell_self, cell_other) pair.
+        let mut cache: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+        let mut total = 0.0;
+        for i in 0..self.n {
+            let key = (self.cell_of_row[i], other.cell_of_row[i]);
+            let kl = *cache.entry(key).or_insert_with(|| {
+                let a = &self.cells[key.0 as usize];
+                let b = &other.cells[key.1 as usize];
+                let chol_b = Cholesky::new_with_jitter(&b.sigma, 8)
+                    .expect("covariance factorable")
+                    .0;
+                let inv_b = chol_b.inverse();
+                // tr(Σb⁻¹ Σa)
+                let mut tr = 0.0;
+                for r in 0..self.dy {
+                    tr += sisd_linalg::dot(inv_b.row(r), {
+                        // column r of Σa == row r (symmetry)
+                        a.sigma.row(r)
+                    });
+                }
+                let diff = sisd_linalg::sub(&b.mu, &a.mu);
+                let maha = chol_b.inv_quad_form(&diff);
+                let chol_a = Cholesky::new_with_jitter(&a.sigma, 8)
+                    .expect("covariance factorable")
+                    .0;
+                0.5 * (tr + maha - d + chol_b.log_det() - chol_a.log_det())
+            });
+            total += kl;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic dataset: 8 rows, 2 targets.
+    fn toy_model() -> (BackgroundModel, BitSet) {
+        let n = 8;
+        let mu = vec![0.0, 0.0];
+        let sigma = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let model = BackgroundModel::new(n, mu, sigma).unwrap();
+        let ext = BitSet::from_indices(n, [0, 1, 2]);
+        (model, ext)
+    }
+
+    #[test]
+    fn initial_model_is_uniform() {
+        let (model, _) = toy_model();
+        assert_eq!(model.n_cells(), 1);
+        for i in 0..model.n() {
+            assert_eq!(model.row_mean(i), &[0.0, 0.0]);
+            assert_eq!(model.row_cov(i)[(0, 0)], 2.0);
+        }
+    }
+
+    #[test]
+    fn location_update_enforces_constraint_exactly() {
+        let (mut model, ext) = toy_model();
+        let target = vec![1.5, -0.5];
+        model.assimilate_location(&ext, target.clone()).unwrap();
+        assert_eq!(model.n_cells(), 2);
+        // Inside rows moved to the target mean, outside rows unchanged.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((model.row_mean(i)[j] - target[j]).abs() < 1e-12);
+            }
+        }
+        for i in 3..8 {
+            assert_eq!(model.row_mean(i), &[0.0, 0.0]);
+        }
+        assert!(model.max_violation() < 1e-12);
+    }
+
+    #[test]
+    fn location_update_leaves_covariances_alone() {
+        let (mut model, ext) = toy_model();
+        let before = model.row_cov(0).clone();
+        model.assimilate_location(&ext, vec![3.0, 3.0]).unwrap();
+        assert_eq!(model.row_cov(0), &before);
+        assert_eq!(model.row_cov(7), &before);
+    }
+
+    #[test]
+    fn spread_update_enforces_constraint_exactly() {
+        let (mut model, ext) = toy_model();
+        let mut w = vec![1.0, 1.0];
+        sisd_linalg::normalize(&mut w);
+        let center = vec![0.0, 0.0];
+        // Current E[g] per row = w'Σw (d = 0) = (2 + 1 + 2·0.5)/2 = 2.0.
+        let st = model.spread_stats(&ext, &w, &center).unwrap();
+        assert!((st.expected - 2.0).abs() < 1e-12);
+        // Demand variance 0.8 along w.
+        model
+            .assimilate_spread(&ext, w.clone(), center.clone(), 0.8)
+            .unwrap();
+        let st2 = model.spread_stats(&ext, &w, &center).unwrap();
+        assert!((st2.expected - 0.8).abs() < 1e-9, "E[g] = {}", st2.expected);
+        // Covariance along w shrank; orthogonal direction less affected.
+        let cov = model.row_cov(0);
+        assert!(cov.quad_form(&w) < 2.0);
+    }
+
+    #[test]
+    fn spread_update_can_inflate_variance() {
+        let (mut model, ext) = toy_model();
+        let mut w = vec![1.0, 0.0];
+        sisd_linalg::normalize(&mut w);
+        let center = vec![0.0, 0.0];
+        model
+            .assimilate_spread(&ext, w.clone(), center.clone(), 5.0)
+            .unwrap();
+        let st = model.spread_stats(&ext, &w, &center).unwrap();
+        assert!((st.expected - 5.0).abs() < 1e-9);
+        assert!(model.row_cov(0)[(0, 0)] > 2.0);
+        // Outside rows untouched.
+        assert_eq!(model.row_cov(7)[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn covariance_stays_positive_definite_after_extreme_shrink() {
+        let (mut model, ext) = toy_model();
+        let mut w = vec![0.3, 0.7];
+        sisd_linalg::normalize(&mut w);
+        model
+            .assimilate_spread(&ext, w.clone(), vec![0.0, 0.0], 1e-6)
+            .unwrap();
+        let cov = model.row_cov(0);
+        assert!(Cholesky::new_with_jitter(cov, 8).is_ok());
+        assert!(cov.quad_form(&w) > 0.0);
+    }
+
+    #[test]
+    fn overlapping_patterns_converge_under_refit() {
+        let (mut model, _) = toy_model();
+        let ext_a = BitSet::from_indices(8, [0, 1, 2, 3]);
+        let ext_b = BitSet::from_indices(8, [2, 3, 4, 5]);
+        model.assimilate_location(&ext_a, vec![1.0, 0.0]).unwrap();
+        model.assimilate_location(&ext_b, vec![-1.0, 0.5]).unwrap();
+        // The second projection disturbed the first constraint.
+        assert!(model.max_violation() > 1e-6);
+        let cycles = model.refit(1e-10, 500).unwrap();
+        assert!(model.max_violation() < 1e-10, "cycles = {cycles}");
+    }
+
+    #[test]
+    fn cells_partition_rows() {
+        let (mut model, _) = toy_model();
+        let ext_a = BitSet::from_indices(8, [0, 1, 2, 3]);
+        let ext_b = BitSet::from_indices(8, [2, 3, 4, 5]);
+        model.assimilate_location(&ext_a, vec![1.0, 0.0]).unwrap();
+        model.assimilate_location(&ext_b, vec![-1.0, 0.5]).unwrap();
+        // Partition: {0,1}, {2,3}, {4,5}, {6,7}.
+        assert_eq!(model.n_cells(), 4);
+        let mut covered = BitSet::empty(8);
+        let mut total = 0;
+        for cell in model.cells() {
+            assert!(covered.is_disjoint(&cell.ext), "cells overlap");
+            covered = covered.or(&cell.ext);
+            total += cell.count;
+        }
+        assert_eq!(total, 8);
+        assert_eq!(covered.count(), 8);
+    }
+
+    #[test]
+    fn location_stats_fast_and_dense_paths_agree() {
+        let (mut model, ext) = toy_model();
+        // Make covariances heterogeneous via a spread update on part of the data.
+        let spread_ext = BitSet::from_indices(8, [0, 1]);
+        let mut w = vec![1.0, 0.0];
+        sisd_linalg::normalize(&mut w);
+        model
+            .assimilate_spread(&spread_ext, w, vec![0.0, 0.0], 0.5)
+            .unwrap();
+
+        // Candidate extension straddling both covariance values → dense path.
+        let observed = vec![0.7, 0.3];
+        let stats = model.location_stats(&ext, &observed).unwrap();
+
+        // Recompute densely by hand.
+        let mf = 3.0;
+        let mut cov = Matrix::zeros(2, 2);
+        let mut mean = vec![0.0, 0.0];
+        for i in [0usize, 1, 2] {
+            sisd_linalg::axpy(1.0 / mf, model.row_mean(i), &mut mean);
+            let rc = model.row_cov(i).clone();
+            for (o, s) in cov.as_mut_slice().iter_mut().zip(rc.as_slice()) {
+                *o += s / (mf * mf);
+            }
+        }
+        let chol = Cholesky::new(&cov).unwrap();
+        let resid = sisd_linalg::sub(&observed, &mean);
+        assert!((stats.log_det_cov - chol.log_det()).abs() < 1e-9);
+        assert!((stats.mahalanobis - chol.inv_quad_form(&resid)).abs() < 1e-9);
+
+        // Homogeneous candidate → fast path; verify against dense formula.
+        let ext_h = BitSet::from_indices(8, [4, 5, 6]);
+        let stats_h = model.location_stats(&ext_h, &observed).unwrap();
+        let base = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let mut cov_h = base.clone();
+        cov_h.scale(1.0 / 3.0);
+        let chol_h = Cholesky::new(&cov_h).unwrap();
+        assert!((stats_h.log_det_cov - chol_h.log_det()).abs() < 1e-9);
+        let resid_h = observed.clone(); // means are zero there
+        assert!((stats_h.mahalanobis - chol_h.inv_quad_form(&resid_h)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_stats_match_exclusive_stats() {
+        let (mut model, ext) = toy_model();
+        // Heterogeneous covariances to hit both paths.
+        let spread_ext = BitSet::from_indices(8, [0, 1]);
+        let mut w = vec![1.0, 0.0];
+        sisd_linalg::normalize(&mut w);
+        model
+            .assimilate_spread(&spread_ext, w, vec![0.0, 0.0], 0.5)
+            .unwrap();
+        model.warm_factorizations();
+        let observed = vec![0.4, -0.2];
+        for candidate in [
+            ext.clone(),
+            BitSet::from_indices(8, [4, 5, 6]),
+            BitSet::from_indices(8, [0, 5]),
+        ] {
+            let a = model.location_stats_shared(&candidate, &observed).unwrap();
+            let b = model.location_stats(&candidate, &observed).unwrap();
+            assert_eq!(a.count, b.count);
+            assert!((a.log_det_cov - b.log_det_cov).abs() < 1e-10);
+            assert!((a.mahalanobis - b.mahalanobis).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn marginals_match_location_stats() {
+        let (mut model, ext) = toy_model();
+        model.assimilate_location(&ext, vec![1.0, 1.0]).unwrap();
+        let marg = model.location_marginals(&ext).unwrap();
+        assert_eq!(marg.len(), 2);
+        assert!((marg[0].0 - 1.0).abs() < 1e-12);
+        // sd of mean over 3 rows with Σ00 = 2: sqrt(2/3).
+        assert!((marg[0].1 - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let (model, ext) = toy_model();
+        // KL to itself is zero.
+        assert!(model.kl_divergence_from(&model).abs() < 1e-10);
+        // Updating increases divergence from the original.
+        let mut updated = model.clone();
+        updated.assimilate_location(&ext, vec![2.0, 2.0]).unwrap();
+        let kl = updated.kl_divergence_from(&model);
+        assert!(kl > 0.1, "kl = {kl}");
+    }
+
+    #[test]
+    fn spread_power_sums_match_definition() {
+        let (model, ext) = toy_model();
+        let mut w = vec![0.6, 0.8];
+        sisd_linalg::normalize(&mut w);
+        let st = model.spread_stats(&ext, &w, &[0.0, 0.0]).unwrap();
+        let s = model.row_cov(0).quad_form(&w);
+        let a = s / 3.0;
+        assert!((st.power_sums.0 - 3.0 * a).abs() < 1e-12);
+        assert!((st.power_sums.1 - 3.0 * a * a).abs() < 1e-12);
+        assert!((st.power_sums.2 - 3.0 * a * a * a).abs() < 1e-12);
+        assert_eq!(st.count, 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (mut model, _) = toy_model();
+        let empty = BitSet::empty(8);
+        assert!(matches!(
+            model.assimilate_location(&empty, vec![0.0, 0.0]),
+            Err(ModelError::EmptyExtension)
+        ));
+        let ext = BitSet::from_indices(8, [0]);
+        assert!(matches!(
+            model.assimilate_location(&ext, vec![0.0]),
+            Err(ModelError::Dimension { .. })
+        ));
+        let bad = BackgroundModel::new(4, vec![0.0], Matrix::from_diag(&[-1.0]));
+        assert!(matches!(bad, Err(ModelError::BadPrior)));
+    }
+
+    #[test]
+    fn from_empirical_matches_dataset_moments() {
+        use sisd_data::datasets::synthetic_paper;
+        let (d, _) = synthetic_paper(1);
+        let model = BackgroundModel::from_empirical(&d).unwrap();
+        let mu = d.target_mean_all();
+        #[allow(clippy::needless_range_loop)]
+        for i in [0usize, 100, 600] {
+            for j in 0..2 {
+                assert!((model.row_mean(i)[j] - mu[j]).abs() < 1e-12);
+            }
+        }
+        let cov = d.target_covariance_all();
+        assert!((model.row_cov(0)[(0, 1)] - cov[(0, 1)]).abs() < 1e-12);
+    }
+}

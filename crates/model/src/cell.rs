@@ -1,0 +1,163 @@
+//! Parameter cells: maximal row sets sharing `(μ, Σ)`.
+//!
+//! After `t` assimilated patterns, two rows have identical background
+//! parameters iff they are covered by exactly the same subset of pattern
+//! extensions (paper footnote 2). The model keeps this partition explicit:
+//! each [`Cell`] owns its extension bitset, mean, covariance, and a lazily
+//! computed Cholesky factor of the covariance.
+
+use sisd_data::BitSet;
+use sisd_linalg::{Cholesky, Matrix};
+
+/// One cell of the parameter partition.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Rows belonging to this cell.
+    pub ext: BitSet,
+    /// Cached population count of `ext`.
+    pub count: usize,
+    /// Mean vector shared by all rows of the cell.
+    pub mu: Vec<f64>,
+    /// Covariance matrix shared by all rows of the cell.
+    pub sigma: Matrix,
+    /// Identifier of the covariance *value*: cells split from a common
+    /// parent keep the parent's id, and only spread updates mint new ids.
+    /// Evaluators use this to detect the common "all cells share Σ" case
+    /// and reuse one Cholesky factorization.
+    pub cov_id: u64,
+    chol: Option<Cholesky>,
+}
+
+impl Cell {
+    /// Creates a cell; the Cholesky factor is computed on first use.
+    pub fn new(ext: BitSet, mu: Vec<f64>, sigma: Matrix, cov_id: u64) -> Self {
+        assert_eq!(mu.len(), sigma.rows(), "Cell: μ/Σ dimension mismatch");
+        assert!(sigma.is_square(), "Cell: Σ must be square");
+        let count = ext.count();
+        Self {
+            ext,
+            count,
+            mu,
+            sigma,
+            cov_id,
+            chol: None,
+        }
+    }
+
+    /// Target dimensionality.
+    pub fn dy(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// The Cholesky factor of Σ, computing and caching it if needed.
+    ///
+    /// Falls back to a jittered factorization if Σ has drifted to the
+    /// positive-semidefinite boundary after many rank-one downdates.
+    pub fn chol(&mut self) -> &Cholesky {
+        if self.chol.is_none() {
+            let (c, _jitter) = Cholesky::new_with_jitter(&self.sigma, 8)
+                .expect("cell covariance must be factorable");
+            self.chol = Some(c);
+        }
+        self.chol.as_ref().expect("just set")
+    }
+
+    /// Invalidates the cached factor (call after mutating `sigma`).
+    pub fn invalidate_chol(&mut self) {
+        self.chol = None;
+    }
+
+    /// The cached Cholesky factor, if one has been computed — the
+    /// shared-reference path used by parallel SI evaluation after
+    /// [`crate::BackgroundModel::warm_factorizations`].
+    pub fn chol_cached(&self) -> Option<&Cholesky> {
+        self.chol.as_ref()
+    }
+
+    /// `wᵀ Σ w` for a direction `w`.
+    pub fn sigma_quad(&self, w: &[f64]) -> f64 {
+        self.sigma.quad_form(w)
+    }
+
+    /// `Σ w`.
+    pub fn sigma_mul(&self, w: &[f64]) -> Vec<f64> {
+        self.sigma.mul_vec(w)
+    }
+
+    /// Splits this cell against an extension: returns `(inside, outside)`
+    /// halves, `None` on either side when empty. Parameters are copied, the
+    /// `cov_id` is retained on both halves.
+    pub fn split(&self, pattern_ext: &BitSet) -> (Option<Cell>, Option<Cell>) {
+        let inside = self.ext.and(pattern_ext);
+        let n_in = inside.count();
+        if n_in == 0 {
+            return (None, Some(self.clone()));
+        }
+        if n_in == self.count {
+            return (Some(self.clone()), None);
+        }
+        let outside = self.ext.minus(pattern_ext);
+        let mk = |ext: BitSet| {
+            let mut c = Cell::new(ext, self.mu.clone(), self.sigma.clone(), self.cov_id);
+            // Share the already-computed factor when available.
+            c.chol = self.chol.clone();
+            c
+        };
+        (Some(mk(inside)), Some(mk(outside)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(indices: &[usize]) -> Cell {
+        Cell::new(
+            BitSet::from_indices(10, indices.iter().copied()),
+            vec![0.0, 0.0],
+            Matrix::identity(2),
+            0,
+        )
+    }
+
+    #[test]
+    fn split_both_sides() {
+        let c = cell(&[0, 1, 2, 3]);
+        let pat = BitSet::from_indices(10, [2, 3, 4]);
+        let (ins, out) = c.split(&pat);
+        assert_eq!(ins.unwrap().ext.to_indices(), vec![2, 3]);
+        assert_eq!(out.unwrap().ext.to_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn split_fully_inside_or_outside() {
+        let c = cell(&[0, 1]);
+        let all = BitSet::full(10);
+        let (ins, out) = c.split(&all);
+        assert_eq!(ins.unwrap().ext.to_indices(), vec![0, 1]);
+        assert!(out.is_none());
+        let none = BitSet::empty(10);
+        let (ins, out) = cell(&[0, 1]).split(&none);
+        assert!(ins.is_none());
+        assert_eq!(out.unwrap().count, 2);
+    }
+
+    #[test]
+    fn chol_is_cached_and_invalidated() {
+        let mut c = cell(&[0]);
+        let ld = c.chol().log_det();
+        assert!((ld - 0.0).abs() < 1e-12);
+        c.sigma = Matrix::from_diag(&[4.0, 4.0]);
+        c.invalidate_chol();
+        assert!((c.chol().log_det() - (16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_and_mul() {
+        let mut c = cell(&[0]);
+        c.sigma = Matrix::from_diag(&[2.0, 3.0]);
+        let w = [1.0, 1.0];
+        assert!((c.sigma_quad(&w) - 5.0).abs() < 1e-12);
+        assert_eq!(c.sigma_mul(&w), vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Root-finding for the spread-update multiplier (paper Eq. 12).
+//!
+//! After assimilating a spread pattern, the tilted covariance along `w`
+//! shrinks (λ > 0) or inflates (λ < 0) so that the expected variance
+//! statistic equals the communicated value `v̂`:
+//!
+//! ```text
+//! h(λ) = Σ_g n_g [ s_g/(1+λs_g) + d_g²/(1+λs_g)² ] − |I|·v̂ = 0,
+//! ```
+//!
+//! with `s_g = wᵀΣ_g w > 0` and `d_g = wᵀ(ŷ_I − μ_g)` per parameter cell.
+//! On the domain `λ ∈ (−1/max_g s_g, ∞)` every term is strictly decreasing
+//! in λ, so `h` has a unique root, found here with bisection plus Newton
+//! acceleration once the bracket is tight.
+
+/// Per-cell sufficient statistics for the spread solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SpreadCellStat {
+    /// Number of rows in the cell (inside the pattern's extension).
+    pub n: f64,
+    /// `wᵀ Σ w` of the cell.
+    pub s: f64,
+    /// `wᵀ (ŷ_I − μ)` of the cell.
+    pub d: f64,
+}
+
+/// Expected variance statistic `E[g]` (per the LHS of Eq. 12) at a given λ,
+/// already divided by nothing — the caller compares against `|I|·v̂`.
+fn expected_g(stats: &[SpreadCellStat], lambda: f64) -> f64 {
+    let mut acc = 0.0;
+    for st in stats {
+        let q = 1.0 + lambda * st.s;
+        acc += st.n * (st.s / q + (st.d * st.d) / (q * q));
+    }
+    acc
+}
+
+/// Derivative of [`expected_g`] with respect to λ.
+fn expected_g_deriv(stats: &[SpreadCellStat], lambda: f64) -> f64 {
+    let mut acc = 0.0;
+    for st in stats {
+        let q = 1.0 + lambda * st.s;
+        acc += st.n * (-(st.s * st.s) / (q * q) - 2.0 * st.s * st.d * st.d / (q * q * q));
+    }
+    acc
+}
+
+/// Solves Eq. 12 for λ.
+///
+/// `target` is `|I| · v̂`. Returns an error string if the statistics are
+/// degenerate (no positive `s`, or non-positive target).
+pub fn solve_spread_lambda(stats: &[SpreadCellStat], target: f64) -> Result<f64, String> {
+    let s_max = stats.iter().fold(0.0_f64, |m, st| m.max(st.s));
+    if s_max <= 0.0 || s_max.is_nan() {
+        return Err("spread solve: no cell has positive variance along w".into());
+    }
+    if target <= 0.0 || target.is_nan() {
+        return Err(format!("spread solve: target {target} must be positive"));
+    }
+
+    // Domain: λ > λ_min = −1/s_max. As λ → λ_min⁺, h → +∞; as λ → ∞,
+    // h → −target < 0. Bracket the root.
+    let lambda_min = -1.0 / s_max;
+    let h = |l: f64| expected_g(stats, l) - target;
+
+    let mut lo = lambda_min + 1e-12 * s_max.recip().abs().max(1.0);
+    // Expand an upper bound until h(hi) < 0.
+    let mut hi = 1.0 / s_max;
+    let mut tries = 0;
+    while h(hi) > 0.0 {
+        hi *= 4.0;
+        tries += 1;
+        if tries > 200 {
+            return Err("spread solve: failed to bracket root from above".into());
+        }
+    }
+    // Ensure h(lo) > 0 (move lo toward lambda_min if necessary).
+    tries = 0;
+    while h(lo) < 0.0 {
+        lo = lambda_min + (lo - lambda_min) / 16.0;
+        tries += 1;
+        if tries > 200 {
+            // h is negative arbitrarily close to the pole: the root is at
+            // λ = λ_min itself in the limit; the pattern demanded *more*
+            // variance than any tilt can deliver — numerically impossible.
+            return Err("spread solve: failed to bracket root from below".into());
+        }
+    }
+
+    // Safeguarded Newton from the midpoint.
+    let mut x = 0.5 * (lo + hi);
+    for _ in 0..200 {
+        let hx = h(x);
+        if hx.abs() <= 1e-12 * target.max(1.0) {
+            return Ok(x);
+        }
+        if hx > 0.0 {
+            lo = x;
+        } else {
+            hi = x;
+        }
+        let dx = expected_g_deriv(stats, x);
+        let newton = if dx != 0.0 { x - hx / dx } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if (hi - lo).abs() <= 1e-15 * (1.0 + x.abs()) {
+            return Ok(x);
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(n: f64, s: f64, d: f64) -> Vec<SpreadCellStat> {
+        vec![SpreadCellStat { n, s, d }]
+    }
+
+    #[test]
+    fn identity_when_target_equals_current() {
+        // If v̂ equals the current expectation, λ = 0.
+        let stats = single(40.0, 2.0, 0.0);
+        let lambda = solve_spread_lambda(&stats, 40.0 * 2.0).unwrap();
+        assert!(lambda.abs() < 1e-10, "λ = {lambda}");
+    }
+
+    #[test]
+    fn shrink_variance_gives_positive_lambda() {
+        // Demand half the current variance (d = 0): s/(1+λs) = v̂ →
+        // λ = (s/v̂ − 1)/s = (2 − 1)/2 = 0.5.
+        let stats = single(10.0, 2.0, 0.0);
+        let lambda = solve_spread_lambda(&stats, 10.0 * 1.0).unwrap();
+        assert!((lambda - 0.5).abs() < 1e-9, "λ = {lambda}");
+    }
+
+    #[test]
+    fn inflate_variance_gives_negative_lambda() {
+        // Demand double the variance: λ = (1/2 − 1)/1 = −0.5, within the
+        // domain bound −1/s = −1.
+        let stats = single(10.0, 1.0, 0.0);
+        let lambda = solve_spread_lambda(&stats, 10.0 * 2.0).unwrap();
+        assert!((lambda + 0.5).abs() < 1e-9, "λ = {lambda}");
+    }
+
+    #[test]
+    fn solution_satisfies_constraint_with_mixed_cells() {
+        let stats = vec![
+            SpreadCellStat { n: 25.0, s: 1.5, d: 0.3 },
+            SpreadCellStat { n: 10.0, s: 0.7, d: -1.1 },
+            SpreadCellStat { n: 5.0, s: 3.0, d: 0.0 },
+        ];
+        let target = 30.0;
+        let lambda = solve_spread_lambda(&stats, target).unwrap();
+        assert!((expected_g(&stats, lambda) - target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_displacement_contributes() {
+        // With d ≠ 0 the expected statistic at λ=0 is s + d²; demanding
+        // exactly that returns λ = 0.
+        let stats = single(7.0, 1.2, 0.9);
+        let target = 7.0 * (1.2 + 0.81);
+        let lambda = solve_spread_lambda(&stats, target).unwrap();
+        assert!(lambda.abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(solve_spread_lambda(&single(5.0, 0.0, 1.0), 5.0).is_err());
+        assert!(solve_spread_lambda(&single(5.0, 1.0, 0.0), 0.0).is_err());
+        assert!(solve_spread_lambda(&[], 5.0).is_err());
+    }
+
+    #[test]
+    fn extreme_shrink_stays_finite() {
+        // Demand variance 1e-6 of current: λ huge but finite.
+        let stats = single(40.0, 1.0, 0.0);
+        let lambda = solve_spread_lambda(&stats, 40.0 * 1e-6).unwrap();
+        assert!(lambda.is_finite());
+        assert!((expected_g(&stats, lambda) - 40.0 * 1e-6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! Search strategies for subjectively interesting subgroup discovery
+//! (paper §II-D).
+//!
+//! * [`refine`] — the refinement operator: candidate conditions per
+//!   attribute (numeric `≥`/`≤` at percentile split points, categorical
+//!   `=`), mirroring the Cortana settings used in the paper's experiments
+//!   (four split points at the 1/5–4/5 percentiles).
+//! * [`beam`] — level-wise beam search over conjunctions, maximizing the
+//!   location-pattern SI, with beam width / depth / minimum coverage /
+//!   wall-clock budget controls and a best-`k` result log.
+//! * [`sphere`] — projected gradient ascent on the unit sphere for the
+//!   spread direction `w` (Eq. 21; replaces the paper's Manopt dependency),
+//!   with analytic gradients, multi-start, and a 2-sparse pairwise variant.
+//! * [`miner`] — the iterative mining façade: mine → show → assimilate →
+//!   repeat, the FORSIED loop of the paper.
+//! * [`branch_bound`] — exact search for the optimal single-target location
+//!   pattern with a tight optimistic estimate (the branch-and-bound
+//!   direction the paper's §V singles out as future work).
+
+pub mod beam;
+pub mod binary_beam;
+pub mod branch_bound;
+pub mod miner;
+pub mod refine;
+pub mod sphere;
+
+pub use beam::{BeamConfig, BeamResult, BeamSearch};
+pub use binary_beam::{binary_beam_search, binary_step, BinaryBeamResult};
+pub use branch_bound::{BranchBoundConfig, BranchBoundResult};
+pub use miner::{Iteration, Miner, MinerConfig};
+pub use refine::{generate_conditions, RefineConfig};
+pub use sphere::{
+    mine_spread_pattern, optimize_direction, optimize_direction_two_sparse, SphereConfig,
+    SphereResult,
+};

@@ -1,0 +1,291 @@
+//! The iterative mining façade: the FORSIED loop of the paper.
+//!
+//! Each iteration mines the most subjectively interesting location pattern
+//! by beam search, optionally finds the most interesting spread direction
+//! for that subgroup, shows both to the user, and updates the background
+//! distribution so the next iteration looks for *non-redundant* patterns.
+
+use crate::beam::{BeamConfig, BeamResult, BeamSearch};
+use crate::sphere::{mine_spread_pattern, SphereConfig};
+use sisd_core::{DlParams, LocationPattern, SpreadPattern};
+use sisd_data::Dataset;
+use sisd_model::{BackgroundModel, ModelError};
+
+/// Miner configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MinerConfig {
+    /// Beam-search settings (includes the DL parameters).
+    pub beam: BeamConfig,
+    /// Spread-direction optimizer settings.
+    pub sphere: SphereConfig,
+    /// Use the 2-sparse direction variant (§III-C) instead of the full
+    /// sphere.
+    pub two_sparse_spread: bool,
+    /// Convergence tolerance of the coordinate-descent refit after each
+    /// assimilation.
+    pub refit_tol: f64,
+    /// Cap on refit cycles.
+    pub refit_max_cycles: usize,
+}
+
+impl MinerConfig {
+    /// The DL parameters (owned by the beam config).
+    pub fn dl(&self) -> DlParams {
+        self.beam.dl
+    }
+}
+
+/// One mining iteration's output: the location pattern, and the spread
+/// pattern if requested.
+#[derive(Debug, Clone)]
+pub struct Iteration {
+    /// Iteration index (1-based, matching the paper's tables).
+    pub index: usize,
+    /// The location pattern shown to the user.
+    pub location: LocationPattern,
+    /// The spread pattern shown after it, when spread mining is on.
+    pub spread: Option<SpreadPattern>,
+}
+
+/// The iterative subgroup miner.
+#[derive(Debug, Clone)]
+pub struct Miner {
+    data: Dataset,
+    model: BackgroundModel,
+    config: MinerConfig,
+    iterations_done: usize,
+}
+
+impl Miner {
+    /// Builds a miner whose initial background distribution matches the
+    /// data's empirical mean and covariance (the setup of every experiment
+    /// in the paper).
+    pub fn from_empirical(data: Dataset, config: MinerConfig) -> Result<Self, ModelError> {
+        let model = BackgroundModel::from_empirical(&data)?;
+        Ok(Self {
+            data,
+            model,
+            config,
+            iterations_done: 0,
+        })
+    }
+
+    /// Builds a miner with explicit prior beliefs.
+    pub fn with_prior(
+        data: Dataset,
+        prior_mean: Vec<f64>,
+        prior_cov: sisd_linalg::Matrix,
+        config: MinerConfig,
+    ) -> Result<Self, ModelError> {
+        let model = BackgroundModel::new(data.n(), prior_mean, prior_cov)?;
+        Ok(Self {
+            data,
+            model,
+            config,
+            iterations_done: 0,
+        })
+    }
+
+    /// The dataset being mined.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The current background model (read access).
+    pub fn model(&self) -> &BackgroundModel {
+        &self.model
+    }
+
+    /// The current background model (mutable, e.g. to inject extra prior
+    /// constraints before mining).
+    pub fn model_mut(&mut self) -> &mut BackgroundModel {
+        &mut self.model
+    }
+
+    /// Number of completed iterations.
+    pub fn iterations_done(&self) -> usize {
+        self.iterations_done
+    }
+
+    /// Runs a beam search against the current model and returns the full
+    /// result log without updating anything.
+    pub fn search_locations(&mut self) -> BeamResult {
+        BeamSearch::new(self.config.beam.clone()).run(&self.data, &mut self.model)
+    }
+
+    /// Assimilates a location pattern (its subgroup mean becomes part of
+    /// the user's belief state) and re-converges overlapping constraints.
+    pub fn assimilate_location(&mut self, pattern: &LocationPattern) -> Result<(), ModelError> {
+        self.model
+            .assimilate_location(&pattern.extension, pattern.observed_mean.clone())?;
+        self.model
+            .refit(self.config.refit_tol.max(1e-12), self.config.refit_max_cycles.max(1))?;
+        Ok(())
+    }
+
+    /// Assimilates a spread pattern.
+    pub fn assimilate_spread(&mut self, pattern: &SpreadPattern) -> Result<(), ModelError> {
+        let center = self.data.target_mean(&pattern.extension);
+        self.model.assimilate_spread(
+            &pattern.extension,
+            pattern.w.clone(),
+            center,
+            pattern.observed_variance,
+        )?;
+        self.model
+            .refit(self.config.refit_tol.max(1e-12), self.config.refit_max_cycles.max(1))?;
+        Ok(())
+    }
+
+    /// Finds the most interesting spread direction for an
+    /// already-assimilated location pattern (step 2 of §II-D).
+    pub fn mine_spread(&self, location: &LocationPattern) -> SpreadPattern {
+        mine_spread_pattern(
+            &self.model,
+            &self.data,
+            &location.intention,
+            &location.extension,
+            &self.config.dl(),
+            &self.config.sphere,
+            self.config.two_sparse_spread,
+        )
+    }
+
+    /// One full location-only iteration: mine the top pattern, assimilate
+    /// it, return it. `None` when the search finds nothing feasible.
+    pub fn step_location(&mut self) -> Result<Option<Iteration>, ModelError> {
+        let result = self.search_locations();
+        let Some(best) = result.best().cloned() else {
+            return Ok(None);
+        };
+        self.assimilate_location(&best)?;
+        self.iterations_done += 1;
+        Ok(Some(Iteration {
+            index: self.iterations_done,
+            location: best,
+            spread: None,
+        }))
+    }
+
+    /// One full location+spread iteration (the two-step §II-D process):
+    /// mine the top location pattern, assimilate it, find the most
+    /// interesting spread direction for it, assimilate that too.
+    pub fn step_with_spread(&mut self) -> Result<Option<Iteration>, ModelError> {
+        let result = self.search_locations();
+        let Some(best) = result.best().cloned() else {
+            return Ok(None);
+        };
+        self.assimilate_location(&best)?;
+        let spread = self.mine_spread(&best);
+        self.assimilate_spread(&spread)?;
+        self.iterations_done += 1;
+        Ok(Some(Iteration {
+            index: self.iterations_done,
+            location: best,
+            spread: Some(spread),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::BeamConfig;
+    use sisd_data::datasets::synthetic_paper;
+
+    fn quick_config() -> MinerConfig {
+        MinerConfig {
+            beam: BeamConfig {
+                width: 10,
+                max_depth: 1,
+                top_k: 20,
+                ..BeamConfig::default()
+            },
+            sphere: SphereConfig {
+                random_starts: 2,
+                ..SphereConfig::default()
+            },
+            two_sparse_spread: false,
+            refit_tol: 1e-9,
+            refit_max_cycles: 100,
+        }
+    }
+
+    #[test]
+    fn three_iterations_recover_the_three_clusters() {
+        let (data, truth) = synthetic_paper(42);
+        let mut miner = Miner::from_empirical(data, quick_config()).unwrap();
+        let mut recovered = vec![false; 3];
+        for _ in 0..3 {
+            let iter = miner.step_with_spread().unwrap().expect("pattern found");
+            for (k, t) in truth.cluster_extensions.iter().enumerate() {
+                if iter.location.extension == *t {
+                    recovered[k] = true;
+                }
+            }
+            assert!(iter.spread.is_some());
+        }
+        assert_eq!(
+            recovered,
+            vec![true, true, true],
+            "all three planted clusters must be found in the first three iterations"
+        );
+        assert_eq!(miner.iterations_done(), 3);
+    }
+
+    #[test]
+    fn si_of_assimilated_pattern_collapses() {
+        let (data, _) = synthetic_paper(42);
+        let mut miner = Miner::from_empirical(data, quick_config()).unwrap();
+        let first = miner.step_location().unwrap().unwrap();
+        let si_before = first.location.score.si;
+        // Re-score the same subgroup after assimilation.
+        let dl = miner.config.dl();
+        let score = sisd_core::location_si(
+            &mut miner.model,
+            &miner.data,
+            &first.location.intention,
+            &first.location.extension,
+            &dl,
+        )
+        .unwrap();
+        assert!(
+            score.si < si_before - 5.0,
+            "SI must collapse: {si_before} → {}",
+            score.si
+        );
+        // The paper's Table I shows slightly negative post-assimilation SI.
+        assert!(score.si < 1.0);
+    }
+
+    #[test]
+    fn later_iterations_find_different_subgroups() {
+        let (data, _) = synthetic_paper(7);
+        let mut miner = Miner::from_empirical(data, quick_config()).unwrap();
+        let a = miner.step_location().unwrap().unwrap();
+        let b = miner.step_location().unwrap().unwrap();
+        let c = miner.step_location().unwrap().unwrap();
+        assert_ne!(a.location.extension, b.location.extension);
+        assert_ne!(b.location.extension, c.location.extension);
+        assert_ne!(a.location.extension, c.location.extension);
+    }
+
+    #[test]
+    fn model_constraints_accumulate() {
+        let (data, _) = synthetic_paper(11);
+        let mut miner = Miner::from_empirical(data, quick_config()).unwrap();
+        miner.step_with_spread().unwrap().unwrap();
+        // One location + one spread constraint.
+        assert_eq!(miner.model().constraints().len(), 2);
+        assert!(miner.model().max_violation() < 1e-6);
+    }
+
+    #[test]
+    fn with_prior_accepts_custom_beliefs() {
+        let (data, _) = synthetic_paper(13);
+        let prior_mean = vec![0.0, 0.0];
+        let prior_cov = sisd_linalg::Matrix::identity(2);
+        let miner = Miner::with_prior(data, prior_mean, prior_cov, quick_config()).unwrap();
+        assert_eq!(miner.model().dy(), 2);
+    }
+}

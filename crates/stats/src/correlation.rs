@@ -1,0 +1,130 @@
+//! Correlation measures.
+//!
+//! Used by the harness binaries to verify planted dataset structure (e.g.
+//! the mammal simulacrum's climate gradients) and generally useful when
+//! interpreting mined subgroups — the paper's case studies repeatedly
+//! reason about correlations ("these parties really appear to battle for
+//! the same voters", "notice that these three species correlate").
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns 0 when either sample is (numerically) constant.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    let denom = (vx * vy).sqrt();
+    if denom <= 1e-300 {
+        0.0
+    } else {
+        (cov / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Fractional ranks with midranks for ties (average of tied positions).
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("ranks: NaN in data"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[order[j + 1]] == x[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the value; assign the midrank.
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on midranks; tie-safe).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman: length mismatch");
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_gives_zero() {
+        let x = vec![1.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&x, &y), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn independent_samples_near_zero() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let x: Vec<f64> = (0..20_000).map(|_| rng.normal()).collect();
+        let y: Vec<f64> = (0..20_000).map(|_| rng.normal()).collect();
+        assert!(pearson(&x, &y).abs() < 0.03);
+        assert!(spearman(&x, &y).abs() < 0.03);
+    }
+
+    #[test]
+    fn spearman_is_invariant_to_monotone_transform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let x: Vec<f64> = (0..500).map(|_| rng.normal()).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + 0.3 * rng.normal()).collect();
+        let y_warped: Vec<f64> = y.iter().map(|v| v.exp()).collect();
+        let s1 = spearman(&x, &y);
+        let s2 = spearman(&x, &y_warped);
+        assert!((s1 - s2).abs() < 1e-12, "{s1} vs {s2}");
+        assert!(s1 > 0.8);
+    }
+
+    #[test]
+    fn midranks_handle_ties() {
+        // Ordinal data with heavy ties (water-quality levels).
+        let x = vec![0.0, 0.0, 3.0, 3.0, 5.0];
+        let r = ranks(&x);
+        assert_eq!(r, vec![1.5, 1.5, 3.5, 3.5, 5.0]);
+        // Spearman of tied-but-aligned data is still 1.
+        let y = vec![1.0, 1.0, 2.0, 2.0, 9.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_bounded() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let x: Vec<f64> = (0..200).map(|_| rng.normal()).collect();
+        let y: Vec<f64> = (0..200).map(|_| rng.normal() + 0.5 * x[0]).collect();
+        let a = pearson(&x, &y);
+        let b = pearson(&y, &x);
+        assert!((a - b).abs() < 1e-15);
+        assert!((-1.0..=1.0).contains(&a));
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-bin histograms.
+//!
+//! A lightweight companion to the KDE of Fig. 1: harness binaries and
+//! downstream users often want raw counts (or frequencies) of a target
+//! attribute inside vs outside a subgroup before smoothing anything.
+
+/// A histogram over `[lo, hi]` with equally wide bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo` / above `hi`.
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    /// Panics unless `hi > lo` and `bins >= 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "Histogram: hi must exceed lo");
+        assert!(bins >= 1, "Histogram: need at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Builds from a sample with bounds at the sample min/max.
+    pub fn from_sample(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "Histogram: empty sample");
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if hi <= lo {
+            hi = lo + 1.0; // constant sample: single meaningful bin
+        }
+        let mut h = Self::new(lo, hi, bins);
+        h.extend(xs);
+        h
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let n = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * n as f64) as usize).min(n - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every element of a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Out-of-range observations `(under, over)`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// The histogram's `(lo, hi)` range.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Bin centre of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Normalized densities (integrate to 1 over the range).
+    pub fn densities(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / (total * w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_fills_evenly() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let h = Histogram::from_sample(&xs, 10);
+        for &c in h.counts() {
+            assert!((95..=105).contains(&(c as usize)), "{:?}", h.counts());
+        }
+        assert_eq!(h.total(), 1000);
+    }
+
+    #[test]
+    fn out_of_range_tracking() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend(&[-1.0, 0.5, 2.0, 0.99]);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.77).sin()).collect();
+        let h = Histogram::from_sample(&xs, 20);
+        let (lo, hi) = h.range();
+        let w = (hi - lo) / 20.0;
+        let integral: f64 = h.densities().iter().map(|d| d * w).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.center(0) - 1.0).abs() < 1e-12);
+        assert!((h.center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_does_not_panic() {
+        let h = Histogram::from_sample(&[3.0; 50], 4);
+        assert_eq!(h.total(), 50);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(1.0);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.out_of_range(), (0, 0));
+    }
+}

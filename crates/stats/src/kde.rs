@@ -1,0 +1,161 @@
+//! Gaussian kernel density estimation.
+//!
+//! Fig. 1 of the paper shows "Gaussian-kernel smoothed estimates" of the
+//! violent-crime distribution for the full data, the part covered by the
+//! subgroup, and the subgroup-internal distribution. This module provides
+//! the 1-D weighted KDE used by the `fig1_crime` harness to print those
+//! three curves.
+
+/// A 1-D Gaussian kernel density estimator over a fixed sample.
+#[derive(Debug, Clone)]
+pub struct GaussianKde {
+    xs: Vec<f64>,
+    weights: Vec<f64>,
+    bandwidth: f64,
+    /// Total weight; densities are normalized by this so that a *subset*
+    /// KDE can be drawn on the same scale as the full data (the red area of
+    /// Fig. 1 keeps full-data normalization).
+    total_weight: f64,
+}
+
+impl GaussianKde {
+    /// Unweighted KDE with Silverman's rule-of-thumb bandwidth.
+    pub fn new(xs: &[f64]) -> Self {
+        Self::weighted(xs, &vec![1.0; xs.len()])
+    }
+
+    /// Weighted KDE with Silverman bandwidth computed from the weighted
+    /// standard deviation. Weights must be non-negative, not all zero.
+    pub fn weighted(xs: &[f64], weights: &[f64]) -> Self {
+        assert_eq!(xs.len(), weights.len(), "KDE: weight length mismatch");
+        assert!(!xs.is_empty(), "KDE: empty sample");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "KDE: weights must have positive total");
+        let mean: f64 = xs.iter().zip(weights).map(|(x, w)| x * w).sum::<f64>() / total;
+        let var: f64 = xs
+            .iter()
+            .zip(weights)
+            .map(|(x, w)| w * (x - mean) * (x - mean))
+            .sum::<f64>()
+            / total;
+        let sd = var.sqrt().max(1e-12);
+        // Effective sample size for the weighted Silverman rule.
+        let w2: f64 = weights.iter().map(|w| w * w).sum();
+        let n_eff = (total * total / w2).max(2.0);
+        let bandwidth = 1.06 * sd * n_eff.powf(-0.2);
+        Self {
+            xs: xs.to_vec(),
+            weights: weights.to_vec(),
+            bandwidth,
+            total_weight: total,
+        }
+    }
+
+    /// Overrides the bandwidth (must be positive).
+    pub fn with_bandwidth(mut self, h: f64) -> Self {
+        assert!(h > 0.0, "KDE: bandwidth must be positive");
+        self.bandwidth = h;
+        self
+    }
+
+    /// Overrides the normalization mass. Passing the *full data* total
+    /// weight while keeping only subgroup weights yields the "part covered
+    /// by subgroup" curve of Fig. 1 (it integrates to the coverage
+    /// fraction, not to 1).
+    pub fn with_normalization(mut self, total: f64) -> Self {
+        assert!(total > 0.0, "KDE: normalization must be positive");
+        self.total_weight = total;
+        self
+    }
+
+    /// Bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = self.total_weight * h * (2.0 * std::f64::consts::PI).sqrt();
+        let mut acc = 0.0;
+        for (&xi, &w) in self.xs.iter().zip(&self.weights) {
+            let z = (x - xi) / h;
+            acc += w * (-0.5 * z * z).exp();
+        }
+        acc / norm
+    }
+
+    /// Densities on an equally spaced grid of `steps + 1` points over
+    /// `[lo, hi]`, returned as `(grid, densities)`.
+    pub fn grid(&self, lo: f64, hi: f64, steps: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(steps >= 1 && hi > lo, "KDE: bad grid spec");
+        let mut grid = Vec::with_capacity(steps + 1);
+        let mut dens = Vec::with_capacity(steps + 1);
+        for i in 0..=steps {
+            let x = lo + (hi - lo) * i as f64 / steps as f64;
+            grid.push(x);
+            dens.push(self.density(x));
+        }
+        (grid, dens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let xs: Vec<f64> = (0..500).map(|_| rng.normal()).collect();
+        let kde = GaussianKde::new(&xs);
+        let (grid, dens) = kde.grid(-8.0, 8.0, 4000);
+        let h = grid[1] - grid[0];
+        let integral: f64 = dens.iter().sum::<f64>() * h;
+        assert!((integral - 1.0).abs() < 0.01, "∫ = {integral}");
+    }
+
+    #[test]
+    fn subset_normalized_by_full_mass_integrates_to_coverage() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.normal()).collect();
+        // Subgroup = 30% of the points.
+        let sub: Vec<f64> = xs.iter().copied().take(300).collect();
+        let kde = GaussianKde::new(&sub).with_normalization(1000.0);
+        let (grid, dens) = kde.grid(-8.0, 8.0, 4000);
+        let h = grid[1] - grid[0];
+        let integral: f64 = dens.iter().sum::<f64>() * h;
+        assert!((integral - 0.3).abs() < 0.01, "∫ = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_near_sample_mean() {
+        let xs = vec![4.9, 5.0, 5.1, 5.05, 4.95];
+        let kde = GaussianKde::new(&xs);
+        assert!(kde.density(5.0) > kde.density(4.0));
+        assert!(kde.density(5.0) > kde.density(6.0));
+    }
+
+    #[test]
+    fn bandwidth_override() {
+        let xs = vec![0.0, 1.0];
+        let kde = GaussianKde::new(&xs).with_bandwidth(0.1);
+        assert_eq!(kde.bandwidth(), 0.1);
+        // With a tiny bandwidth the two modes separate.
+        assert!(kde.density(0.0) > kde.density(0.5) * 10.0);
+    }
+
+    #[test]
+    fn weights_shift_mass() {
+        let xs = vec![0.0, 10.0];
+        let kde = GaussianKde::weighted(&xs, &[9.0, 1.0]).with_bandwidth(1.0);
+        assert!(kde.density(0.0) > 5.0 * kde.density(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        GaussianKde::new(&[]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Univariate normal distribution.
+
+#![allow(clippy::excessive_precision)] // reference constants are quoted in full
+
+use crate::special::erf;
+
+/// A univariate normal distribution `N(mean, sd²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (must be positive).
+    pub sd: f64,
+}
+
+impl Normal {
+    /// Standard normal `N(0, 1)`.
+    pub const STANDARD: Normal = Normal { mean: 0.0, sd: 1.0 };
+
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    /// Panics if `sd` is not strictly positive and finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd > 0.0 && sd.is_finite(), "Normal: sd must be positive");
+        Self { mean, sd }
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        (-0.5 * z * z).exp() / (self.sd * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Log-density at `x`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        -0.5 * z * z - self.sd.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.sd * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Quantile (inverse CDF) via the Acklam rational approximation with one
+    /// Halley refinement step; relative error below 1e-13.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Normal::quantile: p must be in [0,1]"
+        );
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.mean + self.sd * std_normal_quantile(p)
+    }
+
+    /// Two-sided `level` confidence interval half-width for the mean, i.e.
+    /// `z_{(1+level)/2} · sd`. Used for the ±95% bands in Fig. 5.
+    pub fn ci_half_width(&self, level: f64) -> f64 {
+        assert!((0.0..1.0).contains(&level), "ci level must be in [0,1)");
+        std_normal_quantile(0.5 + level / 2.0) * self.sd
+    }
+}
+
+/// Standard normal quantile (Acklam's algorithm + Halley polish).
+fn std_normal_quantile(p: f64) -> f64 {
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step against the exact CDF for full double precision.
+    let n = Normal::STANDARD;
+    let e = n.cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        let n = Normal::STANDARD;
+        let peak = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+        assert!((n.pdf(0.0) - peak).abs() < 1e-15);
+        assert!((n.pdf(1.3) - n.pdf(-1.3)).abs() < 1e-15);
+        assert!((n.ln_pdf(0.7) - n.pdf(0.7).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        let n = Normal::STANDARD;
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((n.cdf(1.96) - 0.975_002_104_851_780).abs() < 1e-9);
+        assert!((n.cdf(-1.96) - 0.024_997_895_148_220).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::new(2.0, 3.0);
+        for &p in &[1e-6, 0.01, 0.25, 0.5, 0.8, 0.99, 1.0 - 1e-6] {
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-12, "p={p}");
+        }
+        assert_eq!(n.quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(n.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ci_95_is_1_96_sigma() {
+        let n = Normal::new(0.0, 2.0);
+        assert!((n.ci_half_width(0.95) - 1.959_963_984_540_054 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sd must be positive")]
+    fn zero_sd_rejected() {
+        Normal::new(0.0, 0.0);
+    }
+}

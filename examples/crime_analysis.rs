@@ -1,0 +1,86 @@
+//! The paper's introductory use case: learn what drives violent crime
+//! rates across districts (§I, Fig. 1).
+//!
+//! Demonstrates: single real-valued target, a wide (122-attribute)
+//! description space, comparing the subjective-interestingness ranking
+//! against classic subgroup-discovery quality measures, and certifying the
+//! beam's answer with the exact branch-and-bound miner.
+//!
+//! ```sh
+//! cargo run --release --example crime_analysis
+//! ```
+
+use sisd_repro::baselines::{top_k_by_quality, DispersionCorrected, MeanShiftZ, Quality, WrAcc};
+use sisd_repro::data::datasets::crime_synthetic;
+use sisd_repro::model::BackgroundModel;
+use sisd_repro::search::{
+    branch_bound::branch_bound_search, BeamConfig, BeamSearch, BranchBoundConfig,
+};
+
+fn main() {
+    let data = crime_synthetic(42);
+    println!(
+        "crime simulacrum: {} districts, {} demographic attributes, target '{}'",
+        data.n(),
+        data.dx(),
+        data.target_names()[0]
+    );
+    let overall = data.target_mean_all()[0];
+    println!("overall violent-crime mean: {overall:.3}");
+
+    // --- SISD: beam search under the MaxEnt background model ---
+    let mut model = BackgroundModel::from_empirical(&data).expect("model");
+    let beam = BeamSearch::new(BeamConfig {
+        min_coverage: 20,
+        ..BeamConfig::default()
+    });
+    let result = beam.run(&data, &mut model);
+    println!("\n== subjective interestingness (this paper) ==");
+    for p in result.top.iter().take(3) {
+        println!("  {}", p.summary(&data));
+    }
+
+    // --- Certify with branch-and-bound (exact, dy = 1) ---
+    let model2 = BackgroundModel::from_empirical(&data).expect("model");
+    let bb = branch_bound_search(
+        &data,
+        &model2,
+        BranchBoundConfig {
+            max_depth: 2,
+            min_coverage: 20,
+            ..BranchBoundConfig::default()
+        },
+    );
+    let best = bb.best.expect("optimum exists");
+    println!(
+        "\nexact optimum (depth <= 2): {}\n  ({} nodes evaluated, {} subtrees pruned)",
+        best.summary(&data),
+        bb.evaluated,
+        bb.pruned
+    );
+
+    // --- Classic quality measures for contrast ---
+    println!("\n== classic subgroup-discovery baselines ==");
+    let measures: Vec<Box<dyn Quality>> = vec![
+        Box::new(WrAcc { threshold: overall + 0.2 }),
+        Box::new(MeanShiftZ { a: 0.5 }),
+        Box::new(DispersionCorrected { a: 0.5 }),
+    ];
+    for m in &measures {
+        let top = top_k_by_quality(&data, m.as_ref(), 1, 20, 2, 20);
+        if let Some(p) = top.first() {
+            println!(
+                "  {:<22} -> {} (quality {:.4}, n={})",
+                m.name(),
+                p.intention.describe(&data),
+                p.quality,
+                p.extension.count()
+            );
+        }
+    }
+    println!(
+        "\nAll objectives agree on the driver attribute here; the subjective-\n\
+         interestingness ranking additionally prices in coverage, multivariate\n\
+         structure and — across iterations — what the user has already seen."
+    );
+}

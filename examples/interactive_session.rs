@@ -1,0 +1,74 @@
+//! Manual control of the FORSIED loop: inspect the full beam log, choose a
+//! pattern yourself, explain it, then assimilate — the workflow of an
+//! analyst who doesn't always take the top suggestion.
+//!
+//! ```sh
+//! cargo run --release --example interactive_session
+//! ```
+
+use sisd_repro::core::explain_location;
+use sisd_repro::data::datasets::water_quality_synthetic;
+use sisd_repro::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+
+fn main() {
+    let data = water_quality_synthetic(42);
+    let config = MinerConfig {
+        beam: BeamConfig {
+            width: 20,
+            max_depth: 2,
+            top_k: 150,
+            min_coverage: 30,
+            ..BeamConfig::default()
+        },
+        sphere: SphereConfig::default(),
+        two_sparse_spread: false,
+        refit_tol: 1e-7,
+        refit_max_cycles: 50,
+    };
+    let mut miner = Miner::from_empirical(data.clone(), config).expect("model fits");
+
+    // 1. Search once and look at the whole log, not just the winner.
+    let result = miner.search_locations();
+    println!("beam log (top 5 of {}):", result.top.len());
+    for (rank, p) in result.top.iter().take(5).enumerate() {
+        println!("  #{:<2} {}", rank + 1, p.summary(&data));
+    }
+
+    // 2. Suppose the analyst prefers rank 3 (e.g. it names a taxon they
+    //    trust). Explain it against the current belief state first.
+    let chosen = result.top[2].clone();
+    println!("\nchosen pattern: {}", chosen.intention.describe(&data));
+    let explanation = explain_location(
+        miner.model(),
+        &data,
+        &chosen.intention,
+        &chosen.extension,
+    )
+    .expect("non-empty subgroup");
+    println!(
+        "{} of {} chemical parameters fall outside the 95% band:",
+        explanation.n_surprising(0.95),
+        data.dy()
+    );
+    print!("{}", explanation.render(5, 0.95));
+
+    // 3. Assimilate the *chosen* pattern (not the top one) and re-search:
+    //    everything redundant with it has collapsed.
+    miner.assimilate_location(&chosen).expect("assimilation");
+    let again = miner.search_locations();
+    println!("\nafter assimilating the chosen pattern, the new top is:");
+    println!("  {}", again.best().expect("pattern found").summary(&data));
+
+    // 4. The previously chosen subgroup is now unremarkable.
+    let re_explained = explain_location(
+        miner.model(),
+        &data,
+        &chosen.intention,
+        &chosen.extension,
+    )
+    .expect("non-empty subgroup");
+    println!(
+        "re-checking the chosen subgroup: {} parameters still surprising",
+        re_explained.n_surprising(0.95)
+    );
+}

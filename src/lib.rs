@@ -1,0 +1,12 @@
+//! Umbrella crate for the SISD reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can use a single import root.
+
+pub use sisd_baselines as baselines;
+pub use sisd_core as core;
+pub use sisd_data as data;
+pub use sisd_linalg as linalg;
+pub use sisd_model as model;
+pub use sisd_search as search;
+pub use sisd_stats as stats;

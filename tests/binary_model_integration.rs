@@ -1,0 +1,144 @@
+//! End-to-end and property tests for the binary-target extension (§V):
+//! Bernoulli MaxEnt model + binary beam search, including a run on the
+//! full-size mammal simulacrum.
+
+use proptest::prelude::*;
+use sisd_repro::data::datasets::mammals_synthetic;
+use sisd_repro::data::{BitSet, Column, Dataset};
+use sisd_repro::linalg::Matrix;
+use sisd_repro::model::BinaryBackgroundModel;
+use sisd_repro::search::{binary_beam_search, binary_step, BeamConfig};
+use sisd_repro::stats::Xoshiro256pp;
+
+prop_compose! {
+    fn probs()(v in prop::collection::vec(0.02f64..0.98, 4)) -> Vec<f64> { v }
+}
+
+prop_compose! {
+    fn extension()(bits in prop::collection::vec(any::<bool>(), 30)) -> BitSet {
+        let mut ext = BitSet::from_indices(
+            30,
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+        );
+        if ext.count() == 0 {
+            ext.insert(3);
+        }
+        ext
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binary_assimilation_enforces_means(prior in probs(), target in probs(), ext in extension()) {
+        let mut model = BinaryBackgroundModel::new(30, prior.clone()).unwrap();
+        model.assimilate_location(&ext, &target).unwrap();
+        let stats = model.location_stats(&ext).unwrap();
+        for (m, t) in stats.mean.iter().zip(&target) {
+            prop_assert!((m - t).abs() < 1e-6, "mean {m} target {t}");
+        }
+        // Complement untouched.
+        let rest = ext.complement();
+        if rest.count() > 0 {
+            let stats_rest = model.location_stats(&rest).unwrap();
+            for (m, p) in stats_rest.mean.iter().zip(&prior) {
+                prop_assert!((m - p).abs() < 1e-9);
+            }
+        }
+        // Probabilities stay inside (0, 1).
+        for cell in model.cells() {
+            for &p in &cell.p {
+                prop_assert!(p > 0.0 && p < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_ic_is_minimized_at_the_expectation(prior in probs(), ext in extension()) {
+        let model = BinaryBackgroundModel::new(30, prior).unwrap();
+        let stats = model.location_stats(&ext).unwrap();
+        let at_mean = model.location_ic(&ext, &stats.mean).unwrap();
+        // Any displaced observation is more surprising.
+        let displaced: Vec<f64> = stats.mean.iter().map(|m| (m + 0.3).min(0.99)).collect();
+        let away = model.location_ic(&ext, &displaced).unwrap();
+        prop_assert!(away >= at_mean - 1e-9);
+    }
+}
+
+#[test]
+fn binary_iterations_on_the_mammal_scale_are_non_redundant() {
+    let (data, _) = mammals_synthetic(2018);
+    let mut model = BinaryBackgroundModel::from_empirical(&data).unwrap();
+    let cfg = BeamConfig {
+        width: 8,
+        max_depth: 1,
+        top_k: 10,
+        min_coverage: 100,
+        ..BeamConfig::default()
+    };
+    let mut seen = Vec::new();
+    let mut last_si = f64::INFINITY;
+    for _ in 0..3 {
+        let p = binary_step(&data, &mut model, &cfg).expect("pattern found");
+        assert!(
+            seen.iter().all(|e: &BitSet| *e != p.extension),
+            "repeated extension"
+        );
+        // SI of successive top patterns is non-increasing up to search
+        // noise: the most informative pattern goes first.
+        assert!(p.score.si <= last_si * 1.05 + 1.0, "SI went up sharply");
+        last_si = p.score.si;
+        seen.push(p.extension);
+    }
+    assert!(model.n_cells() >= 3);
+}
+
+#[test]
+fn gaussian_and_binary_models_agree_on_the_top_driver() {
+    // On a planted single-driver binary dataset both scoring models should
+    // select the same describing attribute.
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let n = 400;
+    let flag: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+    let mut targets = Matrix::zeros(n, 2);
+    for i in 0..n {
+        let p0 = if flag[i] { 0.9 } else { 0.2 };
+        let p1 = if flag[i] { 0.1 } else { 0.6 };
+        targets[(i, 0)] = f64::from(u8::from(rng.bernoulli(p0)));
+        targets[(i, 1)] = f64::from(u8::from(rng.bernoulli(p1)));
+    }
+    let data = Dataset::new(
+        "agree",
+        vec!["flag".into(), "noise".into()],
+        vec![
+            Column::binary(&flag),
+            Column::Numeric((0..n).map(|_| rng.uniform()).collect()),
+        ],
+        vec!["a".into(), "b".into()],
+        targets,
+    );
+    let cfg = BeamConfig {
+        width: 10,
+        max_depth: 1,
+        top_k: 5,
+        min_coverage: 20,
+        ..BeamConfig::default()
+    };
+
+    let bin_model = BinaryBackgroundModel::from_empirical(&data).unwrap();
+    let bin_best = binary_beam_search(&data, &bin_model, &cfg)
+        .best()
+        .unwrap()
+        .clone();
+
+    let mut gauss = sisd_repro::model::BackgroundModel::from_empirical(&data).unwrap();
+    let gauss_result = sisd_repro::search::BeamSearch::new(cfg).run(&data, &mut gauss);
+    let gauss_best = gauss_result.best().unwrap();
+
+    assert_eq!(
+        bin_best.intention.conditions()[0].attr,
+        gauss_best.intention.conditions()[0].attr,
+        "models disagree on the driver"
+    );
+}

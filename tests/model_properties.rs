@@ -1,0 +1,161 @@
+//! Property-based tests of the background model's update machinery:
+//! for arbitrary extensions, targets, and directions, the I-projections
+//! must enforce their constraints exactly, preserve the Gaussian form
+//! (positive-definite covariances), leave untouched rows alone, and the
+//! cyclic refit must converge for overlapping constraint sets.
+
+use proptest::prelude::*;
+use sisd_repro::data::BitSet;
+use sisd_repro::linalg::{Cholesky, Matrix};
+use sisd_repro::model::BackgroundModel;
+
+const N: usize = 24;
+const DY: usize = 3;
+
+fn base_model() -> BackgroundModel {
+    let mu = vec![0.5, -1.0, 2.0];
+    let sigma = Matrix::from_rows(&[
+        &[2.0, 0.4, 0.1],
+        &[0.4, 1.5, -0.3],
+        &[0.1, -0.3, 1.0],
+    ]);
+    BackgroundModel::new(N, mu, sigma).unwrap()
+}
+
+prop_compose! {
+    /// Non-empty extension over [0, N).
+    fn extension()(bits in prop::collection::vec(any::<bool>(), N)) -> BitSet {
+        let mut ext = BitSet::from_indices(N, bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i));
+        if ext.count() == 0 {
+            ext.insert(0);
+        }
+        ext
+    }
+}
+
+prop_compose! {
+    fn target_vec()(v in prop::collection::vec(-5.0f64..5.0, DY)) -> Vec<f64> { v }
+}
+
+prop_compose! {
+    fn direction()(v in prop::collection::vec(-1.0f64..1.0, DY)) -> Vec<f64> {
+        let mut w = v;
+        if sisd_repro::linalg::normalize(&mut w) == 0.0 {
+            w = vec![1.0, 0.0, 0.0];
+        }
+        w
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn location_update_enforces_mean_exactly(ext in extension(), target in target_vec()) {
+        let mut model = base_model();
+        model.assimilate_location(&ext, target.clone()).unwrap();
+        // E[f_I] over the extension equals the target.
+        let mut mean = vec![0.0; DY];
+        for i in ext.iter() {
+            sisd_repro::linalg::add_assign(&mut mean, model.row_mean(i));
+        }
+        sisd_repro::linalg::scale(1.0 / ext.count() as f64, &mut mean);
+        for (m, t) in mean.iter().zip(&target) {
+            prop_assert!((m - t).abs() < 1e-9);
+        }
+        // Rows outside the extension are untouched.
+        for i in 0..N {
+            if !ext.contains(i) {
+                prop_assert_eq!(model.row_mean(i), &[0.5, -1.0, 2.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn spread_update_enforces_variance_exactly(
+        ext in extension(),
+        w in direction(),
+        center in target_vec(),
+        value in 0.05f64..10.0,
+    ) {
+        let mut model = base_model();
+        model.assimilate_spread(&ext, w.clone(), center.clone(), value).unwrap();
+        let st = model.spread_stats(&ext, &w, &center).unwrap();
+        prop_assert!(
+            (st.expected - value).abs() < 1e-6 * value.max(1.0),
+            "E[g] = {} instead of {}", st.expected, value
+        );
+        // All covariances stay positive definite.
+        for cell in model.cells() {
+            prop_assert!(Cholesky::new_with_jitter(&cell.sigma, 4).is_ok());
+        }
+    }
+
+    #[test]
+    fn overlapping_location_constraints_converge(
+        ext_a in extension(),
+        ext_b in extension(),
+        ta in target_vec(),
+        tb in target_vec(),
+    ) {
+        let mut model = base_model();
+        model.assimilate_location(&ext_a, ta).unwrap();
+        model.assimilate_location(&ext_b, tb).unwrap();
+        model.refit(1e-9, 2000).unwrap();
+        prop_assert!(
+            model.max_violation() < 1e-7,
+            "violation {} after refit", model.max_violation()
+        );
+    }
+
+    #[test]
+    fn updates_increase_divergence_from_prior(ext in extension(), target in target_vec()) {
+        let model = base_model();
+        let mut updated = model.clone();
+        updated.assimilate_location(&ext, target.clone()).unwrap();
+        let kl = updated.kl_divergence_from(&model);
+        prop_assert!(kl >= -1e-9, "negative KL {kl}");
+        // If the target differs from the prior mean, KL is strictly positive.
+        let shift: f64 = target.iter().zip([0.5, -1.0, 2.0]).map(|(a, b)| (a - b).abs()).sum();
+        if shift > 1e-6 {
+            prop_assert!(kl > 0.0);
+        }
+    }
+
+    #[test]
+    fn cells_always_partition_rows(ext_a in extension(), ext_b in extension()) {
+        let mut model = base_model();
+        model.assimilate_location(&ext_a, vec![0.0; DY]).unwrap();
+        model.assimilate_location(&ext_b, vec![1.0; DY]).unwrap();
+        let mut seen = BitSet::empty(N);
+        let mut total = 0;
+        for cell in model.cells() {
+            prop_assert!(seen.is_disjoint(&cell.ext), "overlapping cells");
+            seen = seen.or(&cell.ext);
+            total += cell.count;
+        }
+        prop_assert_eq!(total, N);
+        prop_assert_eq!(seen.count(), N);
+    }
+
+    #[test]
+    fn location_stats_consistent_with_row_params(ext in extension(), observed in target_vec()) {
+        let mut model = base_model();
+        // Perturb the model a bit first so the test is not trivial.
+        let half = BitSet::from_indices(N, 0..N / 2);
+        model.assimilate_location(&half, vec![1.0, 1.0, 1.0]).unwrap();
+
+        let stats = model.location_stats(&ext, &observed).unwrap();
+        // Recompute the mean directly from row parameters.
+        let mut mean = vec![0.0; DY];
+        for i in ext.iter() {
+            sisd_repro::linalg::add_assign(&mut mean, model.row_mean(i));
+        }
+        sisd_repro::linalg::scale(1.0 / ext.count() as f64, &mut mean);
+        for (a, b) in stats.mean.iter().zip(&mean) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        prop_assert!(stats.mahalanobis >= -1e-12);
+        prop_assert!(stats.log_det_cov.is_finite());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the interestingness scores across crates:
+//! SI = IC/DL mechanics, coverage monotonicity, assimilation collapse, and
+//! the χ²-mixture approximation invariants that the spread IC relies on.
+
+use proptest::prelude::*;
+use sisd_repro::core::{location_ic, location_si, spread_si, Condition, ConditionOp, DlParams, Intention};
+use sisd_repro::data::{BitSet, Column, Dataset};
+use sisd_repro::linalg::Matrix;
+use sisd_repro::model::BackgroundModel;
+use sisd_repro::stats::Chi2MixtureApprox;
+use sisd_repro::stats::Xoshiro256pp;
+
+/// Dataset with a planted displaced subgroup of controllable size.
+fn planted(n: usize, shift: f64, seed: u64) -> Dataset {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let flag: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let mut targets = Matrix::zeros(n, 2);
+    for i in 0..n {
+        let s = if flag[i] { shift } else { 0.0 };
+        targets[(i, 0)] = s + rng.normal();
+        targets[(i, 1)] = -s + rng.normal();
+    }
+    Dataset::new(
+        "planted",
+        vec!["flag".into()],
+        vec![Column::binary(&flag)],
+        vec!["y1".into(), "y2".into()],
+        targets,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn si_is_ic_over_dl(gamma in 0.01f64..2.0, conds in 1usize..5) {
+        let data = planted(60, 2.0, 9);
+        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let mut intent = Intention::empty();
+        for _ in 0..conds {
+            intent = intent.with(Condition { attr: 0, op: ConditionOp::Eq(1) });
+        }
+        let ext = BitSet::from_fn(60, |i| i % 3 == 0);
+        let dl = DlParams { gamma, eta: 1.0 };
+        let s = location_si(&mut model, &data, &intent, &ext, &dl).unwrap();
+        prop_assert!((s.dl - (gamma * conds as f64 + 1.0)).abs() < 1e-12);
+        prop_assert!((s.si - s.ic / s.dl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_shift_is_more_interesting(shift in 0.5f64..4.0) {
+        let weak = planted(90, shift, 5);
+        let strong = planted(90, shift + 1.0, 5);
+        let ext = BitSet::from_fn(90, |i| i % 3 == 0);
+        let mut m_weak = BackgroundModel::from_empirical(&weak).unwrap();
+        let mut m_strong = BackgroundModel::from_empirical(&strong).unwrap();
+        let obs_w = weak.target_mean(&ext);
+        let obs_s = strong.target_mean(&ext);
+        let ic_w = location_ic(&mut m_weak, &ext, &obs_w).unwrap();
+        let ic_s = location_ic(&mut m_strong, &ext, &obs_s).unwrap();
+        prop_assert!(
+            ic_s > ic_w,
+            "shift {shift}: IC did not grow ({ic_w} → {ic_s})"
+        );
+    }
+
+    #[test]
+    fn assimilation_always_collapses_si(seed in 0u64..500) {
+        let data = planted(60, 2.5, seed);
+        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let intent = Intention::empty().with(Condition { attr: 0, op: ConditionOp::Eq(1) });
+        let ext = intent.evaluate(&data);
+        let dl = DlParams::default();
+        let before = location_si(&mut model, &data, &intent, &ext, &dl).unwrap().si;
+        let mean = data.target_mean(&ext);
+        model.assimilate_location(&ext, mean).unwrap();
+        let after = location_si(&mut model, &data, &intent, &ext, &dl).unwrap().si;
+        prop_assert!(after < before, "{before} → {after}");
+        prop_assert!(after < 2.0, "post-assimilation SI too high: {after}");
+    }
+
+    #[test]
+    fn spread_si_is_symmetric_in_direction_sign(seed in 0u64..200) {
+        let data = planted(60, 2.0, seed);
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        let intent = Intention::empty();
+        let ext = BitSet::from_fn(60, |i| i % 3 == 0);
+        let mut w = vec![0.8, 0.6];
+        sisd_repro::linalg::normalize(&mut w);
+        let neg: Vec<f64> = w.iter().map(|v| -v).collect();
+        let dl = DlParams::default();
+        let a = spread_si(&model, &data, &intent, &ext, &w, &dl).unwrap();
+        let b = spread_si(&model, &data, &intent, &ext, &neg, &dl).unwrap();
+        prop_assert!((a.ic - b.ic).abs() < 1e-9, "IC(w) != IC(-w)");
+    }
+
+    #[test]
+    fn chi2_mixture_moments_are_exact(
+        coeffs in prop::collection::vec(0.01f64..5.0, 1..40)
+    ) {
+        let approx = Chi2MixtureApprox::from_coefficients(coeffs.iter().copied());
+        let mean: f64 = coeffs.iter().sum();
+        let var: f64 = 2.0 * coeffs.iter().map(|a| a * a).sum::<f64>();
+        prop_assert!((approx.mean() - mean).abs() < 1e-9 * mean.max(1.0));
+        prop_assert!((approx.variance() - var).abs() < 1e-9 * var.max(1.0));
+        prop_assert!(approx.m > 0.0);
+        prop_assert!(approx.alpha > 0.0);
+    }
+
+    #[test]
+    fn chi2_mixture_cdf_is_monotone(
+        coeffs in prop::collection::vec(0.05f64..3.0, 2..20),
+        probe in 0.0f64..1.0,
+    ) {
+        let approx = Chi2MixtureApprox::from_coefficients(coeffs.iter().copied());
+        let lo = approx.mean() * probe;
+        let hi = approx.mean() * (probe + 0.5);
+        prop_assert!(approx.cdf(lo) <= approx.cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&approx.cdf(lo)));
+    }
+
+    #[test]
+    fn ic_depends_only_on_extension_not_description(seed in 0u64..100) {
+        let data = planted(60, 2.0, seed);
+        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let short = Intention::empty().with(Condition { attr: 0, op: ConditionOp::Eq(1) });
+        let long = short.with(Condition { attr: 0, op: ConditionOp::Eq(1) });
+        let ext = short.evaluate(&data);
+        let dl = DlParams::default();
+        let a = location_si(&mut model, &data, &short, &ext, &dl).unwrap();
+        let b = location_si(&mut model, &data, &long, &ext, &dl).unwrap();
+        prop_assert!((a.ic - b.ic).abs() < 1e-12);
+        prop_assert!(b.si < a.si);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the spread-direction machinery: the optimizer's
+//! output must be a unit vector no worse than canonical directions, the IC
+//! must be sign-symmetric and rotation-consistent, and the 2-sparse variant
+//! must match the full search when `dy = 2`.
+
+use proptest::prelude::*;
+use sisd_repro::core::{spread_si, DlParams, Intention};
+use sisd_repro::data::{BitSet, Column, Dataset};
+use sisd_repro::linalg::Matrix;
+use sisd_repro::model::BackgroundModel;
+use sisd_repro::search::{optimize_direction, optimize_direction_two_sparse, SphereConfig};
+use sisd_repro::stats::Xoshiro256pp;
+
+/// Random 3-target dataset with an anisotropic planted subgroup.
+fn dataset(seed: u64) -> (Dataset, BitSet) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let n = 90;
+    let flag: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let mut targets = Matrix::zeros(n, 3);
+    for i in 0..n {
+        if flag[i] {
+            // Elongated cluster: big variance on axis 0, tiny on axis 2.
+            targets[(i, 0)] = 2.0 + 1.5 * rng.normal();
+            targets[(i, 1)] = -1.0 + 0.5 * rng.normal();
+            targets[(i, 2)] = 1.0 + 0.05 * rng.normal();
+        } else {
+            for j in 0..3 {
+                targets[(i, j)] = rng.normal();
+            }
+        }
+    }
+    let data = Dataset::new(
+        "sphere-prop",
+        vec!["flag".into()],
+        vec![Column::binary(&flag)],
+        vec!["t0".into(), "t1".into(), "t2".into()],
+        targets,
+    );
+    let ext = BitSet::from_fn(n, |i| i % 3 == 0);
+    (data, ext)
+}
+
+fn assimilated(seed: u64) -> (Dataset, BackgroundModel, BitSet) {
+    let (data, ext) = dataset(seed);
+    let mut model = BackgroundModel::from_empirical(&data).unwrap();
+    let mean = data.target_mean(&ext);
+    model.assimilate_location(&ext, mean).unwrap();
+    (data, model, ext)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn optimum_is_unit_norm_and_beats_axes(seed in 0u64..300) {
+        let (data, model, ext) = assimilated(seed);
+        let cfg = SphereConfig { random_starts: 4, ..SphereConfig::default() };
+        let res = optimize_direction(&model, &data, &ext, &cfg);
+        prop_assert!((sisd_repro::linalg::norm2(&res.w) - 1.0).abs() < 1e-9);
+        let dl = DlParams::default();
+        let intent = Intention::empty();
+        let best = spread_si(&model, &data, &intent, &ext, &res.w, &dl).unwrap().ic;
+        for j in 0..3 {
+            let mut axis = vec![0.0; 3];
+            axis[j] = 1.0;
+            let axis_ic = spread_si(&model, &data, &intent, &ext, &axis, &dl).unwrap().ic;
+            prop_assert!(best >= axis_ic - 1e-6, "axis {j} beats optimum: {axis_ic} > {best}");
+        }
+    }
+
+    #[test]
+    fn ic_is_sign_symmetric(seed in 0u64..300, a in -1.0f64..1.0, b in -1.0f64..1.0, c in -1.0f64..1.0) {
+        let (data, model, ext) = assimilated(seed);
+        let mut w = vec![a, b, c];
+        if sisd_repro::linalg::normalize(&mut w) == 0.0 {
+            w = vec![1.0, 0.0, 0.0];
+        }
+        let neg: Vec<f64> = w.iter().map(|v| -v).collect();
+        let dl = DlParams::default();
+        let intent = Intention::empty();
+        let p = spread_si(&model, &data, &intent, &ext, &w, &dl).unwrap();
+        let q = spread_si(&model, &data, &intent, &ext, &neg, &dl).unwrap();
+        prop_assert!((p.ic - q.ic).abs() < 1e-9);
+        prop_assert!((p.observed - q.observed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multistart_is_monotone_in_restarts(seed in 0u64..100) {
+        // More restarts can only improve (or tie) the best IC found.
+        let (data, model, ext) = assimilated(seed);
+        let few = optimize_direction(&model, &data, &ext, &SphereConfig {
+            random_starts: 1, seed: 9, ..SphereConfig::default()
+        });
+        let many = optimize_direction(&model, &data, &ext, &SphereConfig {
+            random_starts: 8, seed: 9, ..SphereConfig::default()
+        });
+        prop_assert!(many.ic >= few.ic - 1e-9, "{} < {}", many.ic, few.ic);
+    }
+}
+
+#[test]
+fn two_sparse_never_beats_full_search() {
+    // The 2-sparse feasible set is a subset of the sphere, so its optimum
+    // is at most the full optimum (up to optimizer tolerance).
+    for seed in [1u64, 5, 11] {
+        let (data, model, ext) = assimilated(seed);
+        let cfg = SphereConfig::default();
+        let full = optimize_direction(&model, &data, &ext, &cfg);
+        let sparse = optimize_direction_two_sparse(&model, &data, &ext, &cfg);
+        assert!(
+            sparse.ic <= full.ic + 1e-3,
+            "seed {seed}: sparse {} > full {}",
+            sparse.ic,
+            full.ic
+        );
+        // And the sparse direction has at most two non-zero coordinates.
+        let nz = sparse.w.iter().filter(|v| v.abs() > 1e-9).count();
+        assert!(nz <= 2);
+    }
+}
+
+#[test]
+fn planted_low_variance_axis_is_found() {
+    // Axis 2 has within-subgroup sd 0.05 vs background ≈ 1: the optimizer
+    // must put dominant weight there.
+    let (data, model, ext) = assimilated(3);
+    let res = optimize_direction(&model, &data, &ext, &SphereConfig::default());
+    assert!(
+        res.w[2].abs() > 0.9,
+        "expected axis-2 dominance, got {:?}",
+        res.w
+    );
+}
