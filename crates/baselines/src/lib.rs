@@ -148,8 +148,7 @@ pub fn top_k_by_quality(
     let cond_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
 
     let mut best: Vec<BaselinePattern> = Vec::new();
-    let mut frontier: Vec<(Intention, BitSet)> =
-        vec![(Intention::empty(), BitSet::full(data.n()))];
+    let mut frontier: Vec<(Intention, BitSet)> = vec![(Intention::empty(), BitSet::full(data.n()))];
 
     for _ in 0..max_depth {
         let mut level: Vec<BaselinePattern> = Vec::new();

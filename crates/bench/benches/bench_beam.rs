@@ -19,13 +19,16 @@ fn bench_beam(c: &mut Criterion) {
             top_k: 150,
             ..BeamConfig::default()
         };
-        group.bench_function(BenchmarkId::from_parameter(format!("w{width}_d{depth}")), |b| {
-            b.iter(|| {
-                let mut model = BackgroundModel::from_empirical(&data).unwrap();
-                let r = BeamSearch::new(cfg.clone()).run(black_box(&data), &mut model);
-                r.evaluated
-            })
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("w{width}_d{depth}")),
+            |b| {
+                b.iter(|| {
+                    let mut model = BackgroundModel::from_empirical(&data).unwrap();
+                    let r = BeamSearch::new(cfg.clone()).run(black_box(&data), &mut model);
+                    r.evaluated
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -23,9 +23,7 @@ fn bench_information_content(c: &mut Criterion) {
     c.bench_function("chi2mix_ic", |b| {
         b.iter(|| approx.information_content(black_box(37.5)))
     });
-    c.bench_function("chi2mix_cdf", |b| {
-        b.iter(|| approx.cdf(black_box(37.5)))
-    });
+    c.bench_function("chi2mix_cdf", |b| b.iter(|| approx.cdf(black_box(37.5))));
 }
 
 criterion_group!(benches, bench_from_coefficients, bench_information_content);

@@ -77,7 +77,11 @@ fn bench_spread_update(c: &mut Criterion) {
 fn bench_initial_fit(c: &mut Criterion) {
     let crime = crime_synthetic(5);
     c.bench_function("initial_fit_crime_n1994", |b| {
-        b.iter(|| BackgroundModel::from_empirical(black_box(&crime)).unwrap().n_cells())
+        b.iter(|| {
+            BackgroundModel::from_empirical(black_box(&crime))
+                .unwrap()
+                .n_cells()
+        })
     });
 }
 

@@ -9,9 +9,7 @@
 use sisd_bench::{f2, print_table, section};
 use sisd_data::datasets::crime_synthetic;
 use sisd_model::BackgroundModel;
-use sisd_search::{
-    branch_bound::branch_bound_search, BeamConfig, BeamSearch, BranchBoundConfig,
-};
+use sisd_search::{branch_bound::branch_bound_search, BeamConfig, BeamSearch, BranchBoundConfig};
 use std::time::Instant;
 
 fn main() {
@@ -67,7 +65,14 @@ fn main() {
         }
     }
     print_table(
-        &["width", "depth", "best SI", "% of optimum", "evaluated", "time"],
+        &[
+            "width",
+            "depth",
+            "best SI",
+            "% of optimum",
+            "evaluated",
+            "time",
+        ],
         &rows,
     );
     println!();

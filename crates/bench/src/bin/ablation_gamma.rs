@@ -46,7 +46,12 @@ fn main() {
         rows.push(vec![format!("{gamma}"), rank, top_len, top_si]);
     }
     print_table(
-        &["gamma", "rank of true cluster", "|C| of top pattern", "top SI"],
+        &[
+            "gamma",
+            "rank of true cluster",
+            "|C| of top pattern",
+            "top SI",
+        ],
         &rows,
     );
     println!();

@@ -40,7 +40,10 @@ fn main() {
         "subgroup mean: {}  (paper: 0.53 in subgroup vs 0.24 overall, 20.5% coverage)",
         f2(best.observed_mean[0])
     );
-    println!("evaluated {} candidates in {:?}", result.evaluated, result.elapsed);
+    println!(
+        "evaluated {} candidates in {:?}",
+        result.evaluated, result.elapsed
+    );
 
     // Top-5 patterns for context.
     let rows: Vec<Vec<String>> = result
@@ -81,7 +84,12 @@ fn main() {
     }
     print_tsv(
         "fig1",
-        &["violent_crime", "full_data", "covered_by_subgroup", "within_subgroup"],
+        &[
+            "violent_crime",
+            "full_data",
+            "covered_by_subgroup",
+            "within_subgroup",
+        ],
         &tsv,
     );
     println!();

@@ -61,7 +61,11 @@ fn main() {
         rows.push(vec![
             iter.to_string(),
             loc.intention.describe(&data),
-            format!("({}, {})", f2(loc.observed_mean[0]), f2(loc.observed_mean[1])),
+            format!(
+                "({}, {})",
+                f2(loc.observed_mean[0]),
+                f2(loc.observed_mean[1])
+            ),
             f2(loc.score.si),
             format!("({}, {})", f3(spread.w[0]), f3(spread.w[1])),
             format!("{angle:.1}"),

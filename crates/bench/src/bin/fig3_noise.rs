@@ -40,8 +40,7 @@ fn main() {
                 if ext.count() == 0 {
                     continue;
                 }
-                let s = location_si(&mut model, &corrupted, &intent, &ext, &dl)
-                    .expect("non-empty");
+                let s = location_si(&mut model, &corrupted, &intent, &ext, &dl).expect("non-empty");
                 *sum += s.si;
             }
             // Baseline: random subgroup of size 40 with a 1-condition DL.
@@ -74,7 +73,13 @@ fn main() {
     }
 
     print_table(
-        &["distortion", "SI a3='1'", "SI a4='1'", "SI a5='1'", "baseline"],
+        &[
+            "distortion",
+            "SI a3='1'",
+            "SI a4='1'",
+            "SI a5='1'",
+            "baseline",
+        ],
         &rows,
     );
     print_tsv(

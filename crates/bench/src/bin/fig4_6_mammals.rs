@@ -12,7 +12,12 @@ use sisd_search::{BeamConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
 fn main() {
     let (data, coords) = mammals_synthetic(2018);
     section("Figs. 4–6 — mammal simulacrum, 3 iterations of location patterns");
-    println!("n={} climate attrs={} species={}", data.n(), data.dx(), data.dy());
+    println!(
+        "n={} climate attrs={} species={}",
+        data.n(),
+        data.dx(),
+        data.dy()
+    );
 
     let config = MinerConfig {
         beam: BeamConfig {

@@ -51,11 +51,7 @@ fn main() {
         section(&format!("iteration {iter}"));
         println!("location : {}", best.summary(&data));
         // Fraction of the subgroup that is planted-eastern.
-        let east_frac = best
-            .extension
-            .iter()
-            .filter(|&i| truth.east[i])
-            .count() as f64
+        let east_frac = best.extension.iter().filter(|&i| truth.east[i]).count() as f64
             / best.extension.count() as f64;
         println!("eastern share of subgroup: {:.1}%", 100.0 * east_frac);
 

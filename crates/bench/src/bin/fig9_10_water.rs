@@ -13,7 +13,12 @@ use sisd_search::{BeamConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
 fn main() {
     let data = water_quality_synthetic(2018);
     section("Figs. 9–10 — water-quality simulacrum: location + full-sphere spread");
-    println!("n={} bioindicators={} chemical targets={}", data.n(), data.dx(), data.dy());
+    println!(
+        "n={} bioindicators={} chemical targets={}",
+        data.n(),
+        data.dx(),
+        data.dy()
+    );
 
     let config = MinerConfig {
         beam: BeamConfig {

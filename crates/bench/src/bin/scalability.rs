@@ -7,8 +7,8 @@
 //! per search, plus the speedup of `BeamSearch::run_parallel`.
 
 use sisd_bench::{print_table, section};
-use sisd_data::{BitSet, Column, Dataset};
 use sisd_data::datasets::crime_synthetic;
+use sisd_data::{BitSet, Column, Dataset};
 use sisd_linalg::Matrix;
 use sisd_model::BackgroundModel;
 use sisd_search::{BeamConfig, BeamSearch};

@@ -42,14 +42,8 @@ fn main() {
             }
         } else {
             for (k, p) in top10.iter().enumerate() {
-                let s = location_si(
-                    miner.model_mut(),
-                    &data,
-                    &p.intention,
-                    &p.extension,
-                    &dl,
-                )
-                .expect("non-empty");
+                let s = location_si(miner.model_mut(), &data, &p.intention, &p.extension, &dl)
+                    .expect("non-empty");
                 si_by_iter[k].push(s.si);
             }
         }
@@ -67,10 +61,7 @@ fn main() {
         .iter()
         .zip(&si_by_iter)
         .map(|(p, sis)| {
-            let mut row = vec![
-                p.intention.describe(&data),
-                p.extension.count().to_string(),
-            ];
+            let mut row = vec![p.intention.describe(&data), p.extension.count().to_string()];
             row.extend(sis.iter().map(|&s| f2(s)));
             row
         })

@@ -15,12 +15,14 @@
 //! The search strategies (§II-D) live in the `sisd-search` crate, which
 //! composes these pieces with the `sisd-model` background distribution.
 
+pub mod error;
 pub mod explain;
 pub mod parse;
 pub mod pattern;
 pub mod result;
 pub mod score;
 
+pub use error::{SisdError, SisdResult};
 pub use explain::{explain_location, AttributeSurprise, LocationExplanation};
 pub use parse::{parse_intention, ParseError};
 pub use pattern::{Condition, ConditionOp, Intention};

@@ -57,35 +57,35 @@ fn parse_condition(data: &Dataset, text: &str) -> Result<Condition, ParseError> 
         .ok_or_else(|| ParseError::UnknownAttribute(name.to_string()))?;
     let col = data.desc_col(attr);
 
-    let op = match kind {
-        0 | 1 => {
-            if !col.is_numeric() {
-                return Err(ParseError::TypeMismatch(text.to_string()));
+    let op =
+        match kind {
+            0 | 1 => {
+                if !col.is_numeric() {
+                    return Err(ParseError::TypeMismatch(text.to_string()));
+                }
+                let t: f64 = value
+                    .parse()
+                    .map_err(|_| ParseError::BadThreshold(value.to_string()))?;
+                if kind == 0 {
+                    ConditionOp::Ge(t)
+                } else {
+                    ConditionOp::Le(t)
+                }
             }
-            let t: f64 = value
-                .parse()
-                .map_err(|_| ParseError::BadThreshold(value.to_string()))?;
-            if kind == 0 {
-                ConditionOp::Ge(t)
-            } else {
-                ConditionOp::Le(t)
-            }
-        }
-        _ => {
-            let (_, labels) = col
-                .as_categorical()
-                .ok_or_else(|| ParseError::TypeMismatch(text.to_string()))?;
-            let label = value.trim_matches('\'');
-            let level = labels
-                .iter()
-                .position(|l| l == label)
-                .ok_or_else(|| ParseError::UnknownLevel {
-                    attribute: name.to_string(),
-                    level: label.to_string(),
+            _ => {
+                let (_, labels) = col
+                    .as_categorical()
+                    .ok_or_else(|| ParseError::TypeMismatch(text.to_string()))?;
+                let label = value.trim_matches('\'');
+                let level = labels.iter().position(|l| l == label).ok_or_else(|| {
+                    ParseError::UnknownLevel {
+                        attribute: name.to_string(),
+                        level: label.to_string(),
+                    }
                 })?;
-            ConditionOp::Eq(level as u32)
-        }
-    };
+                ConditionOp::Eq(level as u32)
+            }
+        };
     Ok(Condition { attr, op })
 }
 

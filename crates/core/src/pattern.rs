@@ -38,12 +38,8 @@ impl Condition {
     pub fn evaluate(&self, data: &Dataset) -> BitSet {
         let col = data.desc_col(self.attr);
         match (self.op, col) {
-            (ConditionOp::Ge(t), Column::Numeric(v)) => {
-                BitSet::from_fn(data.n(), |i| v[i] >= t)
-            }
-            (ConditionOp::Le(t), Column::Numeric(v)) => {
-                BitSet::from_fn(data.n(), |i| v[i] <= t)
-            }
+            (ConditionOp::Ge(t), Column::Numeric(v)) => BitSet::from_fn(data.n(), |i| v[i] >= t),
+            (ConditionOp::Le(t), Column::Numeric(v)) => BitSet::from_fn(data.n(), |i| v[i] <= t),
             (ConditionOp::Eq(level), Column::Categorical { codes, .. }) => {
                 BitSet::from_fn(data.n(), |i| codes[i] == level)
             }
@@ -254,10 +250,7 @@ mod tests {
             attr: 1,
             op: ConditionOp::Eq(1),
         });
-        assert_eq!(
-            child.refine_extension(&d, &parent_ext),
-            child.evaluate(&d)
-        );
+        assert_eq!(child.refine_extension(&d, &parent_ext), child.evaluate(&d));
     }
 
     #[test]

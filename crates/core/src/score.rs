@@ -77,8 +77,10 @@ pub fn location_ic(
 ) -> Result<f64, ModelError> {
     let stats = model.location_stats(ext, observed_mean)?;
     let dy = model.dy() as f64;
-    Ok(0.5 * (dy * (2.0 * std::f64::consts::PI).ln() + stats.log_det_cov)
-        + 0.5 * stats.mahalanobis)
+    Ok(
+        0.5 * (dy * (2.0 * std::f64::consts::PI).ln() + stats.log_det_cov)
+            + 0.5 * stats.mahalanobis,
+    )
 }
 
 /// Full SI evaluation for a location pattern given its intention and the
@@ -252,10 +254,7 @@ mod tests {
         let after = location_si(&mut model, &data, &intent, &ext, &DlParams::default())
             .unwrap()
             .si;
-        assert!(
-            after < before - 1.0,
-            "SI did not drop: {before} → {after}"
-        );
+        assert!(after < before - 1.0, "SI did not drop: {before} → {after}");
     }
 
     #[test]
@@ -334,8 +333,14 @@ mod tests {
         let intent = flag_intention();
         let empty = BitSet::empty(20);
         assert!(location_si(&mut model, &data, &intent, &empty, &DlParams::default()).is_err());
-        assert!(
-            spread_si(&model, &data, &intent, &empty, &[1.0, 0.0], &DlParams::default()).is_err()
-        );
+        assert!(spread_si(
+            &model,
+            &data,
+            &intent,
+            &empty,
+            &[1.0, 0.0],
+            &DlParams::default()
+        )
+        .is_err());
     }
 }

@@ -1,0 +1,205 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The real criterion pulls in a sizable dependency tree that is not
+//! available in this repository's hermetic build environment. This shim
+//! implements just the API surface the `sisd-bench` benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a small
+//! fixed-iteration timer that reports the median wall-clock time per
+//! iteration. Numbers are indicative, not statistically rigorous; swap the
+//! workspace `criterion` dependency back to crates.io for real measurements.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Number of timed samples per benchmark. Each sample runs the closure once
+/// after a single warm-up call.
+const SAMPLES: usize = 10;
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: SAMPLES,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), SAMPLES, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under the given id.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value, criterion-style.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. Present for API compatibility; the shim has no
+    /// per-group teardown.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the closure under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per timed window. The return
+    /// value is passed through [`std::hint::black_box`] so the computation
+    /// is not optimized away.
+    ///
+    /// Nanosecond-scale routines are batched so each timed window is long
+    /// enough to amortize the `Instant::now()` overhead; the recorded sample
+    /// is the window time divided by the batch size.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up doubles as calibration for the batch size.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let estimate_ns = start.elapsed().as_nanos().max(1);
+        const TARGET_WINDOW_NS: u128 = 20_000;
+        let batch = (TARGET_WINDOW_NS / estimate_ns).clamp(1, 100_000) as u32;
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() / u128::from(batch));
+        }
+    }
+}
+
+fn run_one<F>(id: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples,
+        samples_ns: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    let mut ns = bencher.samples_ns;
+    if ns.is_empty() {
+        println!("  {id}: no samples (routine never called iter)");
+        return;
+    }
+    ns.sort_unstable();
+    let median = ns[ns.len() / 2];
+    println!(
+        "  {id}: median {} per iter ({} samples)",
+        fmt_ns(median),
+        ns.len()
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

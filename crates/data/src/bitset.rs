@@ -164,10 +164,7 @@ impl BitSet {
 
     /// True when the sets share no element.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// True when `self ⊆ other`.

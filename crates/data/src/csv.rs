@@ -132,11 +132,15 @@ pub fn dataset_from_csv_str(
             continue;
         }
         let raw: Vec<&str> = rows.iter().map(|r| r[cidx].trim()).collect();
-        let all_numeric = raw.iter().all(|v| !v.is_empty() && v.parse::<f64>().is_ok());
-        let col = if all_numeric {
-            Column::Numeric(raw.iter().map(|v| v.parse().unwrap()).collect())
-        } else {
-            Column::categorical_from_strs(&raw)
+        // Parse each cell at most once: a column is numeric iff every cell
+        // is non-empty and parses, otherwise it falls back to categorical.
+        let numeric: Option<Vec<f64>> = raw
+            .iter()
+            .map(|v| if v.is_empty() { None } else { v.parse().ok() })
+            .collect();
+        let col = match numeric {
+            Some(values) => Column::Numeric(values),
+            None => Column::categorical_from_strs(&raw),
         };
         desc_names.push(cname.clone());
         desc_cols.push(col);
@@ -228,7 +232,10 @@ south,2.5,40,0.4
         let d = dataset_from_csv_str("s", SAMPLE, &["score", "outcome"]).unwrap();
         assert_eq!(d.dy(), 2);
         assert_eq!(d.dx(), 2);
-        assert_eq!(d.target_names(), &["score".to_string(), "outcome".to_string()]);
+        assert_eq!(
+            d.target_names(),
+            &["score".to_string(), "outcome".to_string()]
+        );
     }
 
     #[test]

@@ -92,7 +92,8 @@ pub fn mammals_synthetic(seed: u64) -> (Dataset, Vec<(f64, f64)>) {
             .map(|i| {
                 let south_dryness = (-northness[i]).max(0.0);
                 let base = 65.0 + 18.0 * regional[i] - 12.0 * continentality[i];
-                let seasonal = -35.0 * summer * south_dryness + 8.0 * summer * northness[i].max(0.0);
+                let seasonal =
+                    -35.0 * summer * south_dryness + 8.0 * summer * northness[i].max(0.0);
                 (base + seasonal + rng.normal_with(0.0, 6.0)).max(0.0)
             })
             .collect();
@@ -108,17 +109,23 @@ pub fn mammals_synthetic(seed: u64) -> (Dataset, Vec<(f64, f64)>) {
             let idx = names.iter().position(|n| n == name).expect("field exists");
             fields[idx].clone()
         };
-        let push_derived = |name: String, vals: Vec<f64>,
-                                desc_names: &mut Vec<String>,
-                                desc_cols: &mut Vec<Column>,
-                                climate_fields: &mut Vec<Vec<f64>>| {
+        let push_derived = |name: String,
+                            vals: Vec<f64>,
+                            desc_names: &mut Vec<String>,
+                            desc_cols: &mut Vec<Column>,
+                            climate_fields: &mut Vec<Vec<f64>>| {
             desc_names.push(name);
             climate_fields.push(vals.clone());
             desc_cols.push(Column::Numeric(vals));
         };
 
         // Quarterly temperature and rain means (8 indicators).
-        for (qi, months) in [(0, [11usize, 0, 1]), (1, [2, 3, 4]), (2, [5, 6, 7]), (3, [8, 9, 10])] {
+        for (qi, months) in [
+            (0, [11usize, 0, 1]),
+            (1, [2, 3, 4]),
+            (2, [5, 6, 7]),
+            (3, [8, 9, 10]),
+        ] {
             let t: Vec<f64> = (0..N)
                 .map(|i| months.iter().map(|&m| climate_fields[m][i]).sum::<f64>() / 3.0)
                 .collect();
@@ -130,7 +137,13 @@ pub fn mammals_synthetic(seed: u64) -> (Dataset, Vec<(f64, f64)>) {
                 &mut climate_fields,
             );
             let r: Vec<f64> = (0..N)
-                .map(|i| months.iter().map(|&m| climate_fields[12 + m][i]).sum::<f64>() / 3.0)
+                .map(|i| {
+                    months
+                        .iter()
+                        .map(|&m| climate_fields[12 + m][i])
+                        .sum::<f64>()
+                        / 3.0
+                })
                 .collect();
             push_derived(
                 format!("rain_q{qi}"),
@@ -146,17 +159,29 @@ pub fn mammals_synthetic(seed: u64) -> (Dataset, Vec<(f64, f64)>) {
             .map(|i| (0..12).map(|m| climate_fields[m][i]).sum::<f64>() / 12.0)
             .collect();
         let tmax: Vec<f64> = (0..N)
-            .map(|i| (0..12).map(|m| climate_fields[m][i]).fold(f64::MIN, f64::max))
+            .map(|i| {
+                (0..12)
+                    .map(|m| climate_fields[m][i])
+                    .fold(f64::MIN, f64::max)
+            })
             .collect();
         let tmin: Vec<f64> = (0..N)
-            .map(|i| (0..12).map(|m| climate_fields[m][i]).fold(f64::MAX, f64::min))
+            .map(|i| {
+                (0..12)
+                    .map(|m| climate_fields[m][i])
+                    .fold(f64::MAX, f64::min)
+            })
             .collect();
         let trange: Vec<f64> = (0..N).map(|i| tmax[i] - tmin[i]).collect();
         let rtotal: Vec<f64> = (0..N)
             .map(|i| (0..12).map(|m| climate_fields[12 + m][i]).sum::<f64>())
             .collect();
         let rdriest: Vec<f64> = (0..N)
-            .map(|i| (0..12).map(|m| climate_fields[12 + m][i]).fold(f64::MAX, f64::min))
+            .map(|i| {
+                (0..12)
+                    .map(|m| climate_fields[12 + m][i])
+                    .fold(f64::MAX, f64::min)
+            })
             .collect();
         for (nm, v) in [
             ("temp_annual_mean", tmean.clone()),
@@ -321,7 +346,10 @@ mod tests {
     #[test]
     fn march_temperature_decreases_northward() {
         let (d, coords) = mammals_synthetic(3);
-        let tm = d.desc_col(d.desc_index("temp_mar").unwrap()).as_numeric().unwrap();
+        let tm = d
+            .desc_col(d.desc_index("temp_mar").unwrap())
+            .as_numeric()
+            .unwrap();
         // Correlation with latitude must be clearly negative.
         let lat: Vec<f64> = coords.iter().map(|&(la, _)| la).collect();
         let n = d.n() as f64;

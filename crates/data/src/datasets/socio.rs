@@ -151,19 +151,19 @@ pub fn german_socio_synthetic(seed: u64) -> (Dataset, SocioGroundTruth) {
         Column::Numeric(unemployed),
         Column::Numeric(jobs_density),
     ];
-    let target_names = ["CDU_2009", "SPD_2009", "FDP_2009", "GREEN_2009", "LEFT_2009"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let target_names = [
+        "CDU_2009",
+        "SPD_2009",
+        "FDP_2009",
+        "GREEN_2009",
+        "LEFT_2009",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
 
     let dataset = Dataset::new("german-socio", desc_names, desc_cols, target_names, targets);
-    (
-        dataset,
-        SocioGroundTruth {
-            east,
-            urbanization,
-        },
-    )
+    (dataset, SocioGroundTruth { east, urbanization })
 }
 
 #[cfg(test)]

@@ -57,9 +57,9 @@ pub fn synthetic_paper(seed: u64) -> (Dataset, SyntheticGroundTruth) {
     // Three clusters at distance 2 from the origin, at evenly spread
     // angles, each elongated along a distinct major axis.
     let center_angles = [
-        std::f64::consts::FRAC_PI_2,                                // up
+        std::f64::consts::FRAC_PI_2, // up
         std::f64::consts::FRAC_PI_2 + 2.0 * std::f64::consts::FRAC_PI_3 * 2.0, // lower right
-        std::f64::consts::FRAC_PI_2 + 2.0 * std::f64::consts::FRAC_PI_3,       // lower left
+        std::f64::consts::FRAC_PI_2 + 2.0 * std::f64::consts::FRAC_PI_3, // lower left
     ];
     let major_axis_angles = [0.0, 1.1, 2.2];
     let mut centers = Vec::with_capacity(N_CLUSTERS);

@@ -126,7 +126,13 @@ pub fn water_quality_synthetic(seed: u64) -> Dataset {
         }
     }
 
-    Dataset::new("water-quality", desc_names, desc_cols, target_names, targets)
+    Dataset::new(
+        "water-quality",
+        desc_names,
+        desc_cols,
+        target_names,
+        targets,
+    )
 }
 
 #[cfg(test)]
@@ -172,10 +178,7 @@ mod tests {
         let ext = paper_subgroup(&d);
         // Paper reports 91 of 1060 records; accept a generous band.
         let cnt = ext.count();
-        assert!(
-            (40..300).contains(&cnt),
-            "paper subgroup has {cnt} records"
-        );
+        assert!((40..300).contains(&cnt), "paper subgroup has {cnt} records");
         let sub = d.target_mean(&ext);
         let all = d.target_mean_all();
         let bod = d.target_names().iter().position(|n| n == "bod").unwrap();

@@ -28,9 +28,9 @@ pub enum Binning {
 pub fn discretize(values: &[f64], bins: usize, strategy: Binning) -> Column {
     assert!(bins >= 2, "discretize: need at least 2 bins");
     assert!(!values.is_empty(), "discretize: empty column");
-    let (min, max) = values.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (min, max) = values
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
 
     // Interior cut points, deduplicated and strictly inside (min, max).
     let mut cuts: Vec<f64> = Vec::with_capacity(bins - 1);
@@ -81,7 +81,13 @@ pub fn discretize_attribute(
         .desc_cols()
         .iter()
         .enumerate()
-        .map(|(j, c)| if j == attr { new_col.clone() } else { c.clone() })
+        .map(|(j, c)| {
+            if j == attr {
+                new_col.clone()
+            } else {
+                c.clone()
+            }
+        })
         .collect();
     Dataset::new(
         data.name.clone(),

@@ -21,6 +21,6 @@ pub mod discretize;
 pub mod table;
 
 pub use bitset::BitSet;
-pub use discretize::{discretize, discretize_attribute, Binning};
 pub use column::Column;
+pub use discretize::{discretize, discretize_attribute, Binning};
 pub use table::Dataset;

@@ -192,12 +192,7 @@ mod tests {
 
     fn toy() -> Dataset {
         // 4 rows, 1 categorical + 1 numeric descriptor, 2 targets.
-        let targets = Matrix::from_rows(&[
-            &[1.0, 10.0],
-            &[2.0, 20.0],
-            &[3.0, 30.0],
-            &[4.0, 40.0],
-        ]);
+        let targets = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0], &[4.0, 40.0]]);
         Dataset::new(
             "toy",
             vec!["cat".into(), "num".into()],

@@ -416,11 +416,7 @@ mod tests {
 
     #[test]
     fn submatrix_extraction() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 9.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
         let s = a.principal_submatrix(&[0, 2]);
         assert_eq!(s.as_slice(), &[1.0, 3.0, 7.0, 9.0]);
     }

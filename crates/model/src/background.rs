@@ -246,8 +246,7 @@ impl BackgroundModel {
                     *o += w * s;
                 }
             }
-            let (chol, _) =
-                Cholesky::new_with_jitter(&cov, 8).map_err(|_| ModelError::BadPrior)?;
+            let (chol, _) = Cholesky::new_with_jitter(&cov, 8).map_err(|_| ModelError::BadPrior)?;
             (chol.log_det(), chol.inv_quad_form(&resid))
         };
         Ok(LocationStats {
@@ -311,8 +310,7 @@ impl BackgroundModel {
                     *o += w * s;
                 }
             }
-            let (chol, _) =
-                Cholesky::new_with_jitter(&cov, 8).map_err(|_| ModelError::BadPrior)?;
+            let (chol, _) = Cholesky::new_with_jitter(&cov, 8).map_err(|_| ModelError::BadPrior)?;
             (chol.log_det(), chol.inv_quad_form(&resid))
         };
 
@@ -485,7 +483,8 @@ impl BackgroundModel {
 
         for (&g, st) in inside.iter().zip(&stats) {
             let q = 1.0 + lambda * st.s;
-            let u = self.cells[g].sigma_mul(w); // Σw
+            // u = Σw, shared by both updates.
+            let u = self.cells[g].sigma_mul(w);
             // μ ← μ + (λ d / q) Σw          (Eq. 10)
             sisd_linalg::axpy(lambda * st.d / q, &u, &mut self.cells[g].mu);
             // Σ ← Σ − (λ/q) (Σw)(Σw)ᵀ       (Eq. 11)
@@ -647,7 +646,8 @@ impl BackgroundModel {
         assert_eq!(self.dy, other.dy, "kl: dimension mismatch");
         let d = self.dy as f64;
         // Cache per (cell_self, cell_other) pair.
-        let mut cache: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+        let mut cache: std::collections::HashMap<(u32, u32), f64> =
+            std::collections::HashMap::new();
         let mut total = 0.0;
         for i in 0..self.n {
             let key = (self.cell_of_row[i], other.cell_of_row[i]);

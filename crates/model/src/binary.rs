@@ -209,11 +209,7 @@ impl BinaryBackgroundModel {
 
     /// Assimilates a location pattern: tilts covered rows' log-odds so the
     /// expected subgroup mean matches `target`, attribute by attribute.
-    pub fn assimilate_location(
-        &mut self,
-        ext: &BitSet,
-        target: &[f64],
-    ) -> Result<(), ModelError> {
+    pub fn assimilate_location(&mut self, ext: &BitSet, target: &[f64]) -> Result<(), ModelError> {
         if ext.count() == 0 {
             return Err(ModelError::EmptyExtension);
         }
@@ -262,10 +258,7 @@ impl BinaryBackgroundModel {
 
     /// Per-attribute `(mean, sd)` marginals of the subgroup mean — the
     /// binary analogue of the Gaussian model's `location_marginals`.
-    pub fn location_marginals(
-        &self,
-        ext: &BitSet,
-    ) -> Result<Vec<(f64, f64)>, ModelError> {
+    pub fn location_marginals(&self, ext: &BitSet) -> Result<Vec<(f64, f64)>, ModelError> {
         let stats = self.location_stats(ext)?;
         Ok(stats.mean.into_iter().zip(stats.sd).collect())
     }
@@ -335,7 +328,7 @@ mod tests {
             .unwrap();
         m.assimilate_location(&BitSet::from_indices(20, 4..12), &[0.6, 0.4])
             .unwrap();
-        let total: usize = m.cells().iter().map(|c| c.count) .sum();
+        let total: usize = m.cells().iter().map(|c| c.count).sum();
         assert_eq!(total, 20);
         assert!(m.n_cells() >= 3);
     }

@@ -150,9 +150,21 @@ mod tests {
     #[test]
     fn solution_satisfies_constraint_with_mixed_cells() {
         let stats = vec![
-            SpreadCellStat { n: 25.0, s: 1.5, d: 0.3 },
-            SpreadCellStat { n: 10.0, s: 0.7, d: -1.1 },
-            SpreadCellStat { n: 5.0, s: 3.0, d: 0.0 },
+            SpreadCellStat {
+                n: 25.0,
+                s: 1.5,
+                d: 0.3,
+            },
+            SpreadCellStat {
+                n: 10.0,
+                s: 0.7,
+                d: -1.1,
+            },
+            SpreadCellStat {
+                n: 5.0,
+                s: 3.0,
+                d: 0.0,
+            },
         ];
         let target = 30.0;
         let lambda = solve_spread_lambda(&stats, target).unwrap();

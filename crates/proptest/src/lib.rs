@@ -1,0 +1,337 @@
+//! Minimal offline stand-in for the `proptest` property-testing harness.
+//!
+//! The real proptest brings a dependency tree that is not available in this
+//! repository's hermetic build environment. This shim implements just the
+//! API surface the integration tests use — the [`Strategy`] trait over
+//! numeric ranges and collections, [`any`], `prop::collection::vec`, the
+//! [`proptest!`] / [`prop_compose!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * Inputs are drawn from a fixed-seed splitmix64 stream, so every run of a
+//!   test executes the identical case sequence (CI is reproducible).
+//! * There is no shrinking: a failing case reports its index and message and
+//!   panics immediately.
+
+use std::fmt;
+
+/// How a test case signals failure without panicking (so the driver can
+/// attach the case index). Produced by [`prop_assert!`] and friends.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed-assertion error with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-`proptest!` block configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 input stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The stream for one (test, case) pair. Seeded from both a per-test
+    /// discriminator and the case index, so different tests (and different
+    /// cases of one test) draw different inputs, while every run of the
+    /// suite sees the same sequence.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name keeps the discriminator dependency-free.
+        let mut name_hash = 0xcbf2_9ce4_8422_2325_u64;
+        for b in test_name.bytes() {
+            name_hash = (name_hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            state: name_hash
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(case.wrapping_mul(0x2545_f491_4f6c_dd1d)),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values of one type. The shim equivalent of
+/// proptest's `Strategy`, minus shrinking.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty u64 strategy range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty usize strategy range");
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty i64 strategy range");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as i64
+    }
+}
+
+/// Strategy built from a draw function. Returned by [`prop_compose!`].
+pub struct FnStrategy<F> {
+    draw: F,
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.draw)(rng)
+    }
+}
+
+/// Wraps a draw function as a [`Strategy`].
+pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(draw: F) -> FnStrategy<F> {
+    FnStrategy { draw }
+}
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Bounded rather than bit-pattern arbitrary: the numeric code under
+        // test documents finite inputs.
+        (rng.next_f64() - 0.5) * 2e6
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> impl Strategy<Value = T> {
+    from_fn(|rng| T::arbitrary(rng))
+}
+
+/// Element-count specification for collection strategies: a fixed size or a
+/// half-open range of sizes.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+
+        /// A `Vec` whose length is drawn from `size` and whose elements are
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(
+            element: S,
+            size: impl Into<SizeRange>,
+        ) -> impl Strategy<Value = Vec<S::Value>> {
+            let size = size.into();
+            super::super::from_fn(move |rng| {
+                let span = size.end - size.start;
+                let len = size.start + (rng.next_u64() as usize) % span.max(1);
+                (0..len).map(|_| element.generate(rng)).collect()
+            })
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_compose, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Declares a named strategy function, mirroring proptest's `prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $v:vis fn $name:ident ($($fnargs:tt)*) ($($var:ident in $strat:expr),+ $(,)?) -> $ty:ty $body:block) => {
+        $(#[$meta])*
+        $v fn $name($($fnargs)*) -> impl $crate::Strategy<Value = $ty> {
+            $crate::from_fn(move |rng: &mut $crate::TestRng| {
+                $(let $var = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Declares property tests, mirroring proptest's `proptest!` block form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(err) = result {
+                        panic!("proptest case {case} failed: {err}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest driver.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest driver.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}

@@ -7,7 +7,9 @@
 //! four percentile split points, and an optional wall-clock budget.
 
 use crate::refine::{generate_conditions, RefineConfig};
-use sisd_core::{location_si, location_si_shared, ConditionOp, DlParams, Intention, LocationPattern};
+use sisd_core::{
+    location_si, location_si_shared, ConditionOp, DlParams, Intention, LocationPattern,
+};
 use sisd_data::{BitSet, Dataset};
 use sisd_model::BackgroundModel;
 use std::collections::HashSet;
@@ -109,9 +111,7 @@ impl TopK {
     }
 
     fn push(&mut self, p: LocationPattern) {
-        let pos = self
-            .items
-            .partition_point(|q| q.score.si >= p.score.si);
+        let pos = self.items.partition_point(|q| q.score.si >= p.score.si);
         if pos >= self.k {
             return;
         }
@@ -149,8 +149,7 @@ impl BeamSearch {
         let start = Instant::now();
         let cfg = &self.config;
         let conditions = generate_conditions(data, &cfg.refine);
-        let condition_exts: Vec<BitSet> =
-            conditions.iter().map(|c| c.evaluate(data)).collect();
+        let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
         let max_cov =
             ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
 
@@ -248,10 +247,9 @@ impl BeamSearch {
         model.warm_factorizations();
         let model: &BackgroundModel = model;
         let conditions = generate_conditions(data, &cfg.refine);
-        let condition_exts: Vec<BitSet> =
-            conditions.iter().map(|c| c.evaluate(data)).collect();
-        let max_cov = ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize)
-            .max(cfg.min_coverage);
+        let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
+        let max_cov =
+            ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
 
         let mut top = TopK::new(cfg.top_k);
         let mut evaluated = 0usize;
@@ -317,7 +315,10 @@ impl BeamSearch {
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker"))
+                        .collect()
                 });
 
             let mut level: Vec<BeamEntry> = Vec::new();
@@ -347,10 +348,7 @@ impl BeamSearch {
             }
             level.sort_by(|a, b| b.si.partial_cmp(&a.si).unwrap());
             level.truncate(cfg.width);
-            frontier = level
-                .into_iter()
-                .map(|e| (e.intention, e.ext))
-                .collect();
+            frontier = level.into_iter().map(|e| (e.intention, e.ext)).collect();
         }
 
         BeamResult {
@@ -456,10 +454,10 @@ mod tests {
         let best = result.best().unwrap().clone();
         // Find a 2-condition pattern with the same extension; DL must push
         // its SI strictly below the parent's (Table I's observation).
-        let refined = result.top.iter().find(|p| {
-            p.intention.len() == 2
-                && p.extension == best.extension
-        });
+        let refined = result
+            .top
+            .iter()
+            .find(|p| p.intention.len() == 2 && p.extension == best.extension);
         if let Some(r) = refined {
             assert!((r.score.ic - best.score.ic).abs() < 1e-9);
             assert!(r.score.si < best.score.si);

@@ -64,8 +64,7 @@ pub fn binary_beam_search(
     let mut evaluated = 0usize;
     let mut seen: HashSet<Vec<(usize, u8, u64)>> = HashSet::new();
     let mut log: Vec<LocationPattern> = Vec::new();
-    let mut frontier: Vec<(Intention, BitSet)> =
-        vec![(Intention::empty(), BitSet::full(data.n()))];
+    let mut frontier: Vec<(Intention, BitSet)> = vec![(Intention::empty(), BitSet::full(data.n()))];
 
     'levels: for _ in 0..config.max_depth {
         let mut level: Vec<(Intention, BitSet, f64)> = Vec::new();
@@ -201,9 +200,7 @@ mod tests {
         let b = binary_step(&data, &mut model, &config()).expect("step 2");
         assert_ne!(a.extension, b.extension, "iterations must differ");
         // Re-scoring the first pattern now yields a small IC.
-        let rescored = model
-            .location_ic(&a.extension, &a.observed_mean)
-            .unwrap();
+        let rescored = model.location_ic(&a.extension, &a.observed_mean).unwrap();
         assert!(rescored < a.score.ic, "{} → {rescored}", a.score.ic);
     }
 

@@ -310,7 +310,10 @@ mod tests {
             ..BranchBoundConfig::default()
         };
         let result = branch_bound_search(&d, &model, cfg);
-        assert!(result.pruned > 0, "no pruning on 200-row data is suspicious");
+        assert!(
+            result.pruned > 0,
+            "no pruning on 200-row data is suspicious"
+        );
         assert!(result.best.is_some());
     }
 
@@ -322,11 +325,7 @@ mod tests {
         let best = result.best.unwrap();
         // The planted subgroup is flag = '1' (possibly refined); the flag
         // condition must appear in the optimal description.
-        let uses_flag = best
-            .intention
-            .conditions()
-            .iter()
-            .any(|c| c.attr == 0);
+        let uses_flag = best.intention.conditions().iter().any(|c| c.attr == 0);
         assert!(uses_flag, "optimal pattern: {}", best.summary(&d));
     }
 

@@ -118,8 +118,10 @@ impl Miner {
     pub fn assimilate_location(&mut self, pattern: &LocationPattern) -> Result<(), ModelError> {
         self.model
             .assimilate_location(&pattern.extension, pattern.observed_mean.clone())?;
-        self.model
-            .refit(self.config.refit_tol.max(1e-12), self.config.refit_max_cycles.max(1))?;
+        self.model.refit(
+            self.config.refit_tol.max(1e-12),
+            self.config.refit_max_cycles.max(1),
+        )?;
         Ok(())
     }
 
@@ -132,8 +134,10 @@ impl Miner {
             center,
             pattern.observed_variance,
         )?;
-        self.model
-            .refit(self.config.refit_tol.max(1e-12), self.config.refit_max_cycles.max(1))?;
+        self.model.refit(
+            self.config.refit_tol.max(1e-12),
+            self.config.refit_max_cycles.max(1),
+        )?;
         Ok(())
     }
 

@@ -113,9 +113,7 @@ mod tests {
             ..RefineConfig::default()
         };
         let conds = generate_conditions(&d, &cfg);
-        assert!(conds
-            .iter()
-            .all(|c| !matches!(c.op, ConditionOp::Le(_))));
+        assert!(conds.iter().all(|c| !matches!(c.op, ConditionOp::Le(_))));
     }
 
     #[test]

@@ -123,7 +123,11 @@ impl SpreadObjective {
         // ∇m = 3 s2²/s3² ∇s2 − 2 s2³/s3³ ∇s3.
         let mut grad_mdf = vec![0.0; dy];
         sisd_linalg::axpy(3.0 * s2 * s2 / (s3 * s3), &grad_s2, &mut grad_mdf);
-        sisd_linalg::axpy(-2.0 * s2 * s2 * s2 / (s3 * s3 * s3), &grad_s3, &mut grad_mdf);
+        sisd_linalg::axpy(
+            -2.0 * s2 * s2 * s2 / (s3 * s3 * s3),
+            &grad_s3,
+            &mut grad_mdf,
+        );
 
         // Observed statistic and its gradient.
         let v = self.scatter.mul_vec(w);
@@ -134,9 +138,7 @@ impl SpreadObjective {
         let clamped = x_raw <= 1e-12;
 
         // IC = ln α + (m/2) ln 2 + ln Γ(m/2) − (m/2 − 1) ln x + x/2.
-        let ic = alpha.ln()
-            + 0.5 * mdf * (2.0_f64).ln()
-            + ln_gamma(0.5 * mdf)
+        let ic = alpha.ln() + 0.5 * mdf * (2.0_f64).ln() + ln_gamma(0.5 * mdf)
             - (0.5 * mdf - 1.0) * x.ln()
             + 0.5 * x;
 
@@ -464,7 +466,12 @@ mod tests {
         let cfg = SphereConfig::default();
         let full = optimize_direction(&model, &data, &ext, &cfg);
         let sparse = optimize_direction_two_sparse(&model, &data, &ext, &cfg);
-        assert!((full.ic - sparse.ic).abs() < 1e-3, "{} vs {}", full.ic, sparse.ic);
+        assert!(
+            (full.ic - sparse.ic).abs() < 1e-3,
+            "{} vs {}",
+            full.ic,
+            sparse.ic
+        );
     }
 
     #[test]

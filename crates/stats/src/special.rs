@@ -157,10 +157,9 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    acc + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    acc + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 #[cfg(test)]
@@ -173,11 +172,7 @@ mod tests {
         let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in facts.iter().enumerate() {
             let lg = ln_gamma((n + 1) as f64);
-            assert!(
-                (lg - f.ln()).abs() < 1e-12,
-                "Γ({}) mismatch",
-                n + 1
-            );
+            assert!((lg - f.ln()).abs() < 1e-12, "Γ({}) mismatch", n + 1);
         }
     }
 

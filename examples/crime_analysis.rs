@@ -10,12 +10,10 @@
 //! cargo run --release --example crime_analysis
 //! ```
 
-use sisd_repro::baselines::{top_k_by_quality, DispersionCorrected, MeanShiftZ, Quality, WrAcc};
-use sisd_repro::data::datasets::crime_synthetic;
-use sisd_repro::model::BackgroundModel;
-use sisd_repro::search::{
-    branch_bound::branch_bound_search, BeamConfig, BeamSearch, BranchBoundConfig,
-};
+use sisd::baselines::{top_k_by_quality, DispersionCorrected, MeanShiftZ, Quality, WrAcc};
+use sisd::data::datasets::crime_synthetic;
+use sisd::model::BackgroundModel;
+use sisd::search::{branch_bound::branch_bound_search, BeamConfig, BeamSearch, BranchBoundConfig};
 
 fn main() {
     let data = crime_synthetic(42);
@@ -62,7 +60,9 @@ fn main() {
     // --- Classic quality measures for contrast ---
     println!("\n== classic subgroup-discovery baselines ==");
     let measures: Vec<Box<dyn Quality>> = vec![
-        Box::new(WrAcc { threshold: overall + 0.2 }),
+        Box::new(WrAcc {
+            threshold: overall + 0.2,
+        }),
         Box::new(MeanShiftZ { a: 0.5 }),
         Box::new(DispersionCorrected { a: 0.5 }),
     ];

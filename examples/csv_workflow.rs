@@ -9,9 +9,9 @@
 //! cargo run --release --example csv_workflow
 //! ```
 
-use sisd_repro::data::csv::{dataset_from_csv_str, dataset_to_csv_string};
-use sisd_repro::data::datasets::water_quality_synthetic;
-use sisd_repro::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+use sisd::data::csv::{dataset_from_csv_str, dataset_to_csv_string};
+use sisd::data::datasets::water_quality_synthetic;
+use sisd::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
 use std::fmt::Write as _;
 
 fn main() {
@@ -35,7 +35,11 @@ fn main() {
         dataset_from_csv_str("water-from-csv", &csv_text, &target_names).expect("well-formed CSV");
     assert_eq!(data.n(), generated.n());
     assert_eq!(data.dy(), generated.dy());
-    println!("reloaded: {} description attrs, {} targets", data.dx(), data.dy());
+    println!(
+        "reloaded: {} description attrs, {} targets",
+        data.dx(),
+        data.dy()
+    );
 
     // Mine two iterations.
     let config = MinerConfig {
@@ -57,7 +61,9 @@ fn main() {
             .expect("model update")
             .expect("pattern found");
         println!("iteration {i}: {}", it.location.summary(&data));
-        let member: Vec<bool> = (0..data.n()).map(|r| it.location.extension.contains(r)).collect();
+        let member: Vec<bool> = (0..data.n())
+            .map(|r| it.location.extension.contains(r))
+            .collect();
         memberships.push((format!("subgroup_{i}"), member));
     }
 

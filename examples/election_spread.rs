@@ -11,8 +11,8 @@
 //! cargo run --release --example election_spread
 //! ```
 
-use sisd_repro::data::datasets::german_socio_synthetic;
-use sisd_repro::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+use sisd::data::datasets::german_socio_synthetic;
+use sisd::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
 
 fn main() {
     let (data, truth) = german_socio_synthetic(42);
@@ -55,7 +55,10 @@ fn main() {
             .filter(|&r| truth.east[r])
             .count() as f64
             / iteration.location.extension.count() as f64;
-        println!("          {:.0}% of covered districts are eastern", 100.0 * east_frac);
+        println!(
+            "          {:.0}% of covered districts are eastern",
+            100.0 * east_frac
+        );
 
         let spread = iteration.spread.expect("spread mined");
         println!("spread  : {}", spread.summary(&data));

@@ -6,9 +6,9 @@
 //! cargo run --release --example interactive_session
 //! ```
 
-use sisd_repro::core::explain_location;
-use sisd_repro::data::datasets::water_quality_synthetic;
-use sisd_repro::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+use sisd::core::explain_location;
+use sisd::data::datasets::water_quality_synthetic;
+use sisd::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
 
 fn main() {
     let data = water_quality_synthetic(42);
@@ -38,13 +38,8 @@ fn main() {
     //    trust). Explain it against the current belief state first.
     let chosen = result.top[2].clone();
     println!("\nchosen pattern: {}", chosen.intention.describe(&data));
-    let explanation = explain_location(
-        miner.model(),
-        &data,
-        &chosen.intention,
-        &chosen.extension,
-    )
-    .expect("non-empty subgroup");
+    let explanation = explain_location(miner.model(), &data, &chosen.intention, &chosen.extension)
+        .expect("non-empty subgroup");
     println!(
         "{} of {} chemical parameters fall outside the 95% band:",
         explanation.n_surprising(0.95),
@@ -60,13 +55,8 @@ fn main() {
     println!("  {}", again.best().expect("pattern found").summary(&data));
 
     // 4. The previously chosen subgroup is now unremarkable.
-    let re_explained = explain_location(
-        miner.model(),
-        &data,
-        &chosen.intention,
-        &chosen.extension,
-    )
-    .expect("non-empty subgroup");
+    let re_explained = explain_location(miner.model(), &data, &chosen.intention, &chosen.extension)
+        .expect("non-empty subgroup");
     println!(
         "re-checking the chosen subgroup: {} parameters still surprising",
         re_explained.n_surprising(0.95)

@@ -11,9 +11,9 @@
 //! cargo run --release --example mammals_binary
 //! ```
 
-use sisd_repro::data::datasets::mammals_synthetic;
-use sisd_repro::model::{BackgroundModel, BinaryBackgroundModel};
-use sisd_repro::search::{binary_step, BeamConfig, BeamSearch};
+use sisd::data::datasets::mammals_synthetic;
+use sisd::model::{BackgroundModel, BinaryBackgroundModel};
+use sisd::search::{binary_step, BeamConfig, BeamSearch};
 
 fn main() {
     let (data, coords) = mammals_synthetic(42);

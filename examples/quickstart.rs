@@ -6,9 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sisd_repro::core::{location_si, DlParams};
-use sisd_repro::data::datasets::synthetic_paper;
-use sisd_repro::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+use sisd::core::{location_si, DlParams};
+use sisd::data::datasets::synthetic_paper;
+use sisd::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
 
 fn main() {
     // 1. Data: 620 points, two real-valued targets, five binary

@@ -3,12 +3,12 @@
 //! full-size mammal simulacrum.
 
 use proptest::prelude::*;
-use sisd_repro::data::datasets::mammals_synthetic;
-use sisd_repro::data::{BitSet, Column, Dataset};
-use sisd_repro::linalg::Matrix;
-use sisd_repro::model::BinaryBackgroundModel;
-use sisd_repro::search::{binary_beam_search, binary_step, BeamConfig};
-use sisd_repro::stats::Xoshiro256pp;
+use sisd::data::datasets::mammals_synthetic;
+use sisd::data::{BitSet, Column, Dataset};
+use sisd::linalg::Matrix;
+use sisd::model::BinaryBackgroundModel;
+use sisd::search::{binary_beam_search, binary_step, BeamConfig};
+use sisd::stats::Xoshiro256pp;
 
 prop_compose! {
     fn probs()(v in prop::collection::vec(0.02f64..0.98, 4)) -> Vec<f64> { v }
@@ -132,8 +132,8 @@ fn gaussian_and_binary_models_agree_on_the_top_driver() {
         .unwrap()
         .clone();
 
-    let mut gauss = sisd_repro::model::BackgroundModel::from_empirical(&data).unwrap();
-    let gauss_result = sisd_repro::search::BeamSearch::new(cfg).run(&data, &mut gauss);
+    let mut gauss = sisd::model::BackgroundModel::from_empirical(&data).unwrap();
+    let gauss_result = sisd::search::BeamSearch::new(cfg).run(&data, &mut gauss);
     let gauss_best = gauss_result.best().unwrap();
 
     assert_eq!(

@@ -2,14 +2,14 @@
 //! round-trips through the full stack — these are the guarantees the
 //! experiment harnesses (DESIGN.md §3) build on.
 
-use sisd_repro::data::csv::{dataset_from_csv_str, dataset_to_csv_string};
-use sisd_repro::data::datasets::{
+use sisd::data::csv::{dataset_from_csv_str, dataset_to_csv_string};
+use sisd::data::datasets::{
     crime_synthetic, german_socio_synthetic, mammals_synthetic, synthetic_paper,
     water_quality_synthetic,
 };
-use sisd_repro::data::Dataset;
-use sisd_repro::linalg::Cholesky;
-use sisd_repro::model::BackgroundModel;
+use sisd::data::Dataset;
+use sisd::linalg::Cholesky;
+use sisd::model::BackgroundModel;
 
 fn check_common_contracts(data: &Dataset) {
     // Shapes are consistent.
@@ -98,7 +98,7 @@ fn csv_roundtrip_preserves_every_generator() {
 
 #[test]
 fn mining_a_reloaded_csv_gives_identical_results() {
-    use sisd_repro::search::{BeamConfig, BeamSearch};
+    use sisd::search::{BeamConfig, BeamSearch};
     let data = german_socio_synthetic(4).0;
     let text = dataset_to_csv_string(&data);
     let names: Vec<&str> = data.target_names().iter().map(|s| s.as_str()).collect();

@@ -2,9 +2,9 @@
 //! programmatically: the miner must recover the three planted subgroups in
 //! the first three iterations, and the Table-I bookkeeping must hold.
 
-use sisd_repro::core::{location_si, DlParams};
-use sisd_repro::data::datasets::synthetic_paper;
-use sisd_repro::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
+use sisd::core::{location_si, DlParams};
+use sisd::data::datasets::synthetic_paper;
+use sisd::search::{BeamConfig, Miner, MinerConfig, SphereConfig};
 
 fn config() -> MinerConfig {
     MinerConfig {
@@ -67,10 +67,7 @@ fn table1_si_bookkeeping() {
             .unwrap()
             .si;
         if p.extension == best_ext {
-            assert!(
-                after < 1.0,
-                "assimilated-extension pattern kept SI {after}"
-            );
+            assert!(after < 1.0, "assimilated-extension pattern kept SI {after}");
         } else if p.extension.is_disjoint(&best_ext) {
             assert!(
                 (after - p.score.si).abs() < 0.5,

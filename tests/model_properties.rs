@@ -5,20 +5,16 @@
 //! cyclic refit must converge for overlapping constraint sets.
 
 use proptest::prelude::*;
-use sisd_repro::data::BitSet;
-use sisd_repro::linalg::{Cholesky, Matrix};
-use sisd_repro::model::BackgroundModel;
+use sisd::data::BitSet;
+use sisd::linalg::{Cholesky, Matrix};
+use sisd::model::BackgroundModel;
 
 const N: usize = 24;
 const DY: usize = 3;
 
 fn base_model() -> BackgroundModel {
     let mu = vec![0.5, -1.0, 2.0];
-    let sigma = Matrix::from_rows(&[
-        &[2.0, 0.4, 0.1],
-        &[0.4, 1.5, -0.3],
-        &[0.1, -0.3, 1.0],
-    ]);
+    let sigma = Matrix::from_rows(&[&[2.0, 0.4, 0.1], &[0.4, 1.5, -0.3], &[0.1, -0.3, 1.0]]);
     BackgroundModel::new(N, mu, sigma).unwrap()
 }
 
@@ -40,7 +36,7 @@ prop_compose! {
 prop_compose! {
     fn direction()(v in prop::collection::vec(-1.0f64..1.0, DY)) -> Vec<f64> {
         let mut w = v;
-        if sisd_repro::linalg::normalize(&mut w) == 0.0 {
+        if sisd::linalg::normalize(&mut w) == 0.0 {
             w = vec![1.0, 0.0, 0.0];
         }
         w
@@ -57,9 +53,9 @@ proptest! {
         // E[f_I] over the extension equals the target.
         let mut mean = vec![0.0; DY];
         for i in ext.iter() {
-            sisd_repro::linalg::add_assign(&mut mean, model.row_mean(i));
+            sisd::linalg::add_assign(&mut mean, model.row_mean(i));
         }
-        sisd_repro::linalg::scale(1.0 / ext.count() as f64, &mut mean);
+        sisd::linalg::scale(1.0 / ext.count() as f64, &mut mean);
         for (m, t) in mean.iter().zip(&target) {
             prop_assert!((m - t).abs() < 1e-9);
         }
@@ -149,9 +145,9 @@ proptest! {
         // Recompute the mean directly from row parameters.
         let mut mean = vec![0.0; DY];
         for i in ext.iter() {
-            sisd_repro::linalg::add_assign(&mut mean, model.row_mean(i));
+            sisd::linalg::add_assign(&mut mean, model.row_mean(i));
         }
-        sisd_repro::linalg::scale(1.0 / ext.count() as f64, &mut mean);
+        sisd::linalg::scale(1.0 / ext.count() as f64, &mut mean);
         for (a, b) in stats.mean.iter().zip(&mean) {
             prop_assert!((a - b).abs() < 1e-9);
         }

@@ -2,11 +2,11 @@
 //! gracefully survive the pathological datasets a downstream user will
 //! eventually feed it.
 
-use sisd_repro::core::{location_si, DlParams, Intention};
-use sisd_repro::data::{BitSet, Column, Dataset};
-use sisd_repro::linalg::Matrix;
-use sisd_repro::model::{BackgroundModel, ModelError};
-use sisd_repro::search::{BeamConfig, BeamSearch, Miner, MinerConfig, SphereConfig};
+use sisd::core::{location_si, DlParams, Intention};
+use sisd::data::{BitSet, Column, Dataset};
+use sisd::linalg::Matrix;
+use sisd::model::{BackgroundModel, ModelError};
+use sisd::search::{BeamConfig, BeamSearch, Miner, MinerConfig, SphereConfig};
 
 fn tiny_config() -> MinerConfig {
     MinerConfig {
@@ -113,7 +113,10 @@ fn dimension_errors_are_typed() {
     let ext = BitSet::from_indices(10, [0, 1]);
     assert!(matches!(
         model.assimilate_location(&ext, vec![1.0]),
-        Err(ModelError::Dimension { expected: 2, got: 1 })
+        Err(ModelError::Dimension {
+            expected: 2,
+            got: 1
+        })
     ));
     assert!(matches!(
         model.assimilate_spread(&ext, vec![1.0], vec![0.0, 0.0], 1.0),
@@ -180,7 +183,7 @@ fn extreme_spread_shrink_keeps_model_usable() {
     let ext = BitSet::from_indices(n, 0..20);
     let center = data.target_mean(&ext);
     let mut w = vec![1.0, 1.0];
-    sisd_repro::linalg::normalize(&mut w);
+    sisd::linalg::normalize(&mut w);
     model
         .assimilate_spread(&ext, w, center, 1e-10)
         .expect("extreme shrink accepted");
@@ -201,9 +204,9 @@ fn unicode_names_roundtrip() {
         vec!["Bevölkerung".into()],
         Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]),
     );
-    let intent = Intention::empty().with(sisd_repro::core::Condition {
+    let intent = Intention::empty().with(sisd::core::Condition {
         attr: 0,
-        op: sisd_repro::core::ConditionOp::Eq(0),
+        op: sisd::core::ConditionOp::Eq(0),
     });
     let described = intent.describe(&data);
     assert!(described.contains("Fläche_km²"));

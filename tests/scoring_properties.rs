@@ -3,12 +3,14 @@
 //! the χ²-mixture approximation invariants that the spread IC relies on.
 
 use proptest::prelude::*;
-use sisd_repro::core::{location_ic, location_si, spread_si, Condition, ConditionOp, DlParams, Intention};
-use sisd_repro::data::{BitSet, Column, Dataset};
-use sisd_repro::linalg::Matrix;
-use sisd_repro::model::BackgroundModel;
-use sisd_repro::stats::Chi2MixtureApprox;
-use sisd_repro::stats::Xoshiro256pp;
+use sisd::core::{
+    location_ic, location_si, spread_si, Condition, ConditionOp, DlParams, Intention,
+};
+use sisd::data::{BitSet, Column, Dataset};
+use sisd::linalg::Matrix;
+use sisd::model::BackgroundModel;
+use sisd::stats::Chi2MixtureApprox;
+use sisd::stats::Xoshiro256pp;
 
 /// Dataset with a planted displaced subgroup of controllable size.
 fn planted(n: usize, shift: f64, seed: u64) -> Dataset {
@@ -86,7 +88,7 @@ proptest! {
         let intent = Intention::empty();
         let ext = BitSet::from_fn(60, |i| i % 3 == 0);
         let mut w = vec![0.8, 0.6];
-        sisd_repro::linalg::normalize(&mut w);
+        sisd::linalg::normalize(&mut w);
         let neg: Vec<f64> = w.iter().map(|v| -v).collect();
         let dl = DlParams::default();
         let a = spread_si(&model, &data, &intent, &ext, &w, &dl).unwrap();

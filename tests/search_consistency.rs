@@ -3,14 +3,12 @@
 //! shared data.
 
 use proptest::prelude::*;
-use sisd_repro::baselines::{top_k_by_quality, MeanShiftZ};
-use sisd_repro::data::{BitSet, Column, Dataset};
-use sisd_repro::linalg::Matrix;
-use sisd_repro::model::BackgroundModel;
-use sisd_repro::search::{
-    branch_bound::branch_bound_search, BeamConfig, BeamSearch, BranchBoundConfig,
-};
-use sisd_repro::stats::Xoshiro256pp;
+use sisd::baselines::{top_k_by_quality, MeanShiftZ};
+use sisd::data::{BitSet, Column, Dataset};
+use sisd::linalg::Matrix;
+use sisd::model::BackgroundModel;
+use sisd::search::{branch_bound::branch_bound_search, BeamConfig, BeamSearch, BranchBoundConfig};
+use sisd::stats::Xoshiro256pp;
 
 /// Small single-target dataset with a mix of binary and numeric attributes.
 fn random_data(seed: u64, n: usize) -> Dataset {
@@ -18,7 +16,9 @@ fn random_data(seed: u64, n: usize) -> Dataset {
     let flag: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.3)).collect();
     let num: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
     let cat = Column::categorical_from_strs(
-        &(0..n).map(|_| ["a", "b", "c"][rng.below(3)]).collect::<Vec<_>>(),
+        &(0..n)
+            .map(|_| ["a", "b", "c"][rng.below(3)])
+            .collect::<Vec<_>>(),
     );
     let mut targets = Matrix::zeros(n, 1);
     for i in 0..n {

@@ -4,12 +4,12 @@
 //! must match the full search when `dy = 2`.
 
 use proptest::prelude::*;
-use sisd_repro::core::{spread_si, DlParams, Intention};
-use sisd_repro::data::{BitSet, Column, Dataset};
-use sisd_repro::linalg::Matrix;
-use sisd_repro::model::BackgroundModel;
-use sisd_repro::search::{optimize_direction, optimize_direction_two_sparse, SphereConfig};
-use sisd_repro::stats::Xoshiro256pp;
+use sisd::core::{spread_si, DlParams, Intention};
+use sisd::data::{BitSet, Column, Dataset};
+use sisd::linalg::Matrix;
+use sisd::model::BackgroundModel;
+use sisd::search::{optimize_direction, optimize_direction_two_sparse, SphereConfig};
+use sisd::stats::Xoshiro256pp;
 
 /// Random 3-target dataset with an anisotropic planted subgroup.
 fn dataset(seed: u64) -> (Dataset, BitSet) {
@@ -56,7 +56,7 @@ proptest! {
         let (data, model, ext) = assimilated(seed);
         let cfg = SphereConfig { random_starts: 4, ..SphereConfig::default() };
         let res = optimize_direction(&model, &data, &ext, &cfg);
-        prop_assert!((sisd_repro::linalg::norm2(&res.w) - 1.0).abs() < 1e-9);
+        prop_assert!((sisd::linalg::norm2(&res.w) - 1.0).abs() < 1e-9);
         let dl = DlParams::default();
         let intent = Intention::empty();
         let best = spread_si(&model, &data, &intent, &ext, &res.w, &dl).unwrap().ic;
@@ -72,7 +72,7 @@ proptest! {
     fn ic_is_sign_symmetric(seed in 0u64..300, a in -1.0f64..1.0, b in -1.0f64..1.0, c in -1.0f64..1.0) {
         let (data, model, ext) = assimilated(seed);
         let mut w = vec![a, b, c];
-        if sisd_repro::linalg::normalize(&mut w) == 0.0 {
+        if sisd::linalg::normalize(&mut w) == 0.0 {
             w = vec![1.0, 0.0, 0.0];
         }
         let neg: Vec<f64> = w.iter().map(|v| -v).collect();

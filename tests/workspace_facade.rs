@@ -1,0 +1,143 @@
+//! Workspace smoke test: the whole pipeline must be reachable through
+//! `sisd::prelude` alone, and the unified `SisdError` must let every layer's
+//! errors compose behind one `?`.
+//!
+//! Runs a tiny end-to-end loop on a hand-built dataset: mine the most
+//! interesting location pattern, assimilate it into the background model,
+//! and re-mine — the assimilated subgroup must no longer be interesting.
+
+use sisd::prelude::*;
+
+/// 24 rows, one categorical attribute with a planted high-mean group, one
+/// numeric decoy attribute, and a 1-D target.
+fn tiny_dataset() -> Dataset {
+    let n = 24;
+    let group: Vec<&str> = (0..n)
+        .map(|i| if i % 3 == 0 { "hot" } else { "cold" })
+        .collect();
+    let decoy: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    // Target: "hot" rows centered at 4.0, the rest at 0.0, with a small
+    // deterministic wobble so the covariance is not degenerate.
+    let target: Vec<f64> = (0..n)
+        .map(|i| {
+            let base = if i % 3 == 0 { 4.0 } else { 0.0 };
+            base + 0.25 * ((i * 7 + 1) as f64).sin()
+        })
+        .collect();
+    Dataset::new(
+        "facade-smoke",
+        vec!["group".to_string(), "decoy".to_string()],
+        vec![
+            Column::categorical_from_strs(&group),
+            Column::Numeric(decoy),
+        ],
+        vec!["y".to_string()],
+        Matrix::from_vec(n, 1, target),
+    )
+}
+
+fn small_config() -> MinerConfig {
+    MinerConfig {
+        beam: BeamConfig {
+            width: 8,
+            max_depth: 2,
+            top_k: 20,
+            min_coverage: 3,
+            ..BeamConfig::default()
+        },
+        sphere: SphereConfig::default(),
+        two_sparse_spread: false,
+        refit_tol: 1e-9,
+        refit_max_cycles: 50,
+    }
+}
+
+/// The mine → assimilate → re-mine loop, written the way downstream code
+/// would write it: every fallible layer funnels into `SisdResult` via `?`.
+fn mine_assimilate_remine() -> SisdResult<(String, f64, f64)> {
+    let data = tiny_dataset();
+
+    // Layer hop 1: the parse mini-language (ParseError -> SisdError).
+    let intention = parse_intention(&data, "group = hot")?;
+    let planted = intention.evaluate(&data);
+    assert_eq!(planted.count(), 8);
+
+    // Layer hop 2: model construction (ModelError -> SisdError).
+    let config = small_config();
+    let dl = config.dl();
+    let mut miner = Miner::from_empirical(data.clone(), config)?;
+
+    let first = miner.search_locations();
+    let best = first
+        .top
+        .first()
+        .cloned()
+        .expect("first mine found nothing");
+    let label = best.intention.describe(&data);
+    let si_before = best.score.si;
+
+    // Layer hop 3: assimilation + refit (ModelError -> SisdError).
+    miner.assimilate_location(&best)?;
+
+    // Re-score the assimilated pattern against the updated model directly
+    // (rather than fishing it out of a second beam log, where absence would
+    // silently score 0): layer hop 4, scoring (ModelError -> SisdError).
+    let si_after = location_si(
+        miner.model_mut(),
+        &data,
+        &best.intention,
+        &best.extension,
+        &dl,
+    )?
+    .si;
+
+    // Re-mine: the next most interesting pattern must be something new.
+    let second = miner.search_locations();
+    let next = second.top.first().expect("re-mine found nothing");
+    assert_ne!(
+        next.extension, best.extension,
+        "re-mine surfaced the already-assimilated subgroup again"
+    );
+
+    Ok((label, si_before, si_after))
+}
+
+#[test]
+fn prelude_runs_the_full_loop_and_assimilation_collapses_si() {
+    let (label, si_before, si_after) = mine_assimilate_remine().expect("pipeline failed");
+
+    // The planted "hot" subgroup is what the first mine surfaces.
+    assert!(
+        label.contains("group") && label.contains("hot"),
+        "expected the planted subgroup first, got '{label}'"
+    );
+    assert!(si_before > 0.0, "planted pattern scored SI {si_before}");
+
+    // Once told, no longer interesting (paper §II-C: the IC of an
+    // assimilated pattern collapses; a small residual remains because the
+    // IC is a log-density evaluated at the now-matched mode).
+    assert!(
+        si_after < 0.2 * si_before,
+        "assimilation did not collapse SI: before {si_before}, after {si_after}"
+    );
+}
+
+#[test]
+fn csv_errors_flow_through_sisd_error() {
+    fn load_garbage() -> SisdResult<Dataset> {
+        Ok(sisd::data::csv::dataset_from_csv_str(
+            "bad",
+            "a,b\n1\n",
+            &["b"],
+        )?)
+    }
+    let err = load_garbage().expect_err("ragged CSV must fail");
+    assert!(matches!(err, SisdError::Csv(_)));
+    // The source chain reaches the layer error.
+    let dyn_err: &dyn std::error::Error = &err;
+    assert!(dyn_err
+        .source()
+        .expect("source")
+        .to_string()
+        .contains("fields"));
+}
