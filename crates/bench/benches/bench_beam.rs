@@ -23,8 +23,8 @@ fn bench_beam(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("w{width}_d{depth}")),
             |b| {
                 b.iter(|| {
-                    let mut model = BackgroundModel::from_empirical(&data).unwrap();
-                    let r = BeamSearch::new(cfg.clone()).run(black_box(&data), &mut model);
+                    let model = BackgroundModel::from_empirical(&data).unwrap();
+                    let r = BeamSearch::new(cfg.clone()).run(black_box(&data), &model);
                     r.evaluated
                 })
             },

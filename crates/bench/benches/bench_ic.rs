@@ -17,12 +17,12 @@ fn bench_location_ic(c: &mut Criterion) {
     let (socio, _) = german_socio_synthetic(3);
     let (mammals, _) = mammals_synthetic(3);
     for (name, data) in [("socio_dy5", &socio), ("mammals_dy124", &mammals)] {
-        let mut model = BackgroundModel::from_empirical(data).expect("model");
+        let model = BackgroundModel::from_empirical(data).expect("model");
         let mut rng = Xoshiro256pp::seed_from_u64(17);
         let ext = BitSet::from_indices(data.n(), rng.sample_indices(data.n(), data.n() / 10));
         let observed = data.target_mean(&ext);
         group.bench_function(BenchmarkId::new("fast_path", name), |b| {
-            b.iter(|| location_ic(black_box(&mut model), &ext, &observed).unwrap())
+            b.iter(|| location_ic(black_box(&model), &ext, &observed).unwrap())
         });
     }
 
@@ -38,7 +38,7 @@ fn bench_location_ic(c: &mut Criterion) {
     let ext = BitSet::from_indices(socio.n(), rng.sample_indices(socio.n(), socio.n() / 10));
     let observed = socio.target_mean(&ext);
     group.bench_function(BenchmarkId::new("dense_path", "socio_dy5"), |b| {
-        b.iter(|| location_ic(black_box(&mut model), &ext, &observed).unwrap())
+        b.iter(|| location_ic(black_box(&model), &ext, &observed).unwrap())
     });
     group.finish();
 }

@@ -43,7 +43,7 @@ fn main() {
     let mut rows = Vec::new();
     for &width in &[1usize, 2, 4, 8, 16, 40, 64] {
         for &depth in &[1usize, 2] {
-            let mut model = BackgroundModel::from_empirical(&data).expect("model");
+            let model = BackgroundModel::from_empirical(&data).expect("model");
             let cfg = BeamConfig {
                 width,
                 max_depth: depth,
@@ -52,7 +52,7 @@ fn main() {
                 ..BeamConfig::default()
             };
             let t = Instant::now();
-            let result = BeamSearch::new(cfg).run(&data, &mut model);
+            let result = BeamSearch::new(cfg).run(&data, &model);
             let si = result.best().map(|p| p.score.si).unwrap_or(f64::NAN);
             rows.push(vec![
                 width.to_string(),

@@ -19,7 +19,7 @@ fn main() {
     let gammas = [0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0];
     let mut rows = Vec::new();
     for &gamma in &gammas {
-        let mut model = BackgroundModel::from_empirical(&data).expect("model");
+        let model = BackgroundModel::from_empirical(&data).expect("model");
         let cfg = BeamConfig {
             width: 40,
             max_depth: 3,
@@ -27,7 +27,7 @@ fn main() {
             dl: DlParams { gamma, eta: 1.0 },
             ..BeamConfig::default()
         };
-        let result = BeamSearch::new(cfg).run(&data, &mut model);
+        let result = BeamSearch::new(cfg).run(&data, &model);
         // Rank of the first pattern whose extension is a planted cluster.
         let rank = result
             .top

@@ -29,7 +29,7 @@ fn main() {
         refit_tol: 1e-9,
         refit_max_cycles: 200,
     };
-    let mut miner = Miner::from_empirical(data.clone(), config).expect("model fits");
+    let miner = Miner::from_empirical(data.clone(), config).expect("model fits");
     let result = miner.search_locations();
     let best = result.best().expect("pattern found").clone();
 

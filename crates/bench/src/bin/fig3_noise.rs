@@ -29,7 +29,7 @@ fn main() {
         let mut baseline_sum = 0.0;
         for rep in 0..repeats {
             let corrupted = corrupt_descriptions(&data, p, 1000 + rep);
-            let mut model = BackgroundModel::from_empirical(&corrupted).expect("model");
+            let model = BackgroundModel::from_empirical(&corrupted).expect("model");
             for (k, sum) in sums.iter_mut().enumerate() {
                 // True description aₖ₊₃ = '1' evaluated on corrupted labels.
                 let intent = Intention::empty().with(Condition {
@@ -40,7 +40,7 @@ fn main() {
                 if ext.count() == 0 {
                     continue;
                 }
-                let s = location_si(&mut model, &corrupted, &intent, &ext, &dl).expect("non-empty");
+                let s = location_si(&model, &corrupted, &intent, &ext, &dl).expect("non-empty");
                 *sum += s.si;
             }
             // Baseline: random subgroup of size 40 with a 1-condition DL.
@@ -51,7 +51,7 @@ fn main() {
                 attr: 0,
                 op: ConditionOp::Eq(0),
             });
-            baseline_sum += location_si(&mut model, &corrupted, &intent, &ext, &dl)
+            baseline_sum += location_si(&model, &corrupted, &intent, &ext, &dl)
                 .expect("non-empty")
                 .si;
         }

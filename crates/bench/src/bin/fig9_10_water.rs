@@ -6,13 +6,15 @@
 //! spread direction has *larger* variance than expected, with the weight
 //! concentrated on BOD and KMnO₄ without any sparsity being enforced.
 
-use sisd_bench::{f2, f3, print_table, section};
+use sisd_bench::{f2, f3, print_table, section, threads_arg};
 use sisd_data::datasets::water_quality_synthetic;
-use sisd_search::{BeamConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
+use sisd_search::{BeamConfig, EvalConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
 
 fn main() {
+    let threads = threads_arg(1);
     let data = water_quality_synthetic(2018);
     section("Figs. 9–10 — water-quality simulacrum: location + full-sphere spread");
+    println!("candidate evaluation on {threads} thread(s) (--threads N to change)");
     println!(
         "n={} bioindicators={} chemical targets={}",
         data.n(),
@@ -27,6 +29,7 @@ fn main() {
             top_k: 150,
             min_coverage: 30,
             refine: RefineConfig::default(),
+            eval: EvalConfig::with_threads(threads),
             ..BeamConfig::default()
         },
         sphere: SphereConfig {

@@ -4,14 +4,15 @@
 //! The paper argues the runtime of one search pass is linear in the number
 //! of data points and controlled by the beam parameters. This harness
 //! subsamples the crime simulacrum at several sizes and reports wall-clock
-//! per search, plus the speedup of `BeamSearch::run_parallel`.
+//! per search, plus the speedup of the engine's multi-threaded candidate
+//! evaluator. `--threads N` (default 4) sets the parallel worker count.
 
-use sisd_bench::{print_table, section};
+use sisd_bench::{print_table, section, threads_arg};
 use sisd_data::datasets::crime_synthetic;
 use sisd_data::{BitSet, Column, Dataset};
 use sisd_linalg::Matrix;
 use sisd_model::BackgroundModel;
-use sisd_search::{BeamConfig, BeamSearch};
+use sisd_search::{BeamConfig, BeamSearch, EvalConfig};
 use std::time::Instant;
 
 /// Row-subsampled copy of a dataset (first `n` rows).
@@ -44,6 +45,7 @@ fn head(data: &Dataset, n: usize) -> Dataset {
 }
 
 fn main() {
+    let threads = threads_arg(4);
     let full = crime_synthetic(2018);
     section("Scalability — beam runtime vs n (crime simulacrum, width 40, depth 2)");
 
@@ -54,23 +56,27 @@ fn main() {
         min_coverage: 10,
         ..BeamConfig::default()
     };
+    let cfg_parallel = BeamConfig {
+        eval: EvalConfig::with_threads(threads),
+        ..cfg.clone()
+    };
 
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
-    println!("available parallelism: {cores} core(s)");
+    println!("available parallelism: {cores} core(s); --threads {threads}");
 
     let mut rows = Vec::new();
     for &n in &[250usize, 500, 1000, 1994] {
         let data = head(&full, n);
-        let mut model = BackgroundModel::from_empirical(&data).expect("model");
+        let model = BackgroundModel::from_empirical(&data).expect("model");
         let t = Instant::now();
-        let serial = BeamSearch::new(cfg.clone()).run(&data, &mut model);
+        let serial = BeamSearch::new(cfg.clone()).run(&data, &model);
         let t_serial = t.elapsed();
 
-        let mut model_p = BackgroundModel::from_empirical(&data).expect("model");
+        let model_p = BackgroundModel::from_empirical(&data).expect("model");
         let t = Instant::now();
-        let parallel = BeamSearch::new(cfg.clone()).run_parallel(&data, &mut model_p, 4);
+        let parallel = BeamSearch::new(cfg_parallel.clone()).run(&data, &model_p);
         let t_parallel = t.elapsed();
 
         assert_eq!(
@@ -90,7 +96,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "candidates", "serial ms", "parallel(4) ms", "speedup"],
+        &[
+            "n",
+            "candidates",
+            "serial ms",
+            &format!("parallel({threads}) ms"),
+            "speedup",
+        ],
         &rows,
     );
     println!();

@@ -30,7 +30,7 @@ struct Timing {
 /// Top-`k` distinct-extension patterns from one beam search on the initial
 /// model.
 fn distinct_patterns(data: &Dataset, k: usize, min_cov: usize) -> Vec<LocationPattern> {
-    let mut model = BackgroundModel::from_empirical(data).expect("model");
+    let model = BackgroundModel::from_empirical(data).expect("model");
     let cfg = BeamConfig {
         width: 40,
         max_depth: 2,
@@ -38,7 +38,7 @@ fn distinct_patterns(data: &Dataset, k: usize, min_cov: usize) -> Vec<LocationPa
         min_coverage: min_cov,
         ..BeamConfig::default()
     };
-    let result = BeamSearch::new(cfg).run(data, &mut model);
+    let result = BeamSearch::new(cfg).run(data, &model);
     // The paper notes convergence is fast because "the extensions of the
     // different patterns have limited overlaps"; enforce that here with a
     // Jaccard cap, as consecutive beam log entries are near-duplicates.

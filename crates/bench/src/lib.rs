@@ -56,6 +56,40 @@ pub fn print_tsv(tag: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("#end {tag}");
 }
 
+/// Parses a `--threads N` flag from the process arguments (also accepts
+/// `--threads=N`), defaulting to `default`. The value is wired into the
+/// search engine's `EvalConfig`; results are identical at any setting.
+///
+/// # Panics
+/// Panics when the value is missing, non-numeric, or zero — silently
+/// rewriting a requested thread count would misreport the measurement.
+pub fn threads_arg(default: usize) -> usize {
+    fn parse_positive(v: &str) -> usize {
+        match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("--threads needs a positive integer, got '{v}'"),
+        }
+    }
+    let args: Vec<String> = std::env::args().collect();
+    let mut threads = default;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--threads needs a positive integer"));
+            threads = parse_positive(v);
+            i += 2;
+            continue;
+        }
+        if let Some(v) = args[i].strip_prefix("--threads=") {
+            threads = parse_positive(v);
+        }
+        i += 1;
+    }
+    threads
+}
+
 /// Two-decimal formatting shorthand.
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")

@@ -28,6 +28,6 @@ pub use parse::{parse_intention, ParseError};
 pub use pattern::{Condition, ConditionOp, Intention};
 pub use result::{LocationPattern, SpreadPattern};
 pub use score::{
-    location_ic, location_si, location_si_shared, spread_ic, spread_si, DlParams, LocationScore,
+    location_ic, location_ic_of_stats, location_si, spread_ic, spread_si, DlParams, LocationScore,
     SpreadScore,
 };

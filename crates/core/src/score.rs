@@ -2,7 +2,7 @@
 
 use crate::pattern::Intention;
 use sisd_data::{BitSet, Dataset};
-use sisd_model::{BackgroundModel, ModelError};
+use sisd_model::{BackgroundModel, LocationStats, ModelError};
 use sisd_stats::Chi2MixtureApprox;
 
 /// Description-length parameters: `DL = γ|C| + η` for location patterns and
@@ -66,49 +66,42 @@ pub struct SpreadScore {
     pub expected: f64,
 }
 
-/// Information content of a location pattern (paper Eq. 13, with the
-/// corrected `Cov(f_I) = Σ_{i∈I} Σᵢ/|I|²`; see DESIGN.md):
+/// The location information content implied by already-computed
+/// [`LocationStats`] (paper Eq. 13, with the corrected
+/// `Cov(f_I) = Σ_{i∈I} Σᵢ/|I|²`; see DESIGN.md):
 ///
 /// `IC = ½ log((2π)^dy |Cov|) + ½ (ŷ_I − μ_I)ᵀ Cov⁻¹ (ŷ_I − μ_I)`.
+///
+/// Every location-IC in the workspace — [`location_ic`], [`location_si`],
+/// and `sisd-search`'s batch evaluation engine — funnels through this one
+/// formula, so serial and parallel scoring are bit-identical by
+/// construction.
+pub fn location_ic_of_stats(stats: &LocationStats, dy: usize) -> f64 {
+    0.5 * (dy as f64 * (2.0 * std::f64::consts::PI).ln() + stats.log_det_cov)
+        + 0.5 * stats.mahalanobis
+}
+
+/// Information content of a location pattern. Runs from a shared model
+/// reference; per-cell factorizations initialize lazily and thread-safely
+/// inside the model.
 pub fn location_ic(
-    model: &mut BackgroundModel,
+    model: &BackgroundModel,
     ext: &BitSet,
     observed_mean: &[f64],
 ) -> Result<f64, ModelError> {
     let stats = model.location_stats(ext, observed_mean)?;
-    let dy = model.dy() as f64;
-    Ok(
-        0.5 * (dy * (2.0 * std::f64::consts::PI).ln() + stats.log_det_cov)
-            + 0.5 * stats.mahalanobis,
-    )
+    Ok(location_ic_of_stats(&stats, model.dy()))
 }
 
 /// Full SI evaluation for a location pattern given its intention and the
-/// dataset (computes the observed subgroup mean internally).
+/// dataset (computes the observed subgroup mean internally). This is the
+/// single location-scoring path; batch/parallel callers go through
+/// `sisd-search`'s `Evaluator`, which computes the same IC formula but may
+/// aggregate the observed mean in a different summation order (per-cell
+/// sums for cell-aligned extensions), so its scores agree with this
+/// function's only up to last-ulp rounding — exact equality holds within
+/// each path, not across them.
 pub fn location_si(
-    model: &mut BackgroundModel,
-    data: &Dataset,
-    intention: &Intention,
-    ext: &BitSet,
-    dl_params: &DlParams,
-) -> Result<LocationScore, ModelError> {
-    if ext.count() == 0 {
-        return Err(ModelError::EmptyExtension);
-    }
-    let observed = data.target_mean(ext);
-    let ic = location_ic(model, ext, &observed)?;
-    let dl = dl_params.location_dl(intention.len());
-    Ok(LocationScore {
-        ic,
-        dl,
-        si: ic / dl,
-    })
-}
-
-/// Shared-reference variant of [`location_si`] for concurrent evaluation;
-/// the model must have been prepared with
-/// [`BackgroundModel::warm_factorizations`].
-pub fn location_si_shared(
     model: &BackgroundModel,
     data: &Dataset,
     intention: &Intention,
@@ -119,10 +112,7 @@ pub fn location_si_shared(
         return Err(ModelError::EmptyExtension);
     }
     let observed = data.target_mean(ext);
-    let stats = model.location_stats_shared(ext, &observed)?;
-    let dy = model.dy() as f64;
-    let ic = 0.5 * (dy * (2.0 * std::f64::consts::PI).ln() + stats.log_det_cov)
-        + 0.5 * stats.mahalanobis;
+    let ic = location_ic(model, ext, &observed)?;
     let dl = dl_params.location_dl(intention.len());
     Ok(LocationScore {
         ic,
@@ -225,14 +215,14 @@ mod tests {
 
     #[test]
     fn displaced_subgroup_scores_higher_than_random_subset() {
-        let (data, mut model) = setup();
+        let (data, model) = setup();
         let intent = flag_intention();
         let ext = intent.evaluate(&data);
-        let score = location_si(&mut model, &data, &intent, &ext, &DlParams::default()).unwrap();
+        let score = location_si(&model, &data, &intent, &ext, &DlParams::default()).unwrap();
         // A same-size subset straddling both halves is unremarkable.
         let mixed = BitSet::from_indices(20, (0..20).step_by(2));
         let mixed_score =
-            location_si(&mut model, &data, &intent, &mixed, &DlParams::default()).unwrap();
+            location_si(&model, &data, &intent, &mixed, &DlParams::default()).unwrap();
         assert!(
             score.si > mixed_score.si + 1.0,
             "subgroup {} vs mixed {}",
@@ -246,12 +236,12 @@ mod tests {
         let (data, mut model) = setup();
         let intent = flag_intention();
         let ext = intent.evaluate(&data);
-        let before = location_si(&mut model, &data, &intent, &ext, &DlParams::default())
+        let before = location_si(&model, &data, &intent, &ext, &DlParams::default())
             .unwrap()
             .si;
         let mean = data.target_mean(&ext);
         model.assimilate_location(&ext, mean).unwrap();
-        let after = location_si(&mut model, &data, &intent, &ext, &DlParams::default())
+        let after = location_si(&model, &data, &intent, &ext, &DlParams::default())
             .unwrap()
             .si;
         assert!(after < before - 1.0, "SI did not drop: {before} → {after}");
@@ -259,15 +249,15 @@ mod tests {
 
     #[test]
     fn more_conditions_lower_si_for_same_extension() {
-        let (data, mut model) = setup();
+        let (data, model) = setup();
         let intent1 = flag_intention();
         let intent2 = intent1.with(Condition {
             attr: 0,
             op: ConditionOp::Eq(1),
         }); // redundant second condition
         let ext = intent1.evaluate(&data);
-        let s1 = location_si(&mut model, &data, &intent1, &ext, &DlParams::default()).unwrap();
-        let s2 = location_si(&mut model, &data, &intent2, &ext, &DlParams::default()).unwrap();
+        let s1 = location_si(&model, &data, &intent1, &ext, &DlParams::default()).unwrap();
+        let s2 = location_si(&model, &data, &intent2, &ext, &DlParams::default()).unwrap();
         assert!((s1.ic - s2.ic).abs() < 1e-12, "same extension, same IC");
         assert!(s2.si < s1.si, "longer description must rank lower");
     }
@@ -276,13 +266,13 @@ mod tests {
     fn coverage_increases_ic() {
         // Two subgroups with identical displacement, different sizes: the
         // larger one carries more information (the /|I|² correction).
-        let (data, mut model) = setup();
+        let (data, model) = setup();
         let big = BitSet::from_indices(20, 10..20);
         let small = BitSet::from_indices(20, 10..14);
         let mean_big = data.target_mean(&big);
         let mean_small = data.target_mean(&small);
-        let ic_big = location_ic(&mut model, &big, &mean_big).unwrap();
-        let ic_small = location_ic(&mut model, &small, &mean_small).unwrap();
+        let ic_big = location_ic(&model, &big, &mean_big).unwrap();
+        let ic_small = location_ic(&model, &small, &mean_small).unwrap();
         assert!(
             ic_big > ic_small,
             "bigger coverage must be more informative: {ic_big} vs {ic_small}"
@@ -329,10 +319,10 @@ mod tests {
 
     #[test]
     fn empty_extension_is_an_error() {
-        let (data, mut model) = setup();
+        let (data, model) = setup();
         let intent = flag_intention();
         let empty = BitSet::empty(20);
-        assert!(location_si(&mut model, &data, &intent, &empty, &DlParams::default()).is_err());
+        assert!(location_si(&model, &data, &intent, &empty, &DlParams::default()).is_err());
         assert!(spread_si(
             &model,
             &data,

@@ -5,6 +5,8 @@ use crate::constraint::Constraint;
 use crate::solver::{solve_spread_lambda, SpreadCellStat};
 use sisd_data::{BitSet, Dataset};
 use sisd_linalg::{Cholesky, Matrix};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Errors surfaced by model operations.
 #[derive(Debug)]
@@ -33,6 +35,94 @@ impl std::fmt::Display for ModelError {
 }
 
 impl std::error::Error for ModelError {}
+
+/// Thread-safe memo of mixed-covariance factorizations, keyed by a
+/// candidate extension's **cell-count signature** — the vector of
+/// `(cell index, rows of the candidate inside that cell)` pairs.
+///
+/// Two candidate extensions with the same signature induce the *same*
+/// subgroup-mean covariance `Cov(f_I) = Σ_g c_g Σ_g / |I|²`, so the
+/// `O(dy³)` factorization (and its `log_det`) can be shared; only the
+/// `O(dy²)` triangular solve against the candidate's own residual remains
+/// per-candidate. This is the dominant saving on the heterogeneous-
+/// covariance path (after spread assimilations), where beam levels score
+/// hundreds of candidates that straddle the same handful of cells.
+///
+/// **Invalidation rule:** a signature is only meaningful for a fixed set of
+/// model parameters. Create a fresh cache per model state and drop it on
+/// any parameter update; `sisd-search`'s evaluation engine enforces this
+/// with the borrow checker by holding the model and the cache behind one
+/// shared borrow.
+///
+/// **Memory bound:** a dy×dy factor costs `8·dy²` bytes and arbitrary
+/// candidate streams can produce mostly-distinct signatures, so the cache
+/// stops admitting new entries past a fixed byte budget
+/// ([`FactorCache::MAX_BYTES`], ≥ 16 entries regardless of dy). Misses
+/// past the cap still return a correct, freshly built factor — identical
+/// bits, just not retained — so results never depend on cache occupancy.
+#[derive(Debug, Default)]
+pub struct FactorCache {
+    map: Mutex<SignatureMap>,
+}
+
+/// Memoized factors by cell-count signature.
+type SignatureMap = HashMap<Vec<(u32, u32)>, Arc<Cholesky>>;
+
+impl FactorCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct signatures memoized so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache has memoized anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SignatureMap> {
+        // A poisoned lock only means another worker panicked mid-insert;
+        // the map itself is always in a consistent state (inserts are
+        // atomic `Arc` stores), so keep going.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Retained-factor byte budget (64 MiB): at dy = 124 that is ~540
+    /// entries, at dy = 16 it is the floor-free ~32k — far beyond any
+    /// realistic number of *repeated* signatures per search.
+    pub const MAX_BYTES: usize = 64 << 20;
+
+    /// Returns the memoized factor for `sig`, building it with `build`
+    /// (outside the lock, so concurrent misses on *different* signatures
+    /// never serialize on the `O(dy³)` work) on a miss. Racing builders of
+    /// the same signature compute identical factors; the first insert wins.
+    /// Entries beyond the [`FactorCache::MAX_BYTES`] budget are returned
+    /// but not retained.
+    fn get_or_build<E>(
+        &self,
+        sig: &[(u32, u32)],
+        build: impl FnOnce() -> Result<Cholesky, E>,
+    ) -> Result<Arc<Cholesky>, E> {
+        if let Some(hit) = self.lock().get(sig) {
+            return Ok(Arc::clone(hit));
+        }
+        let built = Arc::new(build()?);
+        let bytes_per_entry = 8 * built.dim() * built.dim();
+        let max_entries = (Self::MAX_BYTES / bytes_per_entry.max(1)).max(16);
+        let mut map = self.lock();
+        if let Some(hit) = map.get(sig) {
+            return Ok(Arc::clone(hit));
+        }
+        if map.len() < max_entries {
+            map.insert(sig.to_vec(), Arc::clone(&built));
+        }
+        Ok(built)
+    }
+}
 
 /// Sufficient statistics of the subgroup-mean distribution for one
 /// extension, as needed by the location information content (Eq. 13).
@@ -167,10 +257,11 @@ impl BackgroundModel {
         }
     }
 
-    /// Indices and in-extension counts of cells intersecting `ext`.
-    /// After `refine(ext)` the count is either 0 or the full cell size,
-    /// but statistics queries run on arbitrary candidate extensions.
-    fn cell_counts(&self, ext: &BitSet) -> Vec<(usize, usize)> {
+    /// Indices and in-extension counts of cells intersecting `ext` — the
+    /// **cell-count signature** of a candidate extension. After
+    /// `refine(ext)` the count is either 0 or the full cell size, but
+    /// statistics queries run on arbitrary candidate extensions.
+    pub fn cell_counts(&self, ext: &BitSet) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for (idx, cell) in self.cells.iter().enumerate() {
             let c = cell.ext.intersection_count(ext);
@@ -185,88 +276,38 @@ impl BackgroundModel {
     // Statistics queries (used by SI evaluation — hot path)
     // ------------------------------------------------------------------
 
-    /// Precomputes every cell's Cholesky factor so that subsequent
-    /// [`BackgroundModel::location_stats_shared`] calls can run from a
-    /// shared reference (enables multi-threaded beam evaluation).
-    pub fn warm_factorizations(&mut self) {
-        for cell in &mut self.cells {
-            let _ = cell.chol();
-        }
-    }
-
-    /// Shared-reference variant of [`BackgroundModel::location_stats`] for
-    /// concurrent SI evaluation. Requires
-    /// [`BackgroundModel::warm_factorizations`] to have been called since
-    /// the last parameter update.
-    ///
-    /// # Panics
-    /// Panics if a needed Cholesky factor is missing (model not warmed).
-    pub fn location_stats_shared(
-        &self,
-        ext: &BitSet,
-        observed: &[f64],
-    ) -> Result<LocationStats, ModelError> {
-        if observed.len() != self.dy {
-            return Err(ModelError::Dimension {
-                expected: self.dy,
-                got: observed.len(),
-            });
-        }
-        let counts = self.cell_counts(ext);
-        let m: usize = counts.iter().map(|&(_, c)| c).sum();
-        if m == 0 {
-            return Err(ModelError::EmptyExtension);
-        }
-        let mf = m as f64;
-        let mut mean = vec![0.0; self.dy];
-        for &(g, c) in &counts {
-            sisd_linalg::axpy(c as f64 / mf, &self.cells[g].mu, &mut mean);
-        }
-        let mut resid = observed.to_vec();
-        sisd_linalg::sub_assign(&mut resid, &mean);
-
-        let single_cov = counts
-            .iter()
-            .all(|&(g, _)| self.cells[g].cov_id == self.cells[counts[0].0].cov_id);
-        let (log_det_cov, mahalanobis) = if single_cov {
-            let chol = self.cells[counts[0].0]
-                .chol_cached()
-                .expect("warm_factorizations must be called before shared stats");
-            let ld = chol.log_det() - self.dy as f64 * mf.ln();
-            (ld, mf * chol.inv_quad_form(&resid))
-        } else {
-            let mut cov = Matrix::zeros(self.dy, self.dy);
-            for &(g, c) in &counts {
-                let w = c as f64 / (mf * mf);
-                for (o, s) in cov
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(self.cells[g].sigma.as_slice())
-                {
-                    *o += w * s;
-                }
-            }
-            let (chol, _) = Cholesky::new_with_jitter(&cov, 8).map_err(|_| ModelError::BadPrior)?;
-            (chol.log_det(), chol.inv_quad_form(&resid))
-        };
-        Ok(LocationStats {
-            count: m,
-            mean,
-            log_det_cov,
-            mahalanobis,
-        })
-    }
-
     /// Location statistics of an arbitrary candidate extension, evaluated
     /// against an observed subgroup mean `observed`.
+    ///
+    /// Runs from a shared reference: per-cell Cholesky factors initialize
+    /// lazily and thread-safely inside the cells, so concurrent evaluation
+    /// needs no warm-up protocol.
     ///
     /// Fast path: while no spread pattern has been assimilated all cells
     /// share one covariance value, so `Cov(f_I) = Σ/|I|` and one cached
     /// Cholesky factorization serves every candidate.
     pub fn location_stats(
-        &mut self,
+        &self,
         ext: &BitSet,
         observed: &[f64],
+    ) -> Result<LocationStats, ModelError> {
+        self.location_stats_for_counts(&self.cell_counts(ext), observed, None)
+    }
+
+    /// [`BackgroundModel::location_stats`] over a precomputed cell-count
+    /// signature, optionally memoizing mixed-covariance factorizations in
+    /// `cache`. This is the entry point of `sisd-search`'s evaluation
+    /// engine, which computes the signature once per candidate and shares
+    /// it between the observed-mean aggregation and the model statistics.
+    ///
+    /// `counts` must come from [`BackgroundModel::cell_counts`] on this
+    /// model in its current state, and a non-`None` `cache` must only ever
+    /// be used with one model state (see [`FactorCache`]).
+    pub fn location_stats_for_counts(
+        &self,
+        counts: &[(usize, usize)],
+        observed: &[f64],
+        cache: Option<&FactorCache>,
     ) -> Result<LocationStats, ModelError> {
         if observed.len() != self.dy {
             return Err(ModelError::Dimension {
@@ -274,7 +315,6 @@ impl BackgroundModel {
                 got: observed.len(),
             });
         }
-        let counts = self.cell_counts(ext);
         let m: usize = counts.iter().map(|&(_, c)| c).sum();
         if m == 0 {
             return Err(ModelError::EmptyExtension);
@@ -282,7 +322,7 @@ impl BackgroundModel {
         let mf = m as f64;
 
         let mut mean = vec![0.0; self.dy];
-        for &(g, c) in &counts {
+        for &(g, c) in counts {
             sisd_linalg::axpy(c as f64 / mf, &self.cells[g].mu, &mut mean);
         }
         let mut resid = observed.to_vec();
@@ -296,21 +336,34 @@ impl BackgroundModel {
             // Cov = Σ/|I| → log|Cov| = log|Σ| − dy·log|I|;
             // r'Cov⁻¹r = |I| · r'Σ⁻¹r.
             let g0 = counts[0].0;
-            let chol = self.cells[g0].chol();
+            let chol = self.cells[g0].chol().ok_or(ModelError::BadPrior)?;
             let ld = chol.log_det() - self.dy as f64 * mf.ln();
             let maha = mf * chol.inv_quad_form(&resid);
             (ld, maha)
         } else {
-            // Dense: Cov = Σ_g c_g Σ_g / |I|².
-            let mut cov = Matrix::zeros(self.dy, self.dy);
-            for &(g, c) in &counts {
-                let w = c as f64 / (mf * mf);
-                let sg = &self.cells[g].sigma;
-                for (o, s) in cov.as_mut_slice().iter_mut().zip(sg.as_slice()) {
-                    *o += w * s;
+            // Dense: Cov = Σ_g c_g Σ_g / |I|², factorized once per
+            // cell-count signature when a cache is supplied.
+            let build = || -> Result<Cholesky, ModelError> {
+                let mut cov = Matrix::zeros(self.dy, self.dy);
+                for &(g, c) in counts {
+                    let w = c as f64 / (mf * mf);
+                    let sg = &self.cells[g].sigma;
+                    for (o, s) in cov.as_mut_slice().iter_mut().zip(sg.as_slice()) {
+                        *o += w * s;
+                    }
                 }
-            }
-            let (chol, _) = Cholesky::new_with_jitter(&cov, 8).map_err(|_| ModelError::BadPrior)?;
+                Cholesky::new_with_jitter(&cov, 8)
+                    .map(|(chol, _)| chol)
+                    .map_err(|_| ModelError::BadPrior)
+            };
+            let chol = match cache {
+                Some(cache) => {
+                    let sig: Vec<(u32, u32)> =
+                        counts.iter().map(|&(g, c)| (g as u32, c as u32)).collect();
+                    cache.get_or_build(&sig, build)?
+                }
+                None => Arc::new(build()?),
+            };
             (chol.log_det(), chol.inv_quad_form(&resid))
         };
 
@@ -857,27 +910,68 @@ mod tests {
     }
 
     #[test]
-    fn shared_stats_match_exclusive_stats() {
+    fn cached_stats_are_bit_identical_to_uncached() {
         let (mut model, ext) = toy_model();
-        // Heterogeneous covariances to hit both paths.
+        // Heterogeneous covariances to hit the dense (memoizable) path.
         let spread_ext = BitSet::from_indices(8, [0, 1]);
         let mut w = vec![1.0, 0.0];
         sisd_linalg::normalize(&mut w);
         model
             .assimilate_spread(&spread_ext, w, vec![0.0, 0.0], 0.5)
             .unwrap();
-        model.warm_factorizations();
+        let cache = FactorCache::new();
         let observed = vec![0.4, -0.2];
         for candidate in [
             ext.clone(),
             BitSet::from_indices(8, [4, 5, 6]),
             BitSet::from_indices(8, [0, 5]),
+            // Same signature as `ext` reached twice: second hit is memoized.
+            ext.clone(),
         ] {
-            let a = model.location_stats_shared(&candidate, &observed).unwrap();
+            let counts = model.cell_counts(&candidate);
+            let a = model
+                .location_stats_for_counts(&counts, &observed, Some(&cache))
+                .unwrap();
             let b = model.location_stats(&candidate, &observed).unwrap();
             assert_eq!(a.count, b.count);
-            assert!((a.log_det_cov - b.log_det_cov).abs() < 1e-10);
-            assert!((a.mahalanobis - b.mahalanobis).abs() < 1e-10);
+            assert_eq!(a.log_det_cov, b.log_det_cov, "cached path must be exact");
+            assert_eq!(a.mahalanobis, b.mahalanobis, "cached path must be exact");
+        }
+        // Only the mixed-covariance candidates occupy the cache, deduped
+        // by signature.
+        assert!(!cache.is_empty());
+        assert!(cache.len() <= 2, "cache holds {} signatures", cache.len());
+    }
+
+    #[test]
+    fn location_stats_runs_concurrently_from_shared_references() {
+        let (mut model, _) = toy_model();
+        let spread_ext = BitSet::from_indices(8, [0, 1]);
+        let mut w = vec![1.0, 0.0];
+        sisd_linalg::normalize(&mut w);
+        model
+            .assimilate_spread(&spread_ext, w, vec![0.0, 0.0], 0.5)
+            .unwrap();
+        let observed = vec![0.4, -0.2];
+        let candidates: Vec<BitSet> = (0..4)
+            .map(|k| BitSet::from_indices(8, [k, k + 1, k + 4]))
+            .collect();
+        let serial: Vec<_> = candidates
+            .iter()
+            .map(|c| model.location_stats(c, &observed).unwrap())
+            .collect();
+        let shared = &model;
+        let obs = observed.as_slice();
+        let concurrent: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = candidates
+                .iter()
+                .map(|c| s.spawn(move || shared.location_stats(c, obs).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (a, b) in serial.iter().zip(&concurrent) {
+            assert_eq!(a.log_det_cov, b.log_det_cov);
+            assert_eq!(a.mahalanobis, b.mahalanobis);
         }
     }
 

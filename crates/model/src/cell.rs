@@ -4,10 +4,11 @@
 //! parameters iff they are covered by exactly the same subset of pattern
 //! extensions (paper footnote 2). The model keeps this partition explicit:
 //! each [`Cell`] owns its extension bitset, mean, covariance, and a lazily
-//! computed Cholesky factor of the covariance.
+//! initialized, thread-safe Cholesky factor of the covariance.
 
 use sisd_data::BitSet;
 use sisd_linalg::{Cholesky, Matrix};
+use std::sync::OnceLock;
 
 /// One cell of the parameter partition.
 #[derive(Debug, Clone)]
@@ -25,7 +26,10 @@ pub struct Cell {
     /// Evaluators use this to detect the common "all cells share Σ" case
     /// and reuse one Cholesky factorization.
     pub cov_id: u64,
-    chol: Option<Cholesky>,
+    /// Lazily-initialized factor of `sigma`. `None` inside the lock means
+    /// the factorization failed (numerically indefinite covariance), which
+    /// callers surface as an error rather than retrying or panicking.
+    chol: OnceLock<Option<Cholesky>>,
 }
 
 impl Cell {
@@ -40,7 +44,7 @@ impl Cell {
             mu,
             sigma,
             cov_id,
-            chol: None,
+            chol: OnceLock::new(),
         }
     }
 
@@ -49,29 +53,26 @@ impl Cell {
         self.mu.len()
     }
 
-    /// The Cholesky factor of Σ, computing and caching it if needed.
+    /// The Cholesky factor of Σ, computing and caching it on first call.
+    /// Safe to call concurrently from shared references: the factor is
+    /// computed at most once and shared afterwards.
     ///
     /// Falls back to a jittered factorization if Σ has drifted to the
-    /// positive-semidefinite boundary after many rank-one downdates.
-    pub fn chol(&mut self) -> &Cholesky {
-        if self.chol.is_none() {
-            let (c, _jitter) = Cholesky::new_with_jitter(&self.sigma, 8)
-                .expect("cell covariance must be factorable");
-            self.chol = Some(c);
-        }
-        self.chol.as_ref().expect("just set")
+    /// positive-semidefinite boundary after many rank-one downdates;
+    /// returns `None` when even the jittered factorization fails.
+    pub fn chol(&self) -> Option<&Cholesky> {
+        self.chol
+            .get_or_init(|| {
+                Cholesky::new_with_jitter(&self.sigma, 8)
+                    .ok()
+                    .map(|(c, _)| c)
+            })
+            .as_ref()
     }
 
     /// Invalidates the cached factor (call after mutating `sigma`).
     pub fn invalidate_chol(&mut self) {
-        self.chol = None;
-    }
-
-    /// The cached Cholesky factor, if one has been computed — the
-    /// shared-reference path used by parallel SI evaluation after
-    /// [`crate::BackgroundModel::warm_factorizations`].
-    pub fn chol_cached(&self) -> Option<&Cholesky> {
-        self.chol.as_ref()
+        self.chol = OnceLock::new();
     }
 
     /// `wᵀ Σ w` for a direction `w`.
@@ -145,11 +146,25 @@ mod tests {
     #[test]
     fn chol_is_cached_and_invalidated() {
         let mut c = cell(&[0]);
-        let ld = c.chol().log_det();
+        let ld = c.chol().expect("identity factors").log_det();
         assert!((ld - 0.0).abs() < 1e-12);
         c.sigma = Matrix::from_diag(&[4.0, 4.0]);
         c.invalidate_chol();
-        assert!((c.chol().log_det() - (16.0f64).ln()).abs() < 1e-12);
+        let ld2 = c.chol().expect("diagonal factors").log_det();
+        assert!((ld2 - (16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chol_works_from_shared_references_across_threads() {
+        let c = cell(&[0, 1, 2]);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| c.chol().expect("factorable").log_det()))
+                .collect();
+            for h in handles {
+                assert!((h.join().expect("worker") - 0.0).abs() < 1e-12);
+            }
+        });
     }
 
     #[test]

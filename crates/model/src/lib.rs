@@ -28,7 +28,7 @@ mod cell;
 mod constraint;
 mod solver;
 
-pub use background::{BackgroundModel, LocationStats, ModelError, SpreadStats};
+pub use background::{BackgroundModel, FactorCache, LocationStats, ModelError, SpreadStats};
 pub use binary::{BinaryBackgroundModel, BinaryLocationStats};
 pub use cell::Cell;
 pub use constraint::Constraint;

@@ -5,14 +5,18 @@
 //! again". The defaults mirror the paper's Cortana settings (§III): beam
 //! width 40, depth 4, the 150 best subgroups logged, numeric conditions on
 //! four percentile split points, and an optional wall-clock budget.
+//!
+//! Candidate scoring — including multi-threading and factorization reuse —
+//! is delegated to the shared [`crate::eval::Evaluator`]; set
+//! [`EvalConfig::threads`] to parallelize. Results are identical at any
+//! thread count.
 
-use crate::refine::{generate_conditions, RefineConfig};
-use sisd_core::{
-    location_si, location_si_shared, ConditionOp, DlParams, Intention, LocationPattern,
-};
-use sisd_data::{BitSet, Dataset};
+use crate::eval::{run_beam_levels, Evaluator};
+use crate::refine::RefineConfig;
+use crate::EvalConfig;
+use sisd_core::{DlParams, LocationPattern};
+use sisd_data::Dataset;
 use sisd_model::BackgroundModel;
-use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// Beam search configuration.
@@ -30,12 +34,17 @@ pub struct BeamConfig {
     /// excludes subgroups equal to the whole dataset, whose "mean" carries
     /// no local structure.
     pub max_coverage_fraction: f64,
-    /// Wall-clock budget; search stops gracefully when exceeded.
+    /// Wall-clock budget; search stops gracefully when exceeded. Checked
+    /// between frontier parents while generating a level and between
+    /// bounded scoring slices while evaluating it; candidates scored
+    /// before expiry are still logged.
     pub time_budget: Option<Duration>,
     /// Condition-language settings.
     pub refine: RefineConfig,
     /// Description-length parameters.
     pub dl: DlParams,
+    /// Candidate-evaluation engine settings (worker threads).
+    pub eval: EvalConfig,
 }
 
 impl Default for BeamConfig {
@@ -49,6 +58,7 @@ impl Default for BeamConfig {
             time_budget: None,
             refine: RefineConfig::default(),
             dl: DlParams::default(),
+            eval: EvalConfig::default(),
         }
     }
 }
@@ -64,63 +74,16 @@ pub struct BeamResult {
     pub elapsed: Duration,
     /// True when the time budget cut the search short.
     pub timed_out: bool,
+    /// Candidates dropped because of numeric model breakdown (never
+    /// empty-extension skips). Zero in healthy runs; non-zero means the
+    /// background model is degraded and `top` may be incomplete.
+    pub degraded: usize,
 }
 
 impl BeamResult {
     /// The single most interesting pattern, if any candidate was feasible.
     pub fn best(&self) -> Option<&LocationPattern> {
         self.top.first()
-    }
-}
-
-/// One beam entry awaiting expansion.
-struct BeamEntry {
-    intention: Intention,
-    ext: BitSet,
-    si: f64,
-}
-
-/// Canonical key of an intention: sorted condition fingerprints, so that
-/// `a ∧ b` and `b ∧ a` are recognized as the same candidate.
-fn intention_key(intention: &Intention) -> Vec<(usize, u8, u64)> {
-    let mut key: Vec<(usize, u8, u64)> = intention
-        .conditions()
-        .iter()
-        .map(|c| match c.op {
-            ConditionOp::Ge(t) => (c.attr, 0u8, t.to_bits()),
-            ConditionOp::Le(t) => (c.attr, 1u8, t.to_bits()),
-            ConditionOp::Eq(l) => (c.attr, 2u8, l as u64),
-        })
-        .collect();
-    key.sort_unstable();
-    key
-}
-
-/// Bounded, sorted top-k pattern log.
-struct TopK {
-    k: usize,
-    items: Vec<LocationPattern>,
-}
-
-impl TopK {
-    fn new(k: usize) -> Self {
-        Self {
-            k,
-            items: Vec::with_capacity(k + 1),
-        }
-    }
-
-    fn push(&mut self, p: LocationPattern) {
-        let pos = self.items.partition_point(|q| q.score.si >= p.score.si);
-        if pos >= self.k {
-            return;
-        }
-        self.items.insert(pos, p);
-        self.items.truncate(self.k);
-    }
-
-    fn into_vec(self) -> Vec<LocationPattern> {
-        self.items
     }
 }
 
@@ -141,231 +104,22 @@ impl BeamSearch {
         &self.config
     }
 
-    /// Runs the search against the current background model.
-    ///
-    /// The model is only *read* (SI evaluation); it is taken `&mut` because
-    /// covariance Cholesky factors are cached lazily inside the cells.
-    pub fn run(&self, data: &Dataset, model: &mut BackgroundModel) -> BeamResult {
+    /// Runs the search against the current background model, evaluating
+    /// candidates on `config.eval.threads` workers (factorizations are
+    /// cached lazily and thread-safely inside the model, so the model is
+    /// only read).
+    pub fn run(&self, data: &Dataset, model: &BackgroundModel) -> BeamResult {
         let start = Instant::now();
-        let cfg = &self.config;
-        let conditions = generate_conditions(data, &cfg.refine);
-        let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
-        let max_cov =
-            ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
-
-        let mut top = TopK::new(cfg.top_k);
-        let mut evaluated = 0usize;
-        let mut timed_out = false;
-        let mut seen: HashSet<Vec<(usize, u8, u64)>> = HashSet::new();
-
-        // Level 1 seeds from the empty intention.
-        let root_ext = BitSet::full(data.n());
-        let mut beam: Vec<BeamEntry> = Vec::new();
-        let mut frontier: Vec<(Intention, BitSet)> = vec![(Intention::empty(), root_ext)];
-
-        'levels: for _depth in 1..=cfg.max_depth {
-            let mut level: Vec<BeamEntry> = Vec::new();
-            for (parent_intent, parent_ext) in &frontier {
-                for (cidx, cond) in conditions.iter().enumerate() {
-                    if let Some(budget) = cfg.time_budget {
-                        if start.elapsed() > budget {
-                            timed_out = true;
-                            break 'levels;
-                        }
-                    }
-                    if parent_intent.conflicts_with(cond) {
-                        continue;
-                    }
-                    let ext = parent_ext.and(&condition_exts[cidx]);
-                    let m = ext.count();
-                    if m < cfg.min_coverage || m > max_cov || m == parent_ext.count() {
-                        continue;
-                    }
-                    let child_intent = parent_intent.with(*cond);
-                    // Dedup *after* the structural filters so the outcome
-                    // is independent of which parent reaches a conjunction
-                    // first (keeps serial and parallel searches identical).
-                    if !seen.insert(intention_key(&child_intent)) {
-                        continue;
-                    }
-                    let score = match location_si(model, data, &child_intent, &ext, &cfg.dl) {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    evaluated += 1;
-                    let pattern = LocationPattern {
-                        intention: child_intent.clone(),
-                        extension: ext.clone(),
-                        observed_mean: data.target_mean(&ext),
-                        score,
-                    };
-                    top.push(pattern);
-                    level.push(BeamEntry {
-                        intention: child_intent,
-                        ext,
-                        si: score.si,
-                    });
-                }
-            }
-            if level.is_empty() {
-                break;
-            }
-            level.sort_by(|a, b| b.si.partial_cmp(&a.si).unwrap());
-            level.truncate(cfg.width);
-            frontier = level
-                .iter()
-                .map(|e| (e.intention.clone(), e.ext.clone()))
-                .collect();
-            beam = level;
-        }
-        let _ = beam; // final beam not needed beyond the log
-
+        let ev = Evaluator::gaussian(data, model, self.config.dl, self.config.eval);
+        let outcome = run_beam_levels(&ev, &self.config, start);
         BeamResult {
-            top: top.into_vec(),
-            evaluated,
+            top: outcome.top,
+            evaluated: outcome.evaluated,
             elapsed: start.elapsed(),
-            timed_out,
+            timed_out: outcome.timed_out,
+            degraded: outcome.degraded,
         }
     }
-
-    /// Multi-threaded variant of [`BeamSearch::run`]: candidate evaluation
-    /// at each level is split across `threads` OS threads (the model is
-    /// pre-warmed so SI evaluation needs only shared references). Results
-    /// are identical to the serial search — candidate order, dedup, and
-    /// beam selection are resolved deterministically at the merge step.
-    ///
-    /// The wall-clock budget is honoured at level granularity.
-    pub fn run_parallel(
-        &self,
-        data: &Dataset,
-        model: &mut BackgroundModel,
-        threads: usize,
-    ) -> BeamResult {
-        let threads = threads.max(1);
-        let start = Instant::now();
-        let cfg = &self.config;
-        model.warm_factorizations();
-        let model: &BackgroundModel = model;
-        let conditions = generate_conditions(data, &cfg.refine);
-        let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
-        let max_cov =
-            ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
-
-        let mut top = TopK::new(cfg.top_k);
-        let mut evaluated = 0usize;
-        let mut timed_out = false;
-        let mut seen: HashSet<Vec<(usize, u8, u64)>> = HashSet::new();
-        let mut frontier: Vec<(Intention, BitSet)> =
-            vec![(Intention::empty(), BitSet::full(data.n()))];
-
-        for _depth in 1..=cfg.max_depth {
-            if let Some(budget) = cfg.time_budget {
-                if start.elapsed() > budget {
-                    timed_out = true;
-                    break;
-                }
-            }
-            // Workers score chunks of the frontier independently; duplicate
-            // conjunctions across chunks are filtered at the merge.
-            let chunk_size = frontier.len().div_ceil(threads);
-            let chunk_results: Vec<Vec<(Intention, BitSet, ScoreTriple)>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = frontier
-                        .chunks(chunk_size.max(1))
-                        .map(|chunk| {
-                            let conditions = &conditions;
-                            let condition_exts = &condition_exts;
-                            scope.spawn(move || {
-                                let mut out = Vec::new();
-                                for (parent_intent, parent_ext) in chunk {
-                                    for (cidx, cond) in conditions.iter().enumerate() {
-                                        if parent_intent.conflicts_with(cond) {
-                                            continue;
-                                        }
-                                        let ext = parent_ext.and(&condition_exts[cidx]);
-                                        let m = ext.count();
-                                        if m < cfg.min_coverage
-                                            || m > max_cov
-                                            || m == parent_ext.count()
-                                        {
-                                            continue;
-                                        }
-                                        let child_intent = parent_intent.with(*cond);
-                                        let Ok(score) = location_si_shared(
-                                            model,
-                                            data,
-                                            &child_intent,
-                                            &ext,
-                                            &cfg.dl,
-                                        ) else {
-                                            continue;
-                                        };
-                                        out.push((
-                                            child_intent,
-                                            ext,
-                                            ScoreTriple {
-                                                ic: score.ic,
-                                                dl: score.dl,
-                                                si: score.si,
-                                            },
-                                        ));
-                                    }
-                                }
-                                out
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker"))
-                        .collect()
-                });
-
-            let mut level: Vec<BeamEntry> = Vec::new();
-            for (intent, ext, triple) in chunk_results.into_iter().flatten() {
-                if !seen.insert(intention_key(&intent)) {
-                    continue;
-                }
-                evaluated += 1;
-                top.push(LocationPattern {
-                    intention: intent.clone(),
-                    extension: ext.clone(),
-                    observed_mean: data.target_mean(&ext),
-                    score: sisd_core::LocationScore {
-                        ic: triple.ic,
-                        dl: triple.dl,
-                        si: triple.si,
-                    },
-                });
-                level.push(BeamEntry {
-                    intention: intent,
-                    ext,
-                    si: triple.si,
-                });
-            }
-            if level.is_empty() {
-                break;
-            }
-            level.sort_by(|a, b| b.si.partial_cmp(&a.si).unwrap());
-            level.truncate(cfg.width);
-            frontier = level.into_iter().map(|e| (e.intention, e.ext)).collect();
-        }
-
-        BeamResult {
-            top: top.into_vec(),
-            evaluated,
-            elapsed: start.elapsed(),
-            timed_out,
-        }
-    }
-}
-
-/// Plain score triple passed across worker threads.
-#[derive(Debug, Clone, Copy)]
-struct ScoreTriple {
-    ic: f64,
-    dl: f64,
-    si: f64,
 }
 
 #[cfg(test)]
@@ -385,8 +139,8 @@ mod tests {
     #[test]
     fn finds_the_planted_cluster_first() {
         let (data, truth) = synthetic_paper(42);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
-        let result = BeamSearch::new(small_config()).run(&data, &mut model);
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        let result = BeamSearch::new(small_config()).run(&data, &model);
         let best = result.best().expect("patterns found");
         // The best pattern must be one of the three true single-condition
         // descriptions aᵢ = '1'.
@@ -407,8 +161,8 @@ mod tests {
     #[test]
     fn top_three_are_the_three_clusters() {
         let (data, truth) = synthetic_paper(42);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
-        let result = BeamSearch::new(small_config()).run(&data, &mut model);
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        let result = BeamSearch::new(small_config()).run(&data, &model);
         // Among single-condition patterns, the three planted labels rank at
         // the top (the paper observes they are the immediate top 3).
         let singles: Vec<_> = result
@@ -432,8 +186,8 @@ mod tests {
     #[test]
     fn log_is_sorted_and_bounded() {
         let (data, _) = synthetic_paper(1);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
-        let result = BeamSearch::new(small_config()).run(&data, &mut model);
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        let result = BeamSearch::new(small_config()).run(&data, &model);
         assert!(result.top.len() <= 20);
         for w in result.top.windows(2) {
             assert!(w[0].score.si >= w[1].score.si);
@@ -443,14 +197,14 @@ mod tests {
     #[test]
     fn deeper_search_logs_redundant_refinements_with_lower_si() {
         let (data, _) = synthetic_paper(42);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let model = BackgroundModel::from_empirical(&data).unwrap();
         let result = BeamSearch::new(BeamConfig {
             width: 40,
             max_depth: 2,
             top_k: 150,
             ..BeamConfig::default()
         })
-        .run(&data, &mut model);
+        .run(&data, &model);
         let best = result.best().unwrap().clone();
         // Find a 2-condition pattern with the same extension; DL must push
         // its SI strictly below the parent's (Table I's observation).
@@ -467,24 +221,24 @@ mod tests {
     #[test]
     fn respects_time_budget() {
         let (data, _) = synthetic_paper(3);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let model = BackgroundModel::from_empirical(&data).unwrap();
         let cfg = BeamConfig {
             time_budget: Some(Duration::from_nanos(1)),
             ..small_config()
         };
-        let result = BeamSearch::new(cfg).run(&data, &mut model);
+        let result = BeamSearch::new(cfg).run(&data, &model);
         assert!(result.timed_out);
     }
 
     #[test]
     fn min_coverage_filters_tiny_subgroups() {
         let (data, _) = synthetic_paper(5);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let model = BackgroundModel::from_empirical(&data).unwrap();
         let cfg = BeamConfig {
             min_coverage: 50,
             ..small_config()
         };
-        let result = BeamSearch::new(cfg).run(&data, &mut model);
+        let result = BeamSearch::new(cfg).run(&data, &model);
         for p in &result.top {
             assert!(p.extension.count() >= 50);
         }
@@ -493,19 +247,19 @@ mod tests {
     #[test]
     fn duplicate_conjunction_orderings_are_not_rescored() {
         let (data, _) = synthetic_paper(7);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let model = BackgroundModel::from_empirical(&data).unwrap();
         let result = BeamSearch::new(BeamConfig {
             width: 40,
             max_depth: 2,
             top_k: 1000,
             ..BeamConfig::default()
         })
-        .run(&data, &mut model);
+        .run(&data, &model);
         // All logged intentions are unique as unordered condition sets.
         let mut keys: Vec<_> = result
             .top
             .iter()
-            .map(|p| super::intention_key(&p.intention))
+            .map(|p| crate::eval::intention_key(&p.intention))
             .collect();
         let before = keys.len();
         keys.sort();
@@ -528,15 +282,22 @@ mod parallel_tests {
             top_k: 60,
             ..BeamConfig::default()
         };
-        let mut m1 = BackgroundModel::from_empirical(&data).unwrap();
-        let serial = BeamSearch::new(cfg.clone()).run(&data, &mut m1);
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        let serial = BeamSearch::new(cfg.clone()).run(&data, &model);
         for threads in [1usize, 2, 4] {
-            let mut m2 = BackgroundModel::from_empirical(&data).unwrap();
-            let parallel = BeamSearch::new(cfg.clone()).run_parallel(&data, &mut m2, threads);
+            let cfg_t = BeamConfig {
+                eval: EvalConfig::with_threads(threads),
+                ..cfg.clone()
+            };
+            let parallel = BeamSearch::new(cfg_t).run(&data, &model);
             assert_eq!(parallel.top.len(), serial.top.len());
             for (a, b) in parallel.top.iter().zip(&serial.top) {
                 assert_eq!(a.extension, b.extension, "threads={threads}");
-                assert!((a.score.si - b.score.si).abs() < 1e-9);
+                assert_eq!(
+                    a.score.si.to_bits(),
+                    b.score.si.to_bits(),
+                    "threads={threads}: SI must be bit-identical"
+                );
             }
             assert_eq!(parallel.evaluated, serial.evaluated);
         }
@@ -562,13 +323,19 @@ mod parallel_tests {
             top_k: 20,
             ..BeamConfig::default()
         };
-        let mut m_serial = model.clone();
-        let serial = BeamSearch::new(cfg.clone()).run(&data, &mut m_serial);
-        let mut m_par = model;
-        let parallel = BeamSearch::new(cfg).run_parallel(&data, &mut m_par, 3);
+        let serial = BeamSearch::new(cfg.clone()).run(&data, &model);
+        let cfg_p = BeamConfig {
+            eval: EvalConfig::with_threads(3),
+            ..cfg
+        };
+        let parallel = BeamSearch::new(cfg_p).run(&data, &model);
         assert_eq!(
             serial.best().unwrap().extension,
             parallel.best().unwrap().extension
+        );
+        assert_eq!(
+            serial.best().unwrap().score.si.to_bits(),
+            parallel.best().unwrap().score.si.to_bits()
         );
     }
 }

@@ -2,18 +2,20 @@
 //! against the Bernoulli MaxEnt model (`sisd_model::binary`) — the §V
 //! extension of the paper implemented end to end.
 //!
-//! Mirrors [`crate::beam`]'s semantics (width / depth / coverage floor /
-//! top-k log / canonical conjunction dedup) with IC computed under the
-//! Bernoulli background distribution instead of the Gaussian one. This is
-//! the principled way to mine presence/absence targets like the mammal
-//! atlas, where the Gaussian model treats 0/1 indicators as real values.
+//! Runs the *same* level-wise loop as [`crate::beam`] (width / depth /
+//! coverage floor / top-k log / canonical conjunction dedup), through the
+//! same [`crate::eval::Evaluator`] — only the backend differs: IC is
+//! computed under the Bernoulli background distribution instead of the
+//! Gaussian one. This is the principled way to mine presence/absence
+//! targets like the mammal atlas, where the Gaussian model treats 0/1
+//! indicators as real values. `config.eval.threads` parallelizes candidate
+//! evaluation here too, with identical results at any thread count.
 
-use crate::refine::generate_conditions;
+use crate::eval::{run_beam_levels, Evaluator};
 use crate::BeamConfig;
-use sisd_core::{DlParams, Intention, LocationPattern, LocationScore};
-use sisd_data::{BitSet, Dataset};
+use sisd_core::LocationPattern;
+use sisd_data::Dataset;
 use sisd_model::BinaryBackgroundModel;
-use std::collections::HashSet;
 use std::time::Instant;
 
 /// Result of a binary-target beam search.
@@ -23,6 +25,9 @@ pub struct BinaryBeamResult {
     pub top: Vec<LocationPattern>,
     /// Candidates scored.
     pub evaluated: usize,
+    /// Candidates dropped because of numeric model breakdown (never
+    /// empty-extension skips); zero in healthy runs.
+    pub degraded: usize,
 }
 
 impl BinaryBeamResult {
@@ -30,21 +35,6 @@ impl BinaryBeamResult {
     pub fn best(&self) -> Option<&LocationPattern> {
         self.top.first()
     }
-}
-
-fn intention_key(intention: &Intention) -> Vec<(usize, u8, u64)> {
-    use sisd_core::ConditionOp;
-    let mut key: Vec<(usize, u8, u64)> = intention
-        .conditions()
-        .iter()
-        .map(|c| match c.op {
-            ConditionOp::Ge(t) => (c.attr, 0u8, t.to_bits()),
-            ConditionOp::Le(t) => (c.attr, 1u8, t.to_bits()),
-            ConditionOp::Eq(l) => (c.attr, 2u8, l as u64),
-        })
-        .collect();
-    key.sort_unstable();
-    key
 }
 
 /// Runs the search. Dataset targets must be 0/1-valued (validated by
@@ -55,67 +45,12 @@ pub fn binary_beam_search(
     config: &BeamConfig,
 ) -> BinaryBeamResult {
     let start = Instant::now();
-    let conditions = generate_conditions(data, &config.refine);
-    let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
-    let max_cov = ((data.n() as f64 * config.max_coverage_fraction).floor() as usize)
-        .max(config.min_coverage);
-    let dl_params: DlParams = config.dl;
-
-    let mut evaluated = 0usize;
-    let mut seen: HashSet<Vec<(usize, u8, u64)>> = HashSet::new();
-    let mut log: Vec<LocationPattern> = Vec::new();
-    let mut frontier: Vec<(Intention, BitSet)> = vec![(Intention::empty(), BitSet::full(data.n()))];
-
-    'levels: for _ in 0..config.max_depth {
-        let mut level: Vec<(Intention, BitSet, f64)> = Vec::new();
-        for (parent_intent, parent_ext) in &frontier {
-            for (cidx, cond) in conditions.iter().enumerate() {
-                if let Some(budget) = config.time_budget {
-                    if start.elapsed() > budget {
-                        break 'levels;
-                    }
-                }
-                if parent_intent.conflicts_with(cond) {
-                    continue;
-                }
-                let child_intent = parent_intent.with(*cond);
-                if !seen.insert(intention_key(&child_intent)) {
-                    continue;
-                }
-                let ext = parent_ext.and(&condition_exts[cidx]);
-                let m = ext.count();
-                if m < config.min_coverage || m > max_cov || m == parent_ext.count() {
-                    continue;
-                }
-                let observed = data.target_mean(&ext);
-                let Ok(ic) = model.location_ic(&ext, &observed) else {
-                    continue;
-                };
-                evaluated += 1;
-                let dl = dl_params.location_dl(child_intent.len());
-                let si = ic / dl;
-                log.push(LocationPattern {
-                    intention: child_intent.clone(),
-                    extension: ext.clone(),
-                    observed_mean: observed,
-                    score: LocationScore { ic, dl, si },
-                });
-                level.push((child_intent, ext, si));
-            }
-        }
-        if level.is_empty() {
-            break;
-        }
-        level.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
-        level.truncate(config.width);
-        frontier = level.into_iter().map(|(i, e, _)| (i, e)).collect();
-    }
-
-    log.sort_by(|a, b| b.score.si.partial_cmp(&a.score.si).unwrap());
-    log.truncate(config.top_k);
+    let ev = Evaluator::bernoulli(data, model, config.dl, config.eval);
+    let outcome = run_beam_levels(&ev, config, start);
     BinaryBeamResult {
-        top: log,
-        evaluated,
+        top: outcome.top,
+        evaluated: outcome.evaluated,
+        degraded: outcome.degraded,
     }
 }
 
@@ -137,6 +72,7 @@ pub fn binary_step(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EvalConfig;
     use sisd_data::datasets::mammals_synthetic;
     use sisd_data::Column;
     use sisd_linalg::Matrix;
@@ -211,6 +147,24 @@ mod tests {
         let result = binary_beam_search(&data, &model, &config());
         for w in result.top.windows(2) {
             assert!(w[0].score.si >= w[1].score.si);
+        }
+    }
+
+    #[test]
+    fn multi_threaded_binary_search_matches_serial() {
+        let data = planted(6);
+        let model = BinaryBackgroundModel::from_empirical(&data).unwrap();
+        let serial = binary_beam_search(&data, &model, &config());
+        let cfg_p = BeamConfig {
+            eval: EvalConfig::with_threads(4),
+            ..config()
+        };
+        let parallel = binary_beam_search(&data, &model, &cfg_p);
+        assert_eq!(serial.evaluated, parallel.evaluated);
+        assert_eq!(serial.top.len(), parallel.top.len());
+        for (a, b) in serial.top.iter().zip(&parallel.top) {
+            assert_eq!(a.extension, b.extension);
+            assert_eq!(a.score.si.to_bits(), b.score.si.to_bits());
         }
     }
 

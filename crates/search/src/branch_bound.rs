@@ -25,8 +25,10 @@
 //! rule. Depth-first search with canonical (index-ascending) condition
 //! enumeration then finds the *globally optimal* pattern of the language.
 
+use crate::eval::{Candidate, Evaluator};
 use crate::refine::{generate_conditions, RefineConfig};
-use sisd_core::{Condition, DlParams, Intention, LocationPattern, LocationScore};
+use crate::EvalConfig;
+use sisd_core::{Condition, DlParams, Intention, LocationPattern};
 use sisd_data::{BitSet, Dataset};
 use sisd_model::BackgroundModel;
 
@@ -41,6 +43,12 @@ pub struct BranchBoundConfig {
     pub dl: DlParams,
     /// Condition-language settings.
     pub refine: RefineConfig,
+    /// Candidate-evaluation engine settings (worker threads for sibling
+    /// batches). Single-target scores are cheap, so `threads > 1` only
+    /// pays off when nodes have many children on large datasets; the
+    /// engine falls back to inline scoring for small sibling batches
+    /// either way.
+    pub eval: EvalConfig,
 }
 
 impl Default for BranchBoundConfig {
@@ -50,6 +58,7 @@ impl Default for BranchBoundConfig {
             min_coverage: 5,
             dl: DlParams::default(),
             refine: RefineConfig::default(),
+            eval: EvalConfig::default(),
         }
     }
 }
@@ -80,8 +89,16 @@ struct Searcher<'a> {
     pruned: usize,
 }
 
+/// Relative slack absorbing floating-point differences between the
+/// closed-form optimistic estimate and the engine-evaluated exact IC
+/// (different summation order, and a sqrt/square round-trip through the
+/// 1×1 Cholesky factor), so pruning stays admissible at any SI magnitude.
+const BOUND_SLACK: f64 = 1e-9;
+
 impl<'a> Searcher<'a> {
-    /// Exact IC of a subset with size `m` and value sum `sum`.
+    /// Closed-form IC of a subset with size `m` and value sum `sum` under
+    /// the uniform model — used for the optimistic bound only; exact
+    /// scoring goes through the shared evaluation engine.
     fn ic(&self, m: usize, sum: f64) -> f64 {
         let mf = m as f64;
         let mean = sum / mf;
@@ -116,17 +133,31 @@ impl<'a> Searcher<'a> {
         best
     }
 
-    fn descend(&mut self, intention: &Intention, ext: &BitSet, first_cond: usize) {
+    fn descend(
+        &mut self,
+        ev: &Evaluator<'_>,
+        intention: &Intention,
+        ext: &BitSet,
+        first_cond: usize,
+    ) {
         if intention.len() >= self.cfg.max_depth {
             return;
         }
         // Bound every descendant: they refine ext and have ≥ |C|+1
         // conditions (DL is increasing in |C|, SI decreasing).
         let bound = self.optimistic_ic(ext) / self.cfg.dl.location_dl(intention.len() + 1);
-        if bound <= self.best_si {
+        let slack = BOUND_SLACK * (1.0 + self.best_si.abs());
+        if bound <= self.best_si - slack {
             self.pruned += 1;
             return;
         }
+        // Collect the node's children, then score them as one batch through
+        // the engine (parallel when `cfg.eval.threads > 1`; identical
+        // results either way). Exact scores don't depend on the incumbent,
+        // so batching before the in-order best/recurse sweep visits exactly
+        // the nodes the one-at-a-time search visited.
+        let mut child_first_cond: Vec<usize> = Vec::new();
+        let mut batch: Vec<Candidate> = Vec::new();
         for cidx in first_cond..self.conditions.len() {
             let cond = self.conditions[cidx];
             if intention.conflicts_with(&cond) {
@@ -134,7 +165,7 @@ impl<'a> Searcher<'a> {
             }
             let child_ext = ext.and(&self.condition_exts[cidx]);
             let m = child_ext.count();
-            if m < self.cfg.min_coverage {
+            if m < self.cfg.min_coverage.max(1) {
                 continue;
             }
             if m == ext.count() && !intention.is_empty() {
@@ -142,22 +173,21 @@ impl<'a> Searcher<'a> {
                 // and its subtree is a subset of this node's subtree.
                 continue;
             }
-            let child_intent = intention.with(cond);
-            let sum: f64 = child_ext.iter().map(|i| self.y[i]).sum();
-            let ic = self.ic(m, sum);
-            let dl = self.cfg.dl.location_dl(child_intent.len());
-            let si = ic / dl;
+            child_first_cond.push(cidx + 1);
+            batch.push(Candidate {
+                intention: intention.with(cond),
+                ext: child_ext,
+            });
+        }
+        let scored = ev.try_score_all(&batch);
+        for (next_cond, maybe) in child_first_cond.into_iter().zip(scored) {
+            let Some(s) = maybe else { continue };
             self.evaluated += 1;
-            if si > self.best_si {
-                self.best_si = si;
-                self.best = Some(LocationPattern {
-                    intention: child_intent.clone(),
-                    extension: child_ext.clone(),
-                    observed_mean: vec![sum / m as f64],
-                    score: LocationScore { ic, dl, si },
-                });
+            if s.score.si > self.best_si {
+                self.best_si = s.score.si;
+                self.best = Some(s.clone().into_pattern());
             }
-            self.descend(&child_intent, &child_ext, cidx + 1);
+            self.descend(ev, &s.intention, &s.ext, next_cond);
         }
     }
 }
@@ -183,6 +213,7 @@ pub fn branch_bound_search(
     let sigma2 = model.row_cov(0)[(0, 0)];
     let conditions = generate_conditions(data, &cfg.refine);
     let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
+    let ev = Evaluator::gaussian(data, model, cfg.dl, cfg.eval);
     let mut s = Searcher {
         data,
         conditions,
@@ -197,7 +228,7 @@ pub fn branch_bound_search(
         pruned: 0,
     };
     let root = BitSet::full(s.data.n());
-    s.descend(&Intention::empty(), &root, 0);
+    s.descend(&ev, &Intention::empty(), &root, 0);
     BranchBoundResult {
         best: s.best,
         evaluated: s.evaluated,

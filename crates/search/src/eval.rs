@@ -1,0 +1,645 @@
+//! The unified candidate-evaluation engine.
+//!
+//! Every search strategy in this crate — Gaussian beam ([`crate::beam`]),
+//! Bernoulli beam ([`crate::binary_beam`]), branch-and-bound
+//! ([`crate::branch_bound`]), and the spread-direction search
+//! ([`crate::sphere`]) — scores its candidates through one [`Evaluator`].
+//! The engine owns the three concerns the strategies used to re-implement
+//! separately:
+//!
+//! * **Ownership and cache validity.** An [`Evaluator`] borrows the
+//!   background model *immutably* for its whole lifetime, so the borrow
+//!   checker guarantees the model cannot change while any factorization is
+//!   cached: per-cell Cholesky factors initialize lazily (and thread-
+//!   safely) inside the model's cells, and mixed-covariance factorizations
+//!   are memoized per **cell-count signature** in a
+//!   [`sisd_model::FactorCache`] that lives and dies with the evaluator.
+//!   There is no warm-up protocol and no panic path for a missing factor.
+//! * **Observed-mean aggregation.** The subgroup mean of a candidate whose
+//!   extension is exactly a union of parameter cells is assembled from
+//!   precomputed per-cell target sums instead of a full row scan; the cell
+//!   intersection counts are computed once per candidate and shared with
+//!   the model-statistics query.
+//! * **Deterministic parallelism.** [`Evaluator::score_all`] splits a
+//!   batch into contiguous chunks, scores them on scoped OS threads, and
+//!   merges in chunk order. Each candidate's arithmetic is independent of
+//!   every other's, so the results are **bit-identical at any thread
+//!   count** — searches may be parallelized without changing their output.
+
+use crate::refine::generate_conditions;
+use crate::BeamConfig;
+use sisd_core::SisdError;
+use sisd_core::{
+    location_ic_of_stats, spread_si, ConditionOp, Intention, LocationPattern, LocationScore,
+    SisdResult, SpreadScore,
+};
+use sisd_data::{BitSet, Dataset};
+use sisd_model::{BackgroundModel, BinaryBackgroundModel, FactorCache, ModelError};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Engine configuration, threaded from the application surface
+/// ([`crate::MinerConfig`], the experiment binaries' `--threads` flags)
+/// down to every strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Worker threads for batch candidate evaluation. `1` keeps scoring on
+    /// the calling thread; results are identical either way.
+    pub threads: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
+
+impl EvalConfig {
+    /// Config with the given worker-thread count (floored at 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// One candidate subgroup awaiting evaluation.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The candidate's description.
+    pub intention: Intention,
+    /// The rows it covers.
+    pub ext: BitSet,
+}
+
+/// A scored candidate: everything a strategy needs to log, rank, or expand
+/// it without touching the dataset again.
+#[derive(Debug, Clone)]
+pub struct Scored {
+    /// The candidate's description.
+    pub intention: Intention,
+    /// The rows it covers.
+    pub ext: BitSet,
+    /// Observed subgroup target mean (computed once, here).
+    pub observed_mean: Vec<f64>,
+    /// The SI breakdown.
+    pub score: LocationScore,
+}
+
+impl Scored {
+    /// Repackages as the user-facing pattern record.
+    pub fn into_pattern(self) -> LocationPattern {
+        LocationPattern {
+            intention: self.intention,
+            extension: self.ext,
+            observed_mean: self.observed_mean,
+            score: self.score,
+        }
+    }
+}
+
+/// The model backend a candidate is scored against.
+enum Backend<'a> {
+    /// The paper's Gaussian background distribution.
+    Gaussian {
+        model: &'a BackgroundModel,
+        /// Mixed-covariance factorizations memoized by cell-count
+        /// signature; valid exactly as long as the model borrow.
+        cache: FactorCache,
+        /// Per-cell sums of the dataset's target rows, aligned with
+        /// `model.cells()`; built on first use.
+        cell_sums: OnceLock<Vec<Vec<f64>>>,
+    },
+    /// The Bernoulli MaxEnt model for 0/1 targets (§V extension).
+    Bernoulli { model: &'a BinaryBackgroundModel },
+}
+
+/// The candidate-evaluation engine. See the module docs for the contract;
+/// construct one per (dataset, model state) and score everything through
+/// it.
+pub struct Evaluator<'a> {
+    data: &'a Dataset,
+    dl: sisd_core::DlParams,
+    threads: usize,
+    backend: Backend<'a>,
+    /// Batch-scored candidates dropped for a reason *other* than an empty
+    /// extension — i.e. numeric model breakdown (`BadPrior`). Zero in
+    /// healthy runs; see [`Evaluator::numeric_failures`].
+    numeric_failures: AtomicUsize,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Engine over the Gaussian background model.
+    pub fn gaussian(
+        data: &'a Dataset,
+        model: &'a BackgroundModel,
+        dl: sisd_core::DlParams,
+        cfg: EvalConfig,
+    ) -> Self {
+        Self {
+            data,
+            dl,
+            threads: cfg.threads.max(1),
+            backend: Backend::Gaussian {
+                model,
+                cache: FactorCache::new(),
+                cell_sums: OnceLock::new(),
+            },
+            numeric_failures: AtomicUsize::new(0),
+        }
+    }
+
+    /// Engine over the Bernoulli background model.
+    pub fn bernoulli(
+        data: &'a Dataset,
+        model: &'a BinaryBackgroundModel,
+        dl: sisd_core::DlParams,
+        cfg: EvalConfig,
+    ) -> Self {
+        Self {
+            data,
+            dl,
+            threads: cfg.threads.max(1),
+            backend: Backend::Bernoulli { model },
+            numeric_failures: AtomicUsize::new(0),
+        }
+    }
+
+    /// The dataset candidates are drawn from.
+    pub fn data(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// Description-length parameters in force.
+    pub fn dl_params(&self) -> &sisd_core::DlParams {
+        &self.dl
+    }
+
+    /// Worker threads used by [`Evaluator::score_all`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Candidates dropped from batch scoring for a reason other than an
+    /// empty extension (numeric model breakdown — e.g. a cell covariance
+    /// that no longer factorizes). An empty-extension skip is expected
+    /// search behavior; anything counted here means the background model
+    /// is degraded and results may be incomplete. Zero in healthy runs.
+    pub fn numeric_failures(&self) -> usize {
+        self.numeric_failures.load(Ordering::Relaxed)
+    }
+
+    /// Records a batch-path scoring failure, distinguishing expected
+    /// empty-extension skips from numeric breakdown.
+    fn note_failure(&self, e: &SisdError) {
+        if !matches!(e, SisdError::Model(ModelError::EmptyExtension)) {
+            self.numeric_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Observed subgroup mean of `ext`, given its cell-count signature.
+    ///
+    /// When every intersected cell is *fully* inside the extension the mean
+    /// is assembled from per-cell target sums (`O(cells · dy)`) instead of
+    /// a row scan (`O(|I| · dy)`) — the case for re-scored assimilated
+    /// subgroups and any candidate aligned with the constraint partition.
+    fn observed_mean(&self, ext: &BitSet, counts: &[(usize, usize)]) -> Vec<f64> {
+        if let Backend::Gaussian {
+            model, cell_sums, ..
+        } = &self.backend
+        {
+            let cells = model.cells();
+            if !counts.is_empty() && counts.iter().all(|&(g, c)| c == cells[g].count) {
+                let sums = cell_sums.get_or_init(|| {
+                    cells
+                        .iter()
+                        .map(|cell| {
+                            let mut s = vec![0.0; self.data.dy()];
+                            for i in cell.ext.iter() {
+                                sisd_linalg::add_assign(&mut s, self.data.target_row(i));
+                            }
+                            s
+                        })
+                        .collect()
+                });
+                let m: usize = counts.iter().map(|&(_, c)| c).sum();
+                let mut mean = vec![0.0; self.data.dy()];
+                for &(g, _) in counts {
+                    sisd_linalg::add_assign(&mut mean, &sums[g]);
+                }
+                sisd_linalg::scale(1.0 / m as f64, &mut mean);
+                return mean;
+            }
+        }
+        self.data.target_mean(ext)
+    }
+
+    /// Scores one location candidate through the same IC formula as
+    /// `sisd_core::location_si` (the one-off path). The two agree to
+    /// last-ulp rounding, not bit-for-bit: for cell-aligned extensions the
+    /// engine aggregates the observed mean from per-cell sums, a different
+    /// summation order than `Dataset::target_mean`. Bit-identity is
+    /// guaranteed *within* the engine at any thread count.
+    pub fn score_location(&self, intention: &Intention, ext: &BitSet) -> SisdResult<Scored> {
+        if ext.count() == 0 {
+            return Err(ModelError::EmptyExtension.into());
+        }
+        let dl = self.dl.location_dl(intention.len());
+        let (observed_mean, ic) = match &self.backend {
+            Backend::Gaussian { model, cache, .. } => {
+                let counts = model.cell_counts(ext);
+                let observed = self.observed_mean(ext, &counts);
+                let stats = model.location_stats_for_counts(&counts, &observed, Some(cache))?;
+                let ic = location_ic_of_stats(&stats, model.dy());
+                (observed, ic)
+            }
+            Backend::Bernoulli { model } => {
+                let observed = self.data.target_mean(ext);
+                let ic = model.location_ic(ext, &observed)?;
+                (observed, ic)
+            }
+        };
+        Ok(Scored {
+            intention: intention.clone(),
+            ext: ext.clone(),
+            observed_mean,
+            score: LocationScore {
+                ic,
+                dl,
+                si: ic / dl,
+            },
+        })
+    }
+
+    /// Scores a spread candidate (direction `w`, centred on the subgroup's
+    /// empirical mean). Only meaningful on the Gaussian backend; the
+    /// Bernoulli model has no spread-pattern syntax.
+    pub fn score_spread(
+        &self,
+        intention: &Intention,
+        ext: &BitSet,
+        w: &[f64],
+    ) -> SisdResult<SpreadScore> {
+        match &self.backend {
+            Backend::Gaussian { model, .. } => {
+                Ok(spread_si(model, self.data, intention, ext, w, &self.dl)?)
+            }
+            Backend::Bernoulli { .. } => Err(ModelError::SpreadSolve(
+                "spread patterns require the Gaussian background model".into(),
+            )
+            .into()),
+        }
+    }
+
+    /// Smallest batch share worth a worker thread: spawning and joining a
+    /// scoped thread costs tens of microseconds, so batches are split into
+    /// at most `len / MIN_CHUNK` workers (capped at `threads`) and small
+    /// batches run inline. Chunking never affects the scores — only where
+    /// they are computed.
+    const MIN_CHUNK: usize = 16;
+
+    /// Scores a batch, returning one entry per input candidate in input
+    /// order (`None` where scoring failed, e.g. an empty extension).
+    ///
+    /// With `threads > 1` the batch is split into contiguous chunks of at
+    /// least [`Evaluator::MIN_CHUNK`] candidates, scored on scoped OS
+    /// threads, and merged in chunk order; each candidate's arithmetic is
+    /// independent, so the output is bit-identical at any thread count.
+    /// Parallelism pays off on wide batches of expensive scores (beam
+    /// levels at high `dy`); per-node strategies over cheap scores (e.g.
+    /// single-target branch-and-bound) see little benefit.
+    pub fn try_score_all(&self, candidates: &[Candidate]) -> Vec<Option<Scored>> {
+        let score_chunk = |chunk: &[Candidate]| -> Vec<Option<Scored>> {
+            chunk
+                .iter()
+                .map(|c| match self.score_location(&c.intention, &c.ext) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        self.note_failure(&e);
+                        None
+                    }
+                })
+                .collect()
+        };
+        let workers = self.threads.min(candidates.len().div_ceil(Self::MIN_CHUNK));
+        if workers <= 1 {
+            return score_chunk(candidates);
+        }
+        let chunk_size = candidates.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || score_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        })
+    }
+
+    /// [`Evaluator::try_score_all`] with failed candidates dropped (order
+    /// preserved) — the shape level-wise searches consume.
+    pub fn score_all(&self, candidates: &[Candidate]) -> Vec<Scored> {
+        self.try_score_all(candidates)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// The shared level-wise beam loop
+// ----------------------------------------------------------------------
+
+/// Canonical key of an intention: sorted condition fingerprints, so that
+/// `a ∧ b` and `b ∧ a` are recognized as the same candidate.
+pub(crate) fn intention_key(intention: &Intention) -> Vec<(usize, u8, u64)> {
+    let mut key: Vec<(usize, u8, u64)> = intention
+        .conditions()
+        .iter()
+        .map(|c| match c.op {
+            ConditionOp::Ge(t) => (c.attr, 0u8, t.to_bits()),
+            ConditionOp::Le(t) => (c.attr, 1u8, t.to_bits()),
+            ConditionOp::Eq(l) => (c.attr, 2u8, l as u64),
+        })
+        .collect();
+    key.sort_unstable();
+    key
+}
+
+/// Bounded, sorted top-k pattern log.
+pub(crate) struct TopK {
+    k: usize,
+    items: Vec<LocationPattern>,
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        Self {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    pub(crate) fn push(&mut self, p: LocationPattern) {
+        let pos = self.items.partition_point(|q| q.score.si >= p.score.si);
+        if pos >= self.k {
+            return;
+        }
+        self.items.insert(pos, p);
+        self.items.truncate(self.k);
+    }
+
+    pub(crate) fn into_vec(self) -> Vec<LocationPattern> {
+        self.items
+    }
+}
+
+/// Outcome of [`run_beam_levels`].
+pub(crate) struct BeamLevelsOutcome {
+    pub(crate) top: Vec<LocationPattern>,
+    pub(crate) evaluated: usize,
+    pub(crate) timed_out: bool,
+    pub(crate) degraded: usize,
+}
+
+/// The level-wise beam search (paper §II-D), generic over the evaluation
+/// backend: generate each level's candidates serially (dedup *after* the
+/// structural filters, so the outcome is independent of which parent
+/// reaches a conjunction first), score the whole level as one batch
+/// through the engine, keep the `width` best as the next frontier.
+///
+/// The wall-clock budget is honoured during both phases of a level:
+/// candidate *generation* checks it between frontier parents, and batch
+/// *scoring* checks it between bounded slices (one thread-round of chunks),
+/// so overshoot is limited to one parent's generation plus one slice's
+/// scoring. Everything scored before expiry is still logged — a timed-out
+/// search reports every candidate it committed to, like the incremental
+/// searches it replaced.
+pub(crate) fn run_beam_levels(
+    ev: &Evaluator<'_>,
+    cfg: &BeamConfig,
+    start: Instant,
+) -> BeamLevelsOutcome {
+    let data = ev.data();
+    let conditions = generate_conditions(data, &cfg.refine);
+    let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
+    let max_cov =
+        ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
+
+    let mut top = TopK::new(cfg.top_k);
+    let mut evaluated = 0usize;
+    let mut timed_out = false;
+    let mut seen: HashSet<Vec<(usize, u8, u64)>> = HashSet::new();
+    let mut frontier: Vec<(Intention, BitSet)> = vec![(Intention::empty(), BitSet::full(data.n()))];
+
+    for _depth in 1..=cfg.max_depth {
+        let mut batch: Vec<Candidate> = Vec::new();
+        for (parent_intent, parent_ext) in &frontier {
+            if let Some(budget) = cfg.time_budget {
+                if start.elapsed() > budget {
+                    timed_out = true;
+                    break;
+                }
+            }
+            for (cidx, cond) in conditions.iter().enumerate() {
+                if parent_intent.conflicts_with(cond) {
+                    continue;
+                }
+                let ext = parent_ext.and(&condition_exts[cidx]);
+                let m = ext.count();
+                if m < cfg.min_coverage || m > max_cov || m == parent_ext.count() {
+                    continue;
+                }
+                let child_intent = parent_intent.with(*cond);
+                if !seen.insert(intention_key(&child_intent)) {
+                    continue;
+                }
+                batch.push(Candidate {
+                    intention: child_intent,
+                    ext,
+                });
+            }
+        }
+        let scored = match cfg.time_budget {
+            // No budget: one batch, maximally parallel.
+            None => ev.score_all(&batch),
+            // Budgeted: score in slices sized to one full thread-round so
+            // the elapsed check runs between slices; a slice, once
+            // submitted, completes (bounded overshoot).
+            Some(budget) => {
+                let slice = (ev.threads() * Evaluator::MIN_CHUNK).max(64);
+                let mut out = Vec::with_capacity(batch.len());
+                for chunk in batch.chunks(slice) {
+                    if start.elapsed() > budget {
+                        timed_out = true;
+                        break;
+                    }
+                    out.extend(ev.score_all(chunk));
+                }
+                out
+            }
+        };
+        evaluated += scored.len();
+        let mut level: Vec<(Intention, BitSet, f64)> = Vec::with_capacity(scored.len());
+        for s in scored {
+            level.push((s.intention.clone(), s.ext.clone(), s.score.si));
+            top.push(s.into_pattern());
+        }
+        if timed_out || level.is_empty() {
+            break;
+        }
+        level.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        level.truncate(cfg.width);
+        frontier = level.into_iter().map(|(i, e, _)| (i, e)).collect();
+    }
+
+    BeamLevelsOutcome {
+        top: top.into_vec(),
+        evaluated,
+        timed_out,
+        degraded: ev.numeric_failures(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisd_core::DlParams;
+    use sisd_data::datasets::synthetic_paper;
+
+    fn fixture() -> (Dataset, BackgroundModel) {
+        let (data, _) = synthetic_paper(42);
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        (data, model)
+    }
+
+    fn candidates(data: &Dataset, k: usize) -> Vec<Candidate> {
+        use sisd_stats::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        (0..k)
+            .map(|_| Candidate {
+                intention: Intention::empty(),
+                ext: BitSet::from_indices(data.n(), rng.sample_indices(data.n(), 30)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_scoring_matches_single_scoring() {
+        let (data, model) = fixture();
+        let ev = Evaluator::gaussian(&data, &model, DlParams::default(), EvalConfig::default());
+        let cands = candidates(&data, 12);
+        let batch = ev.score_all(&cands);
+        assert_eq!(batch.len(), cands.len());
+        for (c, s) in cands.iter().zip(&batch) {
+            let single = ev.score_location(&c.intention, &c.ext).unwrap();
+            assert_eq!(single.score.si, s.score.si);
+            assert_eq!(single.observed_mean, s.observed_mean);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (data, mut model) = fixture();
+        // Mixed covariances: exercise the memoized dense branch too.
+        let half = BitSet::from_indices(data.n(), 0..data.n() / 2);
+        let mean = data.target_mean(&half);
+        let mut w = vec![1.0, 0.0];
+        sisd_linalg::normalize(&mut w);
+        let v = data.target_variance_along(&half, &w);
+        model.assimilate_spread(&half, w, mean, v).unwrap();
+
+        // Enough candidates that every thread setting splits into several
+        // MIN_CHUNK-sized chunks (the scoped-thread path really runs).
+        let cands = candidates(&data, 67);
+        let serial = {
+            let ev = Evaluator::gaussian(&data, &model, DlParams::default(), EvalConfig::default());
+            ev.score_all(&cands)
+        };
+        for threads in [2usize, 4, 7] {
+            let ev = Evaluator::gaussian(
+                &data,
+                &model,
+                DlParams::default(),
+                EvalConfig::with_threads(threads),
+            );
+            let parallel = ev.score_all(&cands);
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in parallel.iter().zip(&serial) {
+                assert_eq!(a.score.ic.to_bits(), b.score.ic.to_bits(), "t={threads}");
+                assert_eq!(a.score.si.to_bits(), b.score.si.to_bits(), "t={threads}");
+                assert_eq!(a.observed_mean, b.observed_mean);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_candidates_keep_their_slot_in_try_score_all() {
+        let (data, model) = fixture();
+        let ev = Evaluator::gaussian(&data, &model, DlParams::default(), EvalConfig::default());
+        let cands = vec![
+            Candidate {
+                intention: Intention::empty(),
+                ext: BitSet::from_indices(data.n(), 0..20),
+            },
+            Candidate {
+                intention: Intention::empty(),
+                ext: BitSet::empty(data.n()),
+            },
+            Candidate {
+                intention: Intention::empty(),
+                ext: BitSet::from_indices(data.n(), 40..80),
+            },
+        ];
+        let out = ev.try_score_all(&cands);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_some());
+        assert!(out[1].is_none(), "empty extension must fail, not panic");
+        assert!(out[2].is_some());
+        assert_eq!(ev.score_all(&cands).len(), 2);
+        // Empty-extension skips are expected behavior, not numeric
+        // breakdown — the degradation counter stays clean.
+        assert_eq!(ev.numeric_failures(), 0);
+    }
+
+    #[test]
+    fn cell_aligned_candidates_use_aggregated_means() {
+        let (data, mut model) = fixture();
+        let ext = BitSet::from_indices(data.n(), 0..40);
+        let mean = data.target_mean(&ext);
+        model.assimilate_location(&ext, mean.clone()).unwrap();
+        let ev = Evaluator::gaussian(&data, &model, DlParams::default(), EvalConfig::default());
+        // `ext` is now exactly one parameter cell: the aggregate path runs.
+        let s = ev.score_location(&Intention::empty(), &ext).unwrap();
+        for (a, b) in s.observed_mean.iter().zip(&mean) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // A straddling candidate takes the row-scan path; same numbers as
+        // the core scoring function either way.
+        let straddle = BitSet::from_indices(data.n(), 20..60);
+        let s2 = ev.score_location(&Intention::empty(), &straddle).unwrap();
+        let reference = sisd_core::location_si(
+            &model,
+            &data,
+            &Intention::empty(),
+            &straddle,
+            &DlParams::default(),
+        )
+        .unwrap();
+        assert_eq!(s2.score.si, reference.si);
+    }
+
+    #[test]
+    fn spread_scoring_requires_gaussian_backend() {
+        let (data, model) = fixture();
+        let ev = Evaluator::gaussian(&data, &model, DlParams::default(), EvalConfig::default());
+        let ext = BitSet::from_indices(data.n(), 0..40);
+        let mut w = vec![1.0, 1.0];
+        sisd_linalg::normalize(&mut w);
+        assert!(ev.score_spread(&Intention::empty(), &ext, &w).is_ok());
+    }
+}

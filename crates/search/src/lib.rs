@@ -1,6 +1,11 @@
 //! Search strategies for subjectively interesting subgroup discovery
 //! (paper §II-D).
 //!
+//! * [`eval`] — the unified candidate-evaluation engine: the *only* way
+//!   search code scores candidates. Owns observed-mean aggregation,
+//!   factorization reuse (lazy per-cell factors plus a cell-signature
+//!   memo), and a deterministic parallel batch evaluator whose results are
+//!   bit-identical at any thread count.
 //! * [`refine`] — the refinement operator: candidate conditions per
 //!   attribute (numeric `≥`/`≤` at percentile split points, categorical
 //!   `=`), mirroring the Cortana settings used in the paper's experiments
@@ -8,6 +13,8 @@
 //! * [`beam`] — level-wise beam search over conjunctions, maximizing the
 //!   location-pattern SI, with beam width / depth / minimum coverage /
 //!   wall-clock budget controls and a best-`k` result log.
+//! * [`binary_beam`] — the same loop over the Bernoulli background model
+//!   for 0/1 targets (§V extension).
 //! * [`sphere`] — projected gradient ascent on the unit sphere for the
 //!   spread direction `w` (Eq. 21; replaces the paper's Manopt dependency),
 //!   with analytic gradients, multi-start, and a 2-sparse pairwise variant.
@@ -16,10 +23,16 @@
 //! * [`branch_bound`] — exact search for the optimal single-target location
 //!   pattern with a tight optimistic estimate (the branch-and-bound
 //!   direction the paper's §V singles out as future work).
+//!
+//! All four strategies evaluate candidates through [`eval::Evaluator`];
+//! the engine's [`eval::EvalConfig`] (worker threads) is threaded from
+//! [`MinerConfig`] / [`BeamConfig`] / [`BranchBoundConfig`] down to every
+//! scoring call.
 
 pub mod beam;
 pub mod binary_beam;
 pub mod branch_bound;
+pub mod eval;
 pub mod miner;
 pub mod refine;
 pub mod sphere;
@@ -27,6 +40,7 @@ pub mod sphere;
 pub use beam::{BeamConfig, BeamResult, BeamSearch};
 pub use binary_beam::{binary_beam_search, binary_step, BinaryBeamResult};
 pub use branch_bound::{BranchBoundConfig, BranchBoundResult};
+pub use eval::{Candidate, EvalConfig, Evaluator, Scored};
 pub use miner::{Iteration, Miner, MinerConfig};
 pub use refine::{generate_conditions, RefineConfig};
 pub use sphere::{

@@ -6,6 +6,7 @@
 //! distribution so the next iteration looks for *non-redundant* patterns.
 
 use crate::beam::{BeamConfig, BeamResult, BeamSearch};
+use crate::eval::EvalConfig;
 use crate::sphere::{mine_spread_pattern, SphereConfig};
 use sisd_core::{DlParams, LocationPattern, SpreadPattern};
 use sisd_data::Dataset;
@@ -14,7 +15,8 @@ use sisd_model::{BackgroundModel, ModelError};
 /// Miner configuration.
 #[derive(Debug, Clone, Default)]
 pub struct MinerConfig {
-    /// Beam-search settings (includes the DL parameters).
+    /// Beam-search settings (includes the DL parameters and the
+    /// candidate-evaluation engine settings).
     pub beam: BeamConfig,
     /// Spread-direction optimizer settings.
     pub sphere: SphereConfig,
@@ -32,6 +34,20 @@ impl MinerConfig {
     /// The DL parameters (owned by the beam config).
     pub fn dl(&self) -> DlParams {
         self.beam.dl
+    }
+
+    /// The candidate-evaluation engine settings (owned by the beam
+    /// config).
+    pub fn eval(&self) -> EvalConfig {
+        self.beam.eval
+    }
+
+    /// Sets the engine's worker-thread count; every search this miner runs
+    /// evaluates candidates on that many threads, with results identical
+    /// to the single-threaded search.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.beam.eval = EvalConfig::with_threads(threads);
+        self
     }
 }
 
@@ -108,9 +124,10 @@ impl Miner {
     }
 
     /// Runs a beam search against the current model and returns the full
-    /// result log without updating anything.
-    pub fn search_locations(&mut self) -> BeamResult {
-        BeamSearch::new(self.config.beam.clone()).run(&self.data, &mut self.model)
+    /// result log without updating anything. Candidate evaluation runs on
+    /// `config.beam.eval.threads` workers through the shared engine.
+    pub fn search_locations(&self) -> BeamResult {
+        BeamSearch::new(self.config.beam.clone()).run(&self.data, &self.model)
     }
 
     /// Assimilates a location pattern (its subgroup mean becomes part of
@@ -246,7 +263,7 @@ mod tests {
         // Re-score the same subgroup after assimilation.
         let dl = miner.config.dl();
         let score = sisd_core::location_si(
-            &mut miner.model,
+            &miner.model,
             &miner.data,
             &first.location.intention,
             &first.location.extension,

@@ -14,7 +14,8 @@
 //! keeps the best (used in the socio-economics case study §III-C "to
 //! increase interpretability").
 
-use sisd_core::{spread_si, DlParams, Intention, SpreadPattern};
+use crate::eval::{EvalConfig, Evaluator};
+use sisd_core::{DlParams, Intention, SpreadPattern};
 use sisd_data::{BitSet, Dataset};
 use sisd_linalg::{Cholesky, Matrix, SymEigen};
 use sisd_model::BackgroundModel;
@@ -383,7 +384,8 @@ pub fn mine_spread_pattern(
     } else {
         optimize_direction(model, data, ext, cfg)
     };
-    let score = spread_si(model, data, intention, ext, &result.w, dl)
+    let score = Evaluator::gaussian(data, model, *dl, EvalConfig::default())
+        .score_spread(intention, ext, &result.w)
         .expect("extension is non-empty by construction");
     SpreadPattern {
         intention: intention.clone(),

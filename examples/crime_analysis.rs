@@ -27,12 +27,12 @@ fn main() {
     println!("overall violent-crime mean: {overall:.3}");
 
     // --- SISD: beam search under the MaxEnt background model ---
-    let mut model = BackgroundModel::from_empirical(&data).expect("model");
+    let model = BackgroundModel::from_empirical(&data).expect("model");
     let beam = BeamSearch::new(BeamConfig {
         min_coverage: 20,
         ..BeamConfig::default()
     });
-    let result = beam.run(&data, &mut model);
+    let result = beam.run(&data, &model);
     println!("\n== subjective interestingness (this paper) ==");
     for p in result.top.iter().take(3) {
         println!("  {}", p.summary(&data));

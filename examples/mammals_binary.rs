@@ -13,7 +13,7 @@
 
 use sisd::data::datasets::mammals_synthetic;
 use sisd::model::{BackgroundModel, BinaryBackgroundModel};
-use sisd::search::{binary_step, BeamConfig, BeamSearch};
+use sisd::search::{binary_step, BeamConfig, BeamSearch, EvalConfig};
 
 fn main() {
     let (data, coords) = mammals_synthetic(42);
@@ -29,12 +29,14 @@ fn main() {
         max_depth: 2,
         top_k: 50,
         min_coverage: 50,
+        // Both models' searches evaluate candidates on 4 engine threads.
+        eval: EvalConfig::with_threads(4),
         ..BeamConfig::default()
     };
 
     // --- Gaussian model (the paper's setup) ---
-    let mut gauss = BackgroundModel::from_empirical(&data).expect("model");
-    let g_result = BeamSearch::new(cfg.clone()).run_parallel(&data, &mut gauss, 4);
+    let gauss = BackgroundModel::from_empirical(&data).expect("model");
+    let g_result = BeamSearch::new(cfg.clone()).run(&data, &gauss);
     let g_best = g_result.best().expect("pattern found");
     println!("\nGaussian model top pattern : {}", g_best.summary(&data));
 

@@ -35,7 +35,7 @@ pub mod prelude {
     pub use sisd_linalg::Matrix;
     pub use sisd_model::{BackgroundModel, BinaryBackgroundModel};
     pub use sisd_search::{
-        generate_conditions, mine_spread_pattern, BeamConfig, BeamResult, BeamSearch, Iteration,
-        Miner, MinerConfig, RefineConfig, SphereConfig,
+        generate_conditions, mine_spread_pattern, BeamConfig, BeamResult, BeamSearch, EvalConfig,
+        Evaluator, Iteration, Miner, MinerConfig, RefineConfig, SphereConfig,
     };
 }

@@ -132,8 +132,8 @@ fn gaussian_and_binary_models_agree_on_the_top_driver() {
         .unwrap()
         .clone();
 
-    let mut gauss = sisd::model::BackgroundModel::from_empirical(&data).unwrap();
-    let gauss_result = sisd::search::BeamSearch::new(cfg).run(&data, &mut gauss);
+    let gauss = sisd::model::BackgroundModel::from_empirical(&data).unwrap();
+    let gauss_result = sisd::search::BeamSearch::new(cfg).run(&data, &gauss);
     let gauss_best = gauss_result.best().unwrap();
 
     assert_eq!(

@@ -110,10 +110,10 @@ fn mining_a_reloaded_csv_gives_identical_results() {
         top_k: 5,
         ..BeamConfig::default()
     };
-    let mut m1 = BackgroundModel::from_empirical(&data).unwrap();
-    let mut m2 = BackgroundModel::from_empirical(&reloaded).unwrap();
-    let r1 = BeamSearch::new(cfg.clone()).run(&data, &mut m1);
-    let r2 = BeamSearch::new(cfg).run(&reloaded, &mut m2);
+    let m1 = BackgroundModel::from_empirical(&data).unwrap();
+    let m2 = BackgroundModel::from_empirical(&reloaded).unwrap();
+    let r1 = BeamSearch::new(cfg.clone()).run(&data, &m1);
+    let r2 = BeamSearch::new(cfg).run(&reloaded, &m2);
     let b1 = r1.best().unwrap();
     let b2 = r2.best().unwrap();
     assert_eq!(b1.extension, b2.extension);

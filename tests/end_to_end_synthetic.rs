@@ -104,7 +104,7 @@ fn spread_direction_matches_planted_minor_axis() {
 #[test]
 fn redundant_descriptions_rank_strictly_below_their_parents() {
     let (data, _) = synthetic_paper(2018);
-    let mut miner = Miner::from_empirical(data.clone(), config()).unwrap();
+    let miner = Miner::from_empirical(data.clone(), config()).unwrap();
     let result = miner.search_locations();
     for p in &result.top {
         for q in &result.top {

@@ -40,8 +40,8 @@ fn constant_targets_survive_via_jitter() {
         vec!["y".into()],
         Matrix::from_vec(n, 1, vec![3.25; n]),
     );
-    let mut model = BackgroundModel::from_empirical(&data).expect("jittered prior");
-    let result = BeamSearch::new(tiny_config().beam).run(&data, &mut model);
+    let model = BackgroundModel::from_empirical(&data).expect("jittered prior");
+    let result = BeamSearch::new(tiny_config().beam).run(&data, &model);
     // All subgroup means equal the global constant → nothing genuinely
     // interesting, but no panics and finite scores.
     for p in &result.top {
@@ -90,7 +90,7 @@ fn minimal_row_counts() {
             vec!["y".into()],
             targets,
         );
-        let mut model = BackgroundModel::from_empirical(&data).expect("model");
+        let model = BackgroundModel::from_empirical(&data).expect("model");
         let cfg = BeamConfig {
             width: 3,
             max_depth: 1,
@@ -99,7 +99,7 @@ fn minimal_row_counts() {
             max_coverage_fraction: 1.0,
             ..BeamConfig::default()
         };
-        let result = BeamSearch::new(cfg).run(&data, &mut model);
+        let result = BeamSearch::new(cfg).run(&data, &model);
         for p in &result.top {
             assert!(p.score.si.is_finite());
         }
@@ -190,7 +190,7 @@ fn extreme_spread_shrink_keeps_model_usable() {
     // Scoring any other subgroup still works.
     let other = BitSet::from_indices(n, 20..40);
     let intent = Intention::empty();
-    let score = location_si(&mut model, &data, &intent, &other, &DlParams::default()).unwrap();
+    let score = location_si(&model, &data, &intent, &other, &DlParams::default()).unwrap();
     assert!(score.si.is_finite());
 }
 

@@ -37,14 +37,14 @@ proptest! {
     #[test]
     fn si_is_ic_over_dl(gamma in 0.01f64..2.0, conds in 1usize..5) {
         let data = planted(60, 2.0, 9);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let model = BackgroundModel::from_empirical(&data).unwrap();
         let mut intent = Intention::empty();
         for _ in 0..conds {
             intent = intent.with(Condition { attr: 0, op: ConditionOp::Eq(1) });
         }
         let ext = BitSet::from_fn(60, |i| i % 3 == 0);
         let dl = DlParams { gamma, eta: 1.0 };
-        let s = location_si(&mut model, &data, &intent, &ext, &dl).unwrap();
+        let s = location_si(&model, &data, &intent, &ext, &dl).unwrap();
         prop_assert!((s.dl - (gamma * conds as f64 + 1.0)).abs() < 1e-12);
         prop_assert!((s.si - s.ic / s.dl).abs() < 1e-12);
     }
@@ -54,12 +54,12 @@ proptest! {
         let weak = planted(90, shift, 5);
         let strong = planted(90, shift + 1.0, 5);
         let ext = BitSet::from_fn(90, |i| i % 3 == 0);
-        let mut m_weak = BackgroundModel::from_empirical(&weak).unwrap();
-        let mut m_strong = BackgroundModel::from_empirical(&strong).unwrap();
+        let m_weak = BackgroundModel::from_empirical(&weak).unwrap();
+        let m_strong = BackgroundModel::from_empirical(&strong).unwrap();
         let obs_w = weak.target_mean(&ext);
         let obs_s = strong.target_mean(&ext);
-        let ic_w = location_ic(&mut m_weak, &ext, &obs_w).unwrap();
-        let ic_s = location_ic(&mut m_strong, &ext, &obs_s).unwrap();
+        let ic_w = location_ic(&m_weak, &ext, &obs_w).unwrap();
+        let ic_s = location_ic(&m_strong, &ext, &obs_s).unwrap();
         prop_assert!(
             ic_s > ic_w,
             "shift {shift}: IC did not grow ({ic_w} → {ic_s})"
@@ -73,10 +73,10 @@ proptest! {
         let intent = Intention::empty().with(Condition { attr: 0, op: ConditionOp::Eq(1) });
         let ext = intent.evaluate(&data);
         let dl = DlParams::default();
-        let before = location_si(&mut model, &data, &intent, &ext, &dl).unwrap().si;
+        let before = location_si(&model, &data, &intent, &ext, &dl).unwrap().si;
         let mean = data.target_mean(&ext);
         model.assimilate_location(&ext, mean).unwrap();
-        let after = location_si(&mut model, &data, &intent, &ext, &dl).unwrap().si;
+        let after = location_si(&model, &data, &intent, &ext, &dl).unwrap().si;
         prop_assert!(after < before, "{before} → {after}");
         prop_assert!(after < 2.0, "post-assimilation SI too high: {after}");
     }
@@ -124,13 +124,13 @@ proptest! {
     #[test]
     fn ic_depends_only_on_extension_not_description(seed in 0u64..100) {
         let data = planted(60, 2.0, seed);
-        let mut model = BackgroundModel::from_empirical(&data).unwrap();
+        let model = BackgroundModel::from_empirical(&data).unwrap();
         let short = Intention::empty().with(Condition { attr: 0, op: ConditionOp::Eq(1) });
         let long = short.with(Condition { attr: 0, op: ConditionOp::Eq(1) });
         let ext = short.evaluate(&data);
         let dl = DlParams::default();
-        let a = location_si(&mut model, &data, &short, &ext, &dl).unwrap();
-        let b = location_si(&mut model, &data, &long, &ext, &dl).unwrap();
+        let a = location_si(&model, &data, &short, &ext, &dl).unwrap();
+        let b = location_si(&model, &data, &long, &ext, &dl).unwrap();
         prop_assert!((a.ic - b.ic).abs() < 1e-12);
         prop_assert!(b.si < a.si);
     }

@@ -54,7 +54,7 @@ proptest! {
         });
         let optimum = bb.best.expect("optimum exists").score.si;
 
-        let mut model2 = BackgroundModel::from_empirical(&data).unwrap();
+        let model2 = BackgroundModel::from_empirical(&data).unwrap();
         let beam = BeamSearch::new(BeamConfig {
             width: 10_000, // effectively exhaustive at this size
             max_depth: cfg_depth,
@@ -63,7 +63,7 @@ proptest! {
             max_coverage_fraction: 1.0,
             ..BeamConfig::default()
         });
-        let result = beam.run(&data, &mut model2);
+        let result = beam.run(&data, &model2);
         let beam_best = result.best().expect("found").score.si;
         prop_assert!(
             (beam_best - optimum).abs() < 1e-9,
@@ -82,7 +82,7 @@ proptest! {
             ..BranchBoundConfig::default()
         });
         let optimum = bb.best.expect("optimum").score.si;
-        let mut model2 = BackgroundModel::from_empirical(&data).unwrap();
+        let model2 = BackgroundModel::from_empirical(&data).unwrap();
         let result = BeamSearch::new(BeamConfig {
             width,
             max_depth: 2,
@@ -91,7 +91,7 @@ proptest! {
             max_coverage_fraction: 1.0,
             ..BeamConfig::default()
         })
-        .run(&data, &mut model2);
+        .run(&data, &model2);
         if let Some(best) = result.best() {
             prop_assert!(best.score.si <= optimum + 1e-9);
         }
@@ -101,14 +101,14 @@ proptest! {
 #[test]
 fn logged_patterns_have_correct_extensions_and_means() {
     let data = random_data(3, 120);
-    let mut model = BackgroundModel::from_empirical(&data).unwrap();
+    let model = BackgroundModel::from_empirical(&data).unwrap();
     let result = BeamSearch::new(BeamConfig {
         width: 10,
         max_depth: 2,
         top_k: 40,
         ..BeamConfig::default()
     })
-    .run(&data, &mut model);
+    .run(&data, &model);
     for p in &result.top {
         // Re-evaluating the intention reproduces the stored extension.
         assert_eq!(p.intention.evaluate(&data), p.extension);
@@ -125,14 +125,14 @@ fn logged_patterns_have_correct_extensions_and_means() {
 fn baseline_and_sisd_agree_on_a_strong_planted_signal() {
     let data = random_data(11, 200);
     // SISD top pattern.
-    let mut model = BackgroundModel::from_empirical(&data).unwrap();
+    let model = BackgroundModel::from_empirical(&data).unwrap();
     let sisd_top = BeamSearch::new(BeamConfig {
         width: 20,
         max_depth: 1,
         top_k: 5,
         ..BeamConfig::default()
     })
-    .run(&data, &mut model);
+    .run(&data, &model);
     let sisd_best = sisd_top.best().unwrap();
     // Baseline top pattern.
     let base = top_k_by_quality(&data, &MeanShiftZ { a: 0.5 }, 1, 20, 1, 5);
@@ -145,12 +145,12 @@ fn baseline_and_sisd_agree_on_a_strong_planted_signal() {
 #[test]
 fn time_budget_zero_terminates_immediately_and_safely() {
     let data = random_data(17, 500);
-    let mut model = BackgroundModel::from_empirical(&data).unwrap();
+    let model = BackgroundModel::from_empirical(&data).unwrap();
     let result = BeamSearch::new(BeamConfig {
         time_budget: Some(std::time::Duration::ZERO),
         ..BeamConfig::default()
     })
-    .run(&data, &mut model);
+    .run(&data, &model);
     assert!(result.timed_out);
     assert!(result.top.len() <= 1);
 }
@@ -167,7 +167,7 @@ fn branch_bound_prunes_but_stays_exact_at_depth_three() {
     let bb = branch_bound_search(&data, &model, cfg);
     assert!(bb.best.is_some());
     // Exhaustive cross-check with an effectively-unbounded beam.
-    let mut model2 = BackgroundModel::from_empirical(&data).unwrap();
+    let model2 = BackgroundModel::from_empirical(&data).unwrap();
     let result = BeamSearch::new(BeamConfig {
         width: 100_000,
         max_depth: 3,
@@ -176,7 +176,7 @@ fn branch_bound_prunes_but_stays_exact_at_depth_three() {
         max_coverage_fraction: 1.0,
         ..BeamConfig::default()
     })
-    .run(&data, &mut model2);
+    .run(&data, &model2);
     let exhaustive = result.best().unwrap().score.si;
     let exact = bb.best.unwrap().score.si;
     assert!(
