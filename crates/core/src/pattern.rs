@@ -8,6 +8,21 @@
 
 use sisd_data::{BitSet, Column, Dataset};
 
+/// Word-level mask construction: packs 64 rows per backing word instead of
+/// one bounds-checked [`BitSet::insert`] per matching row. This is the hot
+/// constructor for condition masks — a frontier bit-matrix evaluates every
+/// condition of the language through it once per dataset.
+fn column_mask<T: Copy>(values: &[T], pred: impl Fn(T) -> bool) -> BitSet {
+    BitSet::from_word_fn(values.len(), |w| {
+        let base = w * 64;
+        let mut word = 0u64;
+        for (b, &x) in values[base..values.len().min(base + 64)].iter().enumerate() {
+            word |= u64::from(pred(x)) << b;
+        }
+        word
+    })
+}
+
 /// The relational part of a condition.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConditionOp {
@@ -29,7 +44,10 @@ pub struct Condition {
 }
 
 impl Condition {
-    /// Evaluates the condition over the whole dataset as a bitset.
+    /// Evaluates the condition over the whole dataset as a bitset, built
+    /// word-by-word (64 rows per backing word) rather than bit-by-bit.
+    /// Masks are worth computing **once per dataset** and reusing across
+    /// search levels — the `sisd-frontier` bit-matrix does exactly that.
     ///
     /// # Panics
     /// Panics when the operator kind does not match the column type (the
@@ -38,10 +56,10 @@ impl Condition {
     pub fn evaluate(&self, data: &Dataset) -> BitSet {
         let col = data.desc_col(self.attr);
         match (self.op, col) {
-            (ConditionOp::Ge(t), Column::Numeric(v)) => BitSet::from_fn(data.n(), |i| v[i] >= t),
-            (ConditionOp::Le(t), Column::Numeric(v)) => BitSet::from_fn(data.n(), |i| v[i] <= t),
+            (ConditionOp::Ge(t), Column::Numeric(v)) => column_mask(v, |x| x >= t),
+            (ConditionOp::Le(t), Column::Numeric(v)) => column_mask(v, |x| x <= t),
             (ConditionOp::Eq(level), Column::Categorical { codes, .. }) => {
-                BitSet::from_fn(data.n(), |i| codes[i] == level)
+                column_mask(codes, |c| c == level)
             }
             (op, col) => panic!(
                 "condition {:?} applied to mismatched column (numeric={})",
@@ -152,6 +170,18 @@ impl Intention {
         }
     }
 
+    /// [`Intention::refine_extension`] with the last condition's mask
+    /// already evaluated — `last_mask` must be that condition's extension
+    /// over the whole dataset (e.g. a row of the `sisd-frontier`
+    /// bit-matrix). Lets callers evaluate each condition mask once per
+    /// dataset and reuse it across every search level.
+    pub fn refine_extension_with(&self, parent: &BitSet, last_mask: &BitSet) -> BitSet {
+        match self.conditions.last() {
+            None => parent.clone(),
+            Some(_) => parent.and(last_mask),
+        }
+    }
+
     /// Renders the conjunction, e.g. `a3 = '1' ∧ temp_mar <= -1.68`.
     pub fn describe(&self, data: &Dataset) -> String {
         if self.conditions.is_empty() {
@@ -236,6 +266,74 @@ mod tests {
         assert_eq!(intent.evaluate(&d).count(), 5);
         assert_eq!(intent.describe(&d), "⊤");
         assert!(intent.is_empty());
+    }
+
+    /// A dataset whose row count crosses two word boundaries, so the
+    /// word-level mask construction exercises full words and a tail.
+    fn wide_data(n: usize) -> Dataset {
+        Dataset::new(
+            "w",
+            vec!["num".into(), "cat".into()],
+            vec![
+                Column::Numeric((0..n).map(|i| ((i * 37) % 101) as f64).collect()),
+                Column::categorical_from_strs(
+                    &(0..n).map(|i| ["p", "q", "r"][i % 3]).collect::<Vec<_>>(),
+                ),
+            ],
+            vec!["y".into()],
+            Matrix::zeros(n, 1),
+        )
+    }
+
+    #[test]
+    fn word_level_evaluate_matches_scalar_path() {
+        // The scalar reference: one `matches` call per row, bit-by-bit
+        // insertion — exactly what `evaluate` did before the word-level
+        // fast path.
+        for n in [1usize, 63, 64, 65, 130, 193] {
+            let d = wide_data(n);
+            let conditions = [
+                Condition {
+                    attr: 0,
+                    op: ConditionOp::Ge(50.0),
+                },
+                Condition {
+                    attr: 0,
+                    op: ConditionOp::Le(13.0),
+                },
+                Condition {
+                    attr: 1,
+                    op: ConditionOp::Eq(1),
+                },
+            ];
+            for c in conditions {
+                let scalar = BitSet::from_fn(d.n(), |i| c.matches(&d, i));
+                assert_eq!(c.evaluate(&d), scalar, "n={n}, cond={c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_extension_with_matches_uncached_path() {
+        let d = wide_data(100);
+        let parent = Intention::empty().with(Condition {
+            attr: 0,
+            op: ConditionOp::Ge(30.0),
+        });
+        let parent_ext = parent.evaluate(&d);
+        let last = Condition {
+            attr: 1,
+            op: ConditionOp::Eq(2),
+        };
+        let child = parent.with(last);
+        let mask = last.evaluate(&d);
+        assert_eq!(
+            child.refine_extension_with(&parent_ext, &mask),
+            child.refine_extension(&d, &parent_ext)
+        );
+        // The empty intention ignores the mask argument.
+        let empty = Intention::empty();
+        assert_eq!(empty.refine_extension_with(&parent_ext, &mask), parent_ext);
     }
 
     #[test]

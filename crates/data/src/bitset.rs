@@ -6,6 +6,10 @@
 //! `|I ∩ cell|` counts — both are word-parallel operations on a dense
 //! bitset, so extensions are bitsets everywhere in this codebase.
 
+/// Bits per storage word of a [`BitSet`] (and of the word-level kernels in
+/// [`crate::kernels`]).
+pub const WORD_BITS: usize = 64;
+
 /// A fixed-length bitset over row indices `0..len`.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
@@ -53,6 +57,47 @@ impl BitSet {
             }
         }
         s
+    }
+
+    /// Builds from a per-word producer: `word_of(w)` returns the 64 bits
+    /// covering rows `64w..64(w+1)` (bit `b` of the word is row `64w + b`).
+    /// The word-level counterpart of [`BitSet::from_fn`] — callers that can
+    /// pack 64 rows at a time skip the per-bit bounds-checked inserts. Tail
+    /// bits beyond `len` are cleared.
+    pub fn from_word_fn(len: usize, word_of: impl FnMut(usize) -> u64) -> Self {
+        let mut s = Self {
+            words: (0..len.div_ceil(WORD_BITS)).map(word_of).collect(),
+            len,
+        };
+        s.clear_tail();
+        s
+    }
+
+    /// Builds from a raw word vector laid out as in [`BitSet::words`].
+    /// Tail bits beyond `len` are cleared.
+    ///
+    /// # Panics
+    /// Panics if `words.len()` is not exactly `len.div_ceil(64)`.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "BitSet::from_words: {} words cannot back {len} rows",
+            words.len()
+        );
+        let mut s = Self { words, len };
+        s.clear_tail();
+        s
+    }
+
+    /// The backing words, least-significant bit first: row `i` is bit
+    /// `i % 64` of word `i / 64`. Bits at positions `>= len` in the last
+    /// word are always zero. This is the raw view the word-level kernels in
+    /// [`crate::kernels`] (and the frontier bit-matrix built on them)
+    /// operate on.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Number of rows the bitset ranges over (not the population count).
@@ -302,6 +347,44 @@ mod tests {
     fn from_fn_matches_predicate() {
         let s = BitSet::from_fn(50, |i| i % 7 == 0);
         assert_eq!(s.to_indices(), vec![0, 7, 14, 21, 28, 35, 42, 49]);
+    }
+
+    #[test]
+    fn from_word_fn_matches_from_fn() {
+        // Lengths on, below, and above word boundaries.
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 200] {
+            let pred = |i: usize| i.is_multiple_of(3) || i % 7 == 2;
+            let scalar = BitSet::from_fn(len, pred);
+            let word_level = BitSet::from_word_fn(len, |w| {
+                let mut word = 0u64;
+                for b in 0..64.min(len - w * 64) {
+                    word |= u64::from(pred(w * 64 + b)) << b;
+                }
+                word
+            });
+            assert_eq!(word_level, scalar, "len={len}");
+        }
+    }
+
+    #[test]
+    fn from_word_fn_clears_tail_bits() {
+        let s = BitSet::from_word_fn(70, |_| !0u64);
+        assert_eq!(s.count(), 70);
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn words_round_trip_through_from_words() {
+        let s = BitSet::from_indices(130, [0, 63, 64, 100, 129]);
+        let t = BitSet::from_words(s.words().to_vec(), s.len());
+        assert_eq!(s, t);
+        assert_eq!(s.words().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot back")]
+    fn from_words_rejects_wrong_word_count() {
+        BitSet::from_words(vec![0u64; 2], 200);
     }
 
     #[test]

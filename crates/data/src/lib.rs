@@ -9,6 +9,9 @@
 //!   variance-along-direction, paper Eqs. 1–2),
 //! * [`Column`] — numeric / categorical description columns,
 //! * [`BitSet`] — dense extensions `I ⊆ [n]` with fast intersection counts,
+//! * [`kernels`] — word-level fused AND/popcount primitives over bitset
+//!   word slices, the substrate of the `sisd-frontier` batched refinement
+//!   kernels,
 //! * [`csv`] — a small CSV loader/writer,
 //! * [`datasets`] — seeded generators for the paper's synthetic data and
 //!   simulacra of its three real datasets.
@@ -18,6 +21,7 @@ pub mod column;
 pub mod csv;
 pub mod datasets;
 pub mod discretize;
+pub mod kernels;
 pub mod table;
 
 pub use bitset::BitSet;

@@ -1,0 +1,513 @@
+//! Deterministic (parallel) frontier refinement.
+//!
+//! [`FrontierBuilder::refine_parents`] intersects every frontier parent
+//! against every allowed row of a [`MaskMatrix`] and emits the children
+//! that pass the support filters — the mask-AND + minimum-support half of
+//! level-wise candidate generation, batched. Children land in a
+//! [`ChildBatch`]: one packed word arena plus per-child metadata, instead
+//! of one heap allocation per child, so rejected candidates cost nothing
+//! and accepted ones cost an arena append. Work is split into contiguous
+//! `(parent, row-block)` items; with `threads > 1` the items are chunked
+//! over scoped OS threads and the per-chunk outputs are merged in item
+//! order, so the emitted child sequence is **identical at any thread
+//! count** — exactly the sequence the serial per-candidate `BitSet::and`
+//! loop produced.
+
+use crate::matrix::MaskMatrix;
+use sisd_data::{kernels, BitSet};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Settings of a [`FrontierBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierConfig {
+    /// Children with fewer covered rows are dropped (the search's
+    /// minimum-coverage floor).
+    pub min_support: usize,
+    /// Worker threads for refinement. `1` keeps everything on the calling
+    /// thread; results are identical either way.
+    pub threads: usize,
+}
+
+impl Default for FrontierConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 1,
+            threads: 1,
+        }
+    }
+}
+
+/// One frontier parent awaiting refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct ParentSpec<'a> {
+    /// The parent's extension.
+    pub ext: &'a BitSet,
+    /// Children covering more rows than this are dropped. Searches encode
+    /// their structural filters here: a beam passes
+    /// `min(max_coverage, parent_support − 1)` (which also drops children
+    /// equal to their parent), branch-and-bound passes `n` at the root.
+    pub max_support: usize,
+}
+
+/// Identity and support of one emitted child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildMeta {
+    /// Index of the parent in the `parents` slice passed to
+    /// [`FrontierBuilder::refine_parents`].
+    pub parent: usize,
+    /// The matrix row (condition index) that was ANDed on.
+    pub row: usize,
+    /// `|parent ∩ row|` — the child's coverage.
+    pub support: usize,
+}
+
+/// A batch of emitted children: per-child metadata plus all child
+/// extensions packed row-major into one contiguous word arena (the same
+/// layout as [`MaskMatrix`]). Materializing an owned [`BitSet`] via
+/// [`ChildBatch::child_bitset`] is deferred to the children that survive
+/// downstream filters (dedup, time budget), so a level that generates ten
+/// thousand candidates performs heap allocations only for the ones it
+/// keeps.
+#[derive(Debug, Clone)]
+pub struct ChildBatch {
+    n: usize,
+    stride: usize,
+    meta: Vec<ChildMeta>,
+    words: Vec<u64>,
+}
+
+impl ChildBatch {
+    fn with_shape(n: usize, stride: usize) -> Self {
+        Self {
+            n,
+            stride,
+            meta: Vec::new(),
+            words: Vec::new(),
+        }
+    }
+
+    /// Number of children in the batch.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// True when no child was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Bit capacity (dataset row count) of every child extension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Metadata of all children, in emission order.
+    pub fn metas(&self) -> &[ChildMeta] {
+        &self.meta
+    }
+
+    /// Metadata of child `i`.
+    pub fn meta(&self, i: usize) -> ChildMeta {
+        self.meta[i]
+    }
+
+    /// The packed extension words of child `i`.
+    pub fn child_words(&self, i: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Child `i`'s extension materialized as an owned [`BitSet`] (this is
+    /// the only allocating accessor — call it for keepers, not rejects).
+    pub fn child_bitset(&self, i: usize) -> BitSet {
+        BitSet::from_words(self.child_words(i).to_vec(), self.n)
+    }
+
+    fn push(&mut self, meta: ChildMeta, child_words: &[u64]) {
+        self.meta.push(meta);
+        self.words.extend_from_slice(child_words);
+    }
+
+    fn append(&mut self, other: &ChildBatch) {
+        self.meta.extend_from_slice(&other.meta);
+        self.words.extend_from_slice(&other.words);
+    }
+}
+
+/// Rows per work item: one parent is refined in blocks of this many matrix
+/// rows, so a single wide parent (e.g. the root of a level-1 beam) still
+/// splits across workers. Small enough to parallelize short condition
+/// languages, large enough that an item amortizes its scheduling.
+const BLOCK_ROWS: usize = 32;
+
+/// Smallest number of work items worth a worker thread: spawning and
+/// joining a scoped thread costs tens of microseconds, so small frontiers
+/// run inline regardless of the configured thread count.
+const MIN_ITEMS_PER_WORKER: usize = 2;
+
+/// Smallest kernel workload (words ANDed) worth a worker thread. The
+/// fused kernels stream several words per nanosecond, so a worker must
+/// bring tens of microseconds of word traffic to amortize its spawn+join;
+/// below this total the refinement runs inline. In particular,
+/// branch-and-bound's per-node refinement (one parent against a small
+/// language) stays single-threaded at any configured thread count — its
+/// parallelism lives in `score_all`, not here.
+const MIN_WORDS_PER_WORKER: usize = 1 << 15;
+
+/// The batched refinement engine over one [`MaskMatrix`]. Cheap to
+/// construct (three words); build one wherever a search holds a matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierBuilder<'m> {
+    matrix: &'m MaskMatrix,
+    config: FrontierConfig,
+}
+
+impl<'m> FrontierBuilder<'m> {
+    /// A builder over `matrix` with the given filters/threading.
+    pub fn new(matrix: &'m MaskMatrix, config: FrontierConfig) -> Self {
+        Self { matrix, config }
+    }
+
+    /// The matrix being refined against.
+    pub fn matrix(&self) -> &'m MaskMatrix {
+        self.matrix
+    }
+
+    /// Refines every parent against every matrix row with
+    /// `allowed(parent_idx, row) == true`, returning the children that
+    /// pass the support filters, ordered by `(parent, row)` — exactly the
+    /// order a serial nested loop over parents and conditions visits them,
+    /// at any thread count.
+    pub fn refine_parents<F>(&self, parents: &[ParentSpec<'_>], allowed: F) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+    {
+        let rows = self.matrix.rows();
+        let stride = self.matrix.stride();
+        if parents.is_empty() || rows == 0 {
+            return ChildBatch::with_shape(self.matrix.n(), stride);
+        }
+        // Work items: contiguous row blocks per parent, in (parent, row)
+        // order. Chunking this flat list keeps both axes balanced.
+        let blocks_per_parent = rows.div_ceil(BLOCK_ROWS);
+        let items: Vec<(usize, usize, usize)> = (0..parents.len())
+            .flat_map(|p| {
+                (0..blocks_per_parent).map(move |b| {
+                    let lo = b * BLOCK_ROWS;
+                    (p, lo, rows.min(lo + BLOCK_ROWS))
+                })
+            })
+            .collect();
+        let total_words = parents.len() * rows * stride;
+        let workers = self
+            .config
+            .threads
+            .min(items.len() / MIN_ITEMS_PER_WORKER)
+            .min(total_words / MIN_WORDS_PER_WORKER)
+            .max(1);
+        let run_items = |items: &[(usize, usize, usize)]| -> ChildBatch {
+            let mut out = ChildBatch::with_shape(self.matrix.n(), stride);
+            let mut scratch = vec![0u64; stride];
+            for &(p, lo, hi) in items {
+                refine_block(
+                    self.matrix,
+                    parents[p],
+                    lo..hi,
+                    self.config.min_support,
+                    |row| allowed(p, row),
+                    &mut scratch,
+                    |row, support, words| {
+                        out.push(
+                            ChildMeta {
+                                parent: p,
+                                row,
+                                support,
+                            },
+                            words,
+                        );
+                    },
+                );
+            }
+            out
+        };
+        if workers <= 1 {
+            return run_items(&items);
+        }
+        let chunk_size = items.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(|| run_items(chunk)))
+                .collect();
+            let parts: Vec<ChildBatch> = handles
+                .into_iter()
+                .map(|h| h.join().expect("frontier worker panicked"))
+                .collect();
+            // Merge in chunk (= item = serial) order.
+            let mut out = ChildBatch::with_shape(self.matrix.n(), stride);
+            out.meta.reserve(parts.iter().map(ChildBatch::len).sum());
+            out.words.reserve(parts.iter().map(|p| p.words.len()).sum());
+            for part in &parts {
+                out.append(part);
+            }
+            out
+        })
+    }
+}
+
+/// The word-blocked refinement kernel: intersects one parent against a
+/// contiguous block of matrix rows, emitting `(row, support, child words)`
+/// for every allowed row whose intersection count lands in
+/// `min_support..=parent.max_support`. The AND and the popcount are fused
+/// into one pass per row ([`kernels::and_into_count`]) through a
+/// caller-owned scratch buffer, so rejected candidates allocate nothing.
+pub fn refine_block(
+    matrix: &MaskMatrix,
+    parent: ParentSpec<'_>,
+    rows: std::ops::Range<usize>,
+    min_support: usize,
+    mut allowed: impl FnMut(usize) -> bool,
+    scratch: &mut [u64],
+    mut emit: impl FnMut(usize, usize, &[u64]),
+) {
+    assert_eq!(
+        parent.ext.len(),
+        matrix.n(),
+        "refine_block: parent capacity mismatch"
+    );
+    let parent_words = parent.ext.words();
+    for row in rows {
+        if !allowed(row) {
+            continue;
+        }
+        let support = kernels::and_into_count(parent_words, matrix.row_words(row), scratch);
+        if support >= min_support && support <= parent.max_support {
+            emit(row, support, scratch);
+        }
+    }
+}
+
+/// In-order first-wins dedup: keeps each item whose key is new to `seen`,
+/// preserving input order. Because [`FrontierBuilder::refine_parents`]
+/// emits children in the serial `(parent, row)` order at any thread count,
+/// running this sequential pass after the (possibly parallel) refinement
+/// reproduces the serial generate-and-dedup loop exactly.
+pub fn dedup_in_order<T, K, F>(
+    items: impl IntoIterator<Item = T>,
+    mut key_of: F,
+    seen: &mut HashSet<K>,
+) -> Vec<T>
+where
+    K: Eq + Hash,
+    F: FnMut(&T) -> K,
+{
+    items
+        .into_iter()
+        .filter(|item| seen.insert(key_of(item)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisd_stats::Xoshiro256pp;
+
+    /// Random mask of capacity `n` with roughly `density` fill.
+    fn random_mask(rng: &mut Xoshiro256pp, n: usize, density: f64) -> BitSet {
+        BitSet::from_fn(n, |_| rng.uniform() < density)
+    }
+
+    fn fixture(seed: u64, n: usize, rows: usize) -> (MaskMatrix, Vec<BitSet>) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let masks: Vec<BitSet> = (0..rows).map(|_| random_mask(&mut rng, n, 0.4)).collect();
+        let parents: Vec<BitSet> = (0..5).map(|_| random_mask(&mut rng, n, 0.6)).collect();
+        (MaskMatrix::from_bitsets(n, masks), parents)
+    }
+
+    /// The serial per-candidate reference: `BitSet::and` + `count`, nested
+    /// loops, identical filters.
+    fn reference(
+        matrix: &MaskMatrix,
+        parents: &[ParentSpec<'_>],
+        allowed: impl Fn(usize, usize) -> bool,
+        min_support: usize,
+    ) -> Vec<(ChildMeta, BitSet)> {
+        let mut out = Vec::new();
+        for (p, spec) in parents.iter().enumerate() {
+            for row in 0..matrix.rows() {
+                if !allowed(p, row) {
+                    continue;
+                }
+                let ext = spec.ext.and(&matrix.row_bitset(row));
+                let support = ext.count();
+                if support >= min_support && support <= spec.max_support {
+                    out.push((
+                        ChildMeta {
+                            parent: p,
+                            row,
+                            support,
+                        },
+                        ext,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_same(got: &ChildBatch, expect: &[(ChildMeta, BitSet)]) {
+        assert_eq!(got.len(), expect.len());
+        for (i, (meta, ext)) in expect.iter().enumerate() {
+            assert_eq!(got.meta(i), *meta);
+            assert_eq!(&got.child_bitset(i), ext);
+        }
+    }
+
+    #[test]
+    fn builder_matches_per_candidate_loop_at_any_thread_count() {
+        // Lengths around word boundaries; rows around the block size.
+        for &(n, rows) in &[(65usize, 7usize), (128, 32), (200, 45), (63, 100)] {
+            let (matrix, parent_sets) = fixture(n as u64 * 31 + rows as u64, n, rows);
+            let parents: Vec<ParentSpec<'_>> = parent_sets
+                .iter()
+                .map(|ext| ParentSpec {
+                    ext,
+                    max_support: ext.count().saturating_sub(1),
+                })
+                .collect();
+            let allowed = |p: usize, row: usize| !(p + row).is_multiple_of(3);
+            let min_support = 2;
+            let expect = reference(&matrix, &parents, allowed, min_support);
+            for threads in [1usize, 2, 4, 7] {
+                let builder = FrontierBuilder::new(
+                    &matrix,
+                    FrontierConfig {
+                        min_support,
+                        threads,
+                    },
+                );
+                let got = builder.refine_parents(&parents, allowed);
+                assert_same(&got, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_merge_path_matches_serial_on_a_large_workload() {
+        // Big enough to clear MIN_WORDS_PER_WORKER (the small fixtures
+        // above stay inline by design): 6 parents × 64 rows × 256 words
+        // ≈ 98k words of kernel work, so threads ≥ 2 really spawn.
+        let n = 16_384;
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let masks: Vec<BitSet> = (0..64).map(|_| random_mask(&mut rng, n, 0.3)).collect();
+        let matrix = MaskMatrix::from_bitsets(n, masks);
+        let parent_sets: Vec<BitSet> = (0..6).map(|_| random_mask(&mut rng, n, 0.5)).collect();
+        let parents: Vec<ParentSpec<'_>> = parent_sets
+            .iter()
+            .map(|ext| ParentSpec {
+                ext,
+                max_support: ext.count().saturating_sub(1),
+            })
+            .collect();
+        let min_support = n / 8;
+        let serial = FrontierBuilder::new(
+            &matrix,
+            FrontierConfig {
+                min_support,
+                threads: 1,
+            },
+        )
+        .refine_parents(&parents, |_, _| true);
+        assert!(!serial.is_empty());
+        for threads in [2usize, 4] {
+            let got = FrontierBuilder::new(
+                &matrix,
+                FrontierConfig {
+                    min_support,
+                    threads,
+                },
+            )
+            .refine_parents(&parents, |_, _| true);
+            assert_eq!(got.len(), serial.len(), "threads={threads}");
+            for i in 0..serial.len() {
+                assert_eq!(got.meta(i), serial.meta(i), "threads={threads}");
+                assert_eq!(got.child_words(i), serial.child_words(i));
+            }
+        }
+    }
+
+    #[test]
+    fn support_filters_are_inclusive_bounds() {
+        let n = 100;
+        let masks = vec![
+            BitSet::from_indices(n, 0..10),
+            BitSet::from_indices(n, 0..50),
+        ];
+        let matrix = MaskMatrix::from_bitsets(n, masks);
+        let full = BitSet::full(n);
+        let parents = [ParentSpec {
+            ext: &full,
+            max_support: 10,
+        }];
+        let builder = FrontierBuilder::new(
+            &matrix,
+            FrontierConfig {
+                min_support: 10,
+                threads: 1,
+            },
+        );
+        let children = builder.refine_parents(&parents, |_, _| true);
+        // Row 0 has support exactly 10 (kept: both bounds inclusive);
+        // row 1 has 50 (dropped).
+        assert_eq!(children.len(), 1);
+        assert_eq!(children.meta(0).row, 0);
+        assert_eq!(children.meta(0).support, 10);
+        assert_eq!(children.child_bitset(0), BitSet::from_indices(n, 0..10));
+    }
+
+    #[test]
+    fn empty_parents_or_rows_yield_no_children() {
+        let matrix = MaskMatrix::from_bitsets(50, Vec::<BitSet>::new());
+        let builder = FrontierBuilder::new(&matrix, FrontierConfig::default());
+        assert!(builder.refine_parents(&[], |_, _| true).is_empty());
+        let full = BitSet::full(50);
+        let parents = [ParentSpec {
+            ext: &full,
+            max_support: 50,
+        }];
+        assert!(builder.refine_parents(&parents, |_, _| true).is_empty());
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_in_order() {
+        let n = 40;
+        let (matrix, parent_sets) = fixture(9, n, 12);
+        let parents: Vec<ParentSpec<'_>> = parent_sets
+            .iter()
+            .map(|ext| ParentSpec {
+                ext,
+                max_support: n,
+            })
+            .collect();
+        let builder = FrontierBuilder::new(
+            &matrix,
+            FrontierConfig {
+                min_support: 0,
+                threads: 3,
+            },
+        );
+        let children = builder.refine_parents(&parents, |_, _| true);
+        // Key children by row only: every parent generates each row once,
+        // so dedup must keep exactly the first parent's children.
+        let mut seen = HashSet::new();
+        let deduped = dedup_in_order(0..children.len(), |&i| children.meta(i).row, &mut seen);
+        assert_eq!(deduped.len(), matrix.rows());
+        assert!(deduped.iter().all(|&i| children.meta(i).parent == 0));
+        // Reference: the plain sequential filter.
+        let mut seen2 = HashSet::new();
+        let expect: Vec<usize> = (0..children.len())
+            .filter(|&i| seen2.insert(children.meta(i).row))
+            .collect();
+        assert_eq!(deduped, expect);
+    }
+}

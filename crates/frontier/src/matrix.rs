@@ -1,0 +1,192 @@
+//! The condition-mask bit-matrix.
+//!
+//! One [`MaskMatrix`] holds the extension of **every base condition of the
+//! description language** as one row of a single contiguous word arena —
+//! the structure-of-arrays counterpart of a `Vec<BitSet>`. Rows share one
+//! allocation and a common stride, so a refinement pass streams the whole
+//! language through the cache in row order instead of chasing one heap
+//! allocation per condition.
+
+use sisd_core::Condition;
+use sisd_data::bitset::WORD_BITS;
+use sisd_data::{kernels, BitSet, Dataset};
+
+/// A dense `rows × n` bit-matrix: row `j` is the extension (row mask) of
+/// condition `j`, packed 64 columns per word in one contiguous arena.
+///
+/// Layout: row `j` occupies words `j·stride .. (j+1)·stride`, where
+/// `stride = ceil(n / 64)`; within a row, bit `i % 64` of word `i / 64` is
+/// dataset row `i`, and tail bits beyond `n` are zero (popcounts over
+/// whole rows are exact).
+#[derive(Debug, Clone)]
+pub struct MaskMatrix {
+    words: Vec<u64>,
+    stride: usize,
+    n: usize,
+    rows: usize,
+}
+
+impl MaskMatrix {
+    /// Evaluates every condition over the dataset once and packs the
+    /// resulting masks as rows. This is the *only* place a search needs to
+    /// run [`Condition::evaluate`]: every level of every search over the
+    /// same dataset reuses these rows.
+    pub fn evaluate(data: &Dataset, conditions: &[Condition]) -> Self {
+        Self::from_bitsets(data.n(), conditions.iter().map(|c| c.evaluate(data)))
+    }
+
+    /// Packs pre-evaluated masks (each of capacity `n`) as rows.
+    ///
+    /// # Panics
+    /// Panics if a mask's capacity differs from `n`.
+    pub fn from_bitsets(n: usize, masks: impl IntoIterator<Item = BitSet>) -> Self {
+        let stride = n.div_ceil(WORD_BITS);
+        let mut words = Vec::new();
+        let mut rows = 0usize;
+        for mask in masks {
+            assert_eq!(mask.len(), n, "MaskMatrix: mask capacity mismatch");
+            words.extend_from_slice(mask.words());
+            rows += 1;
+        }
+        Self {
+            words,
+            stride,
+            n,
+            rows,
+        }
+    }
+
+    /// Number of dataset rows each mask ranges over.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of condition masks (matrix rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The words of row `j`.
+    #[inline]
+    pub fn row_words(&self, j: usize) -> &[u64] {
+        &self.words[j * self.stride..(j + 1) * self.stride]
+    }
+
+    /// The contiguous arena slice covering rows `lo..hi` — the block shape
+    /// [`sisd_data::kernels::and_count_many`] consumes.
+    #[inline]
+    pub fn block_words(&self, lo: usize, hi: usize) -> &[u64] {
+        &self.words[lo * self.stride..hi * self.stride]
+    }
+
+    /// Row `j` materialized back into an owned [`BitSet`].
+    pub fn row_bitset(&self, j: usize) -> BitSet {
+        BitSet::from_words(self.row_words(j).to_vec(), self.n)
+    }
+
+    /// Population count of row `j` (the condition's support).
+    pub fn row_count(&self, j: usize) -> usize {
+        self.row_words(j)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// `popcount(parent ∩ row_j)` for every row in `lo..hi`, written to
+    /// `counts` (one entry per row in order). A thin, bounds-checked
+    /// wrapper over [`sisd_data::kernels::and_count_many`].
+    pub fn and_count_block(&self, parent: &BitSet, lo: usize, hi: usize, counts: &mut [usize]) {
+        assert_eq!(parent.len(), self.n, "MaskMatrix: parent capacity mismatch");
+        assert_eq!(counts.len(), hi - lo, "MaskMatrix: counts length mismatch");
+        kernels::and_count_many(parent.words(), self.block_words(lo, hi), counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisd_core::{ConditionOp, Intention};
+    use sisd_data::Column;
+    use sisd_linalg::Matrix;
+
+    fn data(n: usize) -> Dataset {
+        Dataset::new(
+            "m",
+            vec!["num".into(), "cat".into()],
+            vec![
+                Column::Numeric((0..n).map(|i| (i % 17) as f64).collect()),
+                Column::categorical_from_strs(
+                    &(0..n).map(|i| ["a", "b"][i % 2]).collect::<Vec<_>>(),
+                ),
+            ],
+            vec!["y".into()],
+            Matrix::zeros(n, 1),
+        )
+    }
+
+    fn language() -> Vec<Condition> {
+        vec![
+            Condition {
+                attr: 0,
+                op: ConditionOp::Ge(8.0),
+            },
+            Condition {
+                attr: 0,
+                op: ConditionOp::Le(3.0),
+            },
+            Condition {
+                attr: 1,
+                op: ConditionOp::Eq(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn rows_match_per_condition_evaluation() {
+        for n in [5usize, 64, 65, 200] {
+            let d = data(n);
+            let conds = language();
+            let m = MaskMatrix::evaluate(&d, &conds);
+            assert_eq!(m.rows(), conds.len());
+            assert_eq!(m.n(), n);
+            assert_eq!(m.stride(), n.div_ceil(64));
+            for (j, c) in conds.iter().enumerate() {
+                assert_eq!(m.row_bitset(j), c.evaluate(&d), "n={n}, row {j}");
+                assert_eq!(m.row_count(j), c.evaluate(&d).count());
+            }
+        }
+    }
+
+    #[test]
+    fn and_count_block_matches_intersection_counts() {
+        let d = data(130);
+        let conds = language();
+        let m = MaskMatrix::evaluate(&d, &conds);
+        let parent = Intention::empty().with(conds[0]).evaluate(&d);
+        let mut counts = vec![0usize; conds.len()];
+        m.and_count_block(&parent, 0, conds.len(), &mut counts);
+        for (j, c) in conds.iter().enumerate() {
+            assert_eq!(counts[j], parent.intersection_count(&c.evaluate(&d)));
+        }
+    }
+
+    #[test]
+    fn empty_language_and_empty_dataset() {
+        let d = data(10);
+        let m = MaskMatrix::evaluate(&d, &[]);
+        assert_eq!(m.rows(), 0);
+        let d0 = data(0);
+        let m0 = MaskMatrix::evaluate(&d0, &language());
+        assert_eq!(m0.rows(), 3);
+        assert_eq!(m0.stride(), 0);
+        assert_eq!(m0.row_count(0), 0);
+    }
+}

@@ -78,7 +78,7 @@ pub fn normalize(x: &mut [f64]) -> f64 {
 
 /// Rank-one update of a row-major `d × d` buffer: `a ← a + alpha * x xᵀ`.
 ///
-/// Used for scatter-matrix accumulation where allocating a full [`Matrix`]
+/// Used for scatter-matrix accumulation where allocating a full [`Matrix`](crate::Matrix)
 /// per data point would be wasteful.
 #[inline]
 pub fn outer_add_assign(a: &mut [f64], alpha: f64, x: &[f64]) {

@@ -141,6 +141,21 @@ pub struct LocationStats {
     pub mahalanobis: f64,
 }
 
+/// Convergence statistics of one [`BackgroundModel::refit`] call. Deep
+/// interactive sessions accumulate many overlapping constraints; these
+/// counters let callers observe how much re-projection work each
+/// assimilation triggers instead of guessing from wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefitStats {
+    /// Full passes over the stored constraints (0 when the model was
+    /// already within tolerance).
+    pub cycles: usize,
+    /// Individual constraint re-projections applied across all passes
+    /// (numerically-unimprovable spread constraints that were skipped are
+    /// not counted).
+    pub constraints_updated: usize,
+}
+
 /// Sufficient statistics for the spread information content (Eqs. 17–19).
 #[derive(Debug, Clone)]
 pub struct SpreadStats {
@@ -645,29 +660,40 @@ impl BackgroundModel {
 
     /// Cyclic coordinate descent: re-projects onto every stored constraint
     /// until the maximum violation is at most `tol` or `max_cycles` full
-    /// passes have run. Returns the number of passes used.
+    /// passes have run. Returns the convergence statistics — deep
+    /// interactive sessions (many overlapping assimilated patterns) watch
+    /// [`RefitStats::cycles`] grow to observe the cost of staying
+    /// converged.
     ///
     /// Convergence is guaranteed (Csiszár's cyclic I-projection theorem for
     /// linear families); with little overlap between extensions it takes
     /// one or two passes, matching the paper's observation.
-    pub fn refit(&mut self, tol: f64, max_cycles: usize) -> Result<usize, ModelError> {
+    pub fn refit(&mut self, tol: f64, max_cycles: usize) -> Result<RefitStats, ModelError> {
         let constraints = self.constraints.clone();
         let mut last_violation = f64::INFINITY;
+        let mut constraints_updated = 0usize;
         for cycle in 0..max_cycles {
             let violation = self.max_violation();
             if violation <= tol {
-                return Ok(cycle);
+                return Ok(RefitStats {
+                    cycles: cycle,
+                    constraints_updated,
+                });
             }
             // Stalled (e.g. an unimprovable spread constraint): stop early
             // rather than burning the full cycle budget.
             if violation > last_violation * 0.999 && cycle > 0 {
-                return Ok(cycle);
+                return Ok(RefitStats {
+                    cycles: cycle,
+                    constraints_updated,
+                });
             }
             last_violation = violation;
             for c in &constraints {
                 match c {
                     Constraint::Location { ext, target } => {
                         self.project_location(ext, target)?;
+                        constraints_updated += 1;
                     }
                     Constraint::Spread {
                         ext,
@@ -679,16 +705,21 @@ impl BackgroundModel {
                         // unimprovable when later patterns collapse the
                         // variance along its direction; skip it rather than
                         // aborting the whole refit (other constraints can
-                        // still be converged).
+                        // still be converged). Skips are not counted as
+                        // updates.
                         match self.project_spread(ext, w, center, *value) {
-                            Ok(()) | Err(ModelError::SpreadSolve(_)) => {}
+                            Ok(()) => constraints_updated += 1,
+                            Err(ModelError::SpreadSolve(_)) => {}
                             Err(e) => return Err(e),
                         }
                     }
                 }
             }
         }
-        Ok(max_cycles)
+        Ok(RefitStats {
+            cycles: max_cycles,
+            constraints_updated,
+        })
     }
 
     /// KL divergence `KL(self ‖ other)` summed over rows. Both models must
@@ -842,8 +873,16 @@ mod tests {
         model.assimilate_location(&ext_b, vec![-1.0, 0.5]).unwrap();
         // The second projection disturbed the first constraint.
         assert!(model.max_violation() > 1e-6);
-        let cycles = model.refit(1e-10, 500).unwrap();
-        assert!(model.max_violation() < 1e-10, "cycles = {cycles}");
+        let stats = model.refit(1e-10, 500).unwrap();
+        assert!(model.max_violation() < 1e-10, "stats = {stats:?}");
+        // Convergence took at least one pass over the two constraints, and
+        // every counted update touched a stored constraint.
+        assert!(stats.cycles >= 1);
+        assert!(stats.constraints_updated >= 2);
+        assert_eq!(stats.constraints_updated % 2, 0);
+        // Already converged: a second refit reports zero work.
+        let again = model.refit(1e-10, 500).unwrap();
+        assert_eq!(again, RefitStats::default());
     }
 
     #[test]

@@ -28,7 +28,9 @@ mod cell;
 mod constraint;
 mod solver;
 
-pub use background::{BackgroundModel, FactorCache, LocationStats, ModelError, SpreadStats};
+pub use background::{
+    BackgroundModel, FactorCache, LocationStats, ModelError, RefitStats, SpreadStats,
+};
 pub use binary::{BinaryBackgroundModel, BinaryLocationStats};
 pub use cell::Cell;
 pub use constraint::Constraint;

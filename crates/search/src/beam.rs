@@ -7,9 +7,11 @@
 //! four percentile split points, and an optional wall-clock budget.
 //!
 //! Candidate scoring — including multi-threading and factorization reuse —
-//! is delegated to the shared [`crate::eval::Evaluator`]; set
-//! [`EvalConfig::threads`] to parallelize. Results are identical at any
-//! thread count.
+//! is delegated to the shared [`crate::eval::Evaluator`], and candidate
+//! *generation* to the batched `sisd-frontier` subsystem (condition masks
+//! evaluated once per search into a contiguous bit-matrix, refined with
+//! fused AND+popcount kernels); set [`EvalConfig::threads`] to parallelize
+//! both. Results are identical at any thread count.
 
 use crate::eval::{run_beam_levels, Evaluator};
 use crate::refine::RefineConfig;

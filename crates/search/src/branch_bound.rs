@@ -30,6 +30,7 @@ use crate::refine::{generate_conditions, RefineConfig};
 use crate::EvalConfig;
 use sisd_core::{Condition, DlParams, Intention, LocationPattern};
 use sisd_data::{BitSet, Dataset};
+use sisd_frontier::{FrontierBuilder, FrontierConfig, MaskMatrix, ParentSpec};
 use sisd_model::BackgroundModel;
 
 /// Branch-and-bound configuration.
@@ -78,7 +79,9 @@ pub struct BranchBoundResult {
 struct Searcher<'a> {
     data: &'a Dataset,
     conditions: Vec<Condition>,
-    condition_exts: Vec<BitSet>,
+    /// All condition masks, evaluated once and packed contiguously; every
+    /// node's children are generated from its rows via `sisd-frontier`.
+    matrix: MaskMatrix,
     y: Vec<f64>,
     mu: f64,
     sigma2: f64,
@@ -151,32 +154,39 @@ impl<'a> Searcher<'a> {
             self.pruned += 1;
             return;
         }
-        // Collect the node's children, then score them as one batch through
+        // Generate the node's children through the batched frontier
+        // kernels (mask AND + popcount + coverage filters in one fused
+        // pass over the bit-matrix), then score them as one batch through
         // the engine (parallel when `cfg.eval.threads > 1`; identical
         // results either way). Exact scores don't depend on the incumbent,
         // so batching before the in-order best/recurse sweep visits exactly
         // the nodes the one-at-a-time search visited.
-        let mut child_first_cond: Vec<usize> = Vec::new();
-        let mut batch: Vec<Candidate> = Vec::new();
-        for cidx in first_cond..self.conditions.len() {
-            let cond = self.conditions[cidx];
-            if intention.conflicts_with(&cond) {
-                continue;
-            }
-            let child_ext = ext.and(&self.condition_exts[cidx]);
-            let m = child_ext.count();
-            if m < self.cfg.min_coverage.max(1) {
-                continue;
-            }
-            if m == ext.count() && !intention.is_empty() {
-                // Same extension, strictly longer description: dominated,
-                // and its subtree is a subset of this node's subtree.
-                continue;
-            }
-            child_first_cond.push(cidx + 1);
+        let builder = FrontierBuilder::new(
+            &self.matrix,
+            FrontierConfig {
+                min_support: self.cfg.min_coverage.max(1),
+                threads: self.cfg.eval.threads,
+            },
+        );
+        // A child covering as many rows as its (non-root) parent is the
+        // same extension with a strictly longer description: dominated,
+        // and its subtree is a subset of this node's subtree.
+        let max_support = if intention.is_empty() {
+            self.data.n()
+        } else {
+            ext.count().saturating_sub(1)
+        };
+        let children = builder.refine_parents(&[ParentSpec { ext, max_support }], |_, row| {
+            row >= first_cond && !intention.conflicts_with(&self.conditions[row])
+        });
+        let mut child_first_cond: Vec<usize> = Vec::with_capacity(children.len());
+        let mut batch: Vec<Candidate> = Vec::with_capacity(children.len());
+        for i in 0..children.len() {
+            let m = children.meta(i);
+            child_first_cond.push(m.row + 1);
             batch.push(Candidate {
-                intention: intention.with(cond),
-                ext: child_ext,
+                intention: intention.with(self.conditions[m.row]),
+                ext: children.child_bitset(i),
             });
         }
         let scored = ev.try_score_all(&batch);
@@ -212,12 +222,12 @@ pub fn branch_bound_search(
     let mu = model.row_mean(0)[0];
     let sigma2 = model.row_cov(0)[(0, 0)];
     let conditions = generate_conditions(data, &cfg.refine);
-    let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
+    let matrix = MaskMatrix::evaluate(data, &conditions);
     let ev = Evaluator::gaussian(data, model, cfg.dl, cfg.eval);
     let mut s = Searcher {
         data,
         conditions,
-        condition_exts,
+        matrix,
         y: data.target_col(0),
         mu,
         sigma2,

@@ -30,10 +30,11 @@ use crate::refine::generate_conditions;
 use crate::BeamConfig;
 use sisd_core::SisdError;
 use sisd_core::{
-    location_ic_of_stats, spread_si, ConditionOp, Intention, LocationPattern, LocationScore,
-    SisdResult, SpreadScore,
+    location_ic_of_stats, spread_si, Condition, ConditionOp, Intention, LocationPattern,
+    LocationScore, SisdResult, SpreadScore,
 };
 use sisd_data::{BitSet, Dataset};
+use sisd_frontier::{FrontierBuilder, FrontierConfig, MaskMatrix, ParentSpec};
 use sisd_model::{BackgroundModel, BinaryBackgroundModel, FactorCache, ModelError};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -304,7 +305,7 @@ impl<'a> Evaluator<'a> {
     /// order (`None` where scoring failed, e.g. an empty extension).
     ///
     /// With `threads > 1` the batch is split into contiguous chunks of at
-    /// least [`Evaluator::MIN_CHUNK`] candidates, scored on scoped OS
+    /// least `Evaluator::MIN_CHUNK` candidates, scored on scoped OS
     /// threads, and merged in chunk order; each candidate's arithmetic is
     /// independent, so the output is bit-identical at any thread count.
     /// Parallelism pays off on wide batches of expensive scores (beam
@@ -354,17 +355,39 @@ impl<'a> Evaluator<'a> {
 // The shared level-wise beam loop
 // ----------------------------------------------------------------------
 
-/// Canonical key of an intention: sorted condition fingerprints, so that
-/// `a ∧ b` and `b ∧ a` are recognized as the same candidate.
+/// Canonical fingerprint of one condition, the element of intention keys.
+fn condition_fingerprint(c: &Condition) -> (usize, u8, u64) {
+    match c.op {
+        ConditionOp::Ge(t) => (c.attr, 0u8, t.to_bits()),
+        ConditionOp::Le(t) => (c.attr, 1u8, t.to_bits()),
+        ConditionOp::Eq(l) => (c.attr, 2u8, u64::from(l)),
+    }
+}
+
+/// Canonical key of a whole intention: sorted condition fingerprints, so
+/// that `a ∧ b` and `b ∧ a` are recognized as the same candidate. Tests
+/// pin dedup behavior with it; the production dedup pass keys children
+/// via [`intention_key_with`] without building them.
+#[cfg(test)]
 pub(crate) fn intention_key(intention: &Intention) -> Vec<(usize, u8, u64)> {
     let mut key: Vec<(usize, u8, u64)> = intention
         .conditions()
         .iter()
-        .map(|c| match c.op {
-            ConditionOp::Ge(t) => (c.attr, 0u8, t.to_bits()),
-            ConditionOp::Le(t) => (c.attr, 1u8, t.to_bits()),
-            ConditionOp::Eq(l) => (c.attr, 2u8, l as u64),
-        })
+        .map(condition_fingerprint)
+        .collect();
+    key.sort_unstable();
+    key
+}
+
+/// The canonical key of `parent ∧ cond` without materializing the child
+/// intention — the beam's dedup pass keys every generated child, but only
+/// builds the intention (a conditions-vector clone) for the keepers.
+fn intention_key_with(parent: &Intention, cond: &Condition) -> Vec<(usize, u8, u64)> {
+    let mut key: Vec<(usize, u8, u64)> = parent
+        .conditions()
+        .iter()
+        .chain(std::iter::once(cond))
+        .map(condition_fingerprint)
         .collect();
     key.sort_unstable();
     key
@@ -407,18 +430,21 @@ pub(crate) struct BeamLevelsOutcome {
 }
 
 /// The level-wise beam search (paper §II-D), generic over the evaluation
-/// backend: generate each level's candidates serially (dedup *after* the
-/// structural filters, so the outcome is independent of which parent
+/// backend: generate each level's candidates through the batched frontier
+/// subsystem (`sisd-frontier` — mask AND + coverage filters over the
+/// condition bit-matrix, parallel on `ev.threads()` workers, children in
+/// serial `(parent, condition)` order at any thread count), dedup *after*
+/// the structural filters (so the outcome is independent of which parent
 /// reaches a conjunction first), score the whole level as one batch
 /// through the engine, keep the `width` best as the next frontier.
 ///
 /// The wall-clock budget is honoured during both phases of a level:
-/// candidate *generation* checks it between frontier parents, and batch
-/// *scoring* checks it between bounded slices (one thread-round of chunks),
-/// so overshoot is limited to one parent's generation plus one slice's
-/// scoring. Everything scored before expiry is still logged — a timed-out
-/// search reports every candidate it committed to, like the incremental
-/// searches it replaced.
+/// candidate *generation* checks it between frontier-parent slices, and
+/// batch *scoring* checks it between bounded slices (one thread-round of
+/// chunks), so overshoot is limited to one slice of generation plus one
+/// slice of scoring. Everything scored before expiry is still logged — a
+/// timed-out search reports every candidate it committed to, like the
+/// incremental searches it replaced.
 pub(crate) fn run_beam_levels(
     ev: &Evaluator<'_>,
     cfg: &BeamConfig,
@@ -426,7 +452,16 @@ pub(crate) fn run_beam_levels(
 ) -> BeamLevelsOutcome {
     let data = ev.data();
     let conditions = generate_conditions(data, &cfg.refine);
-    let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
+    // Every condition mask, evaluated once for the whole search and packed
+    // into one contiguous arena; levels and strategies reuse the rows.
+    let matrix = MaskMatrix::evaluate(data, &conditions);
+    let builder = FrontierBuilder::new(
+        &matrix,
+        FrontierConfig {
+            min_support: cfg.min_coverage,
+            threads: ev.threads(),
+        },
+    );
     let max_cov =
         ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
 
@@ -437,31 +472,63 @@ pub(crate) fn run_beam_levels(
     let mut frontier: Vec<(Intention, BitSet)> = vec![(Intention::empty(), BitSet::full(data.n()))];
 
     for _depth in 1..=cfg.max_depth {
+        // The parent's own coverage caps its children: a child covering as
+        // many rows as its parent is the same extension with a longer
+        // description (dominated), so the per-parent ceiling is one less.
+        let parents: Vec<ParentSpec<'_>> = frontier
+            .iter()
+            .map(|(_, ext)| ParentSpec {
+                ext,
+                max_support: max_cov.min(ext.count().saturating_sub(1)),
+            })
+            .collect();
+        let allowed = |p: usize, row: usize| !frontier[p].0.conflicts_with(&conditions[row]);
+        // Sequential post-pass in the deterministic child order: attach
+        // intentions, drop duplicate conjunctions (first parent wins, as
+        // in the serial nested loop), and materialize extensions only for
+        // the keepers (the arena batch defers per-child allocation).
         let mut batch: Vec<Candidate> = Vec::new();
-        for (parent_intent, parent_ext) in &frontier {
-            if let Some(budget) = cfg.time_budget {
-                if start.elapsed() > budget {
-                    timed_out = true;
-                    break;
+        let push_children =
+            |children: &sisd_frontier::ChildBatch,
+             base: usize,
+             batch: &mut Vec<Candidate>,
+             seen: &mut HashSet<Vec<(usize, u8, u64)>>| {
+                let kept = sisd_frontier::dedup_in_order(
+                    0..children.len(),
+                    |&i| {
+                        let m = children.meta(i);
+                        intention_key_with(&frontier[base + m.parent].0, &conditions[m.row])
+                    },
+                    seen,
+                );
+                for i in kept {
+                    let m = children.meta(i);
+                    batch.push(Candidate {
+                        intention: frontier[base + m.parent].0.with(conditions[m.row]),
+                        ext: children.child_bitset(i),
+                    });
                 }
+            };
+        match cfg.time_budget {
+            // No budget: one batch, maximally parallel.
+            None => {
+                let children = builder.refine_parents(&parents, allowed);
+                push_children(&children, 0, &mut batch, &mut seen);
             }
-            for (cidx, cond) in conditions.iter().enumerate() {
-                if parent_intent.conflicts_with(cond) {
-                    continue;
+            // Budgeted: refine in slices of one thread-round of parents so
+            // the elapsed check runs between slices; a slice, once
+            // submitted, completes (bounded overshoot).
+            Some(budget) => {
+                let slice = ev.threads().max(1);
+                for (s, chunk) in parents.chunks(slice).enumerate() {
+                    if start.elapsed() > budget {
+                        timed_out = true;
+                        break;
+                    }
+                    let base = s * slice;
+                    let children = builder.refine_parents(chunk, |p, row| allowed(base + p, row));
+                    push_children(&children, base, &mut batch, &mut seen);
                 }
-                let ext = parent_ext.and(&condition_exts[cidx]);
-                let m = ext.count();
-                if m < cfg.min_coverage || m > max_cov || m == parent_ext.count() {
-                    continue;
-                }
-                let child_intent = parent_intent.with(*cond);
-                if !seen.insert(intention_key(&child_intent)) {
-                    continue;
-                }
-                batch.push(Candidate {
-                    intention: child_intent,
-                    ext,
-                });
             }
         }
         let scored = match cfg.time_budget {

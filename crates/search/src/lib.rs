@@ -24,10 +24,15 @@
 //!   pattern with a tight optimistic estimate (the branch-and-bound
 //!   direction the paper's §V singles out as future work).
 //!
-//! All four strategies evaluate candidates through [`eval::Evaluator`];
-//! the engine's [`eval::EvalConfig`] (worker threads) is threaded from
+//! All four strategies evaluate candidates through [`eval::Evaluator`],
+//! and the three conjunctive ones (beam, binary beam, branch-and-bound)
+//! *generate* their candidates through the batched `sisd-frontier`
+//! subsystem: condition masks are evaluated once per dataset into a
+//! contiguous bit-matrix, and per-level refinement (mask AND + coverage
+//! filters) runs on fused word kernels with deterministic parallelism.
+//! The engine's [`eval::EvalConfig`] (worker threads) is threaded from
 //! [`MinerConfig`] / [`BeamConfig`] / [`BranchBoundConfig`] down to every
-//! scoring call.
+//! scoring call and drives frontier generation too.
 
 pub mod beam;
 pub mod binary_beam;
@@ -39,7 +44,7 @@ pub mod sphere;
 
 pub use beam::{BeamConfig, BeamResult, BeamSearch};
 pub use binary_beam::{binary_beam_search, binary_step, BinaryBeamResult};
-pub use branch_bound::{BranchBoundConfig, BranchBoundResult};
+pub use branch_bound::{branch_bound_search, BranchBoundConfig, BranchBoundResult};
 pub use eval::{Candidate, EvalConfig, Evaluator, Scored};
 pub use miner::{Iteration, Miner, MinerConfig};
 pub use refine::{generate_conditions, RefineConfig};

@@ -10,7 +10,7 @@ use crate::eval::EvalConfig;
 use crate::sphere::{mine_spread_pattern, SphereConfig};
 use sisd_core::{DlParams, LocationPattern, SpreadPattern};
 use sisd_data::Dataset;
-use sisd_model::{BackgroundModel, ModelError};
+use sisd_model::{BackgroundModel, ModelError, RefitStats};
 
 /// Miner configuration.
 #[derive(Debug, Clone, Default)]
@@ -70,6 +70,7 @@ pub struct Miner {
     model: BackgroundModel,
     config: MinerConfig,
     iterations_done: usize,
+    last_refit: Option<RefitStats>,
 }
 
 impl Miner {
@@ -83,6 +84,7 @@ impl Miner {
             model,
             config,
             iterations_done: 0,
+            last_refit: None,
         })
     }
 
@@ -99,6 +101,7 @@ impl Miner {
             model,
             config,
             iterations_done: 0,
+            last_refit: None,
         })
     }
 
@@ -123,6 +126,15 @@ impl Miner {
         self.iterations_done
     }
 
+    /// Convergence statistics of the most recent post-assimilation refit,
+    /// `None` before the first assimilation. Deep interactive sessions
+    /// watch `cycles`/`constraints_updated` grow as overlapping patterns
+    /// accumulate — the observable cost of keeping the belief state
+    /// converged.
+    pub fn last_refit_stats(&self) -> Option<RefitStats> {
+        self.last_refit
+    }
+
     /// Runs a beam search against the current model and returns the full
     /// result log without updating anything. Candidate evaluation runs on
     /// `config.beam.eval.threads` workers through the shared engine.
@@ -135,10 +147,10 @@ impl Miner {
     pub fn assimilate_location(&mut self, pattern: &LocationPattern) -> Result<(), ModelError> {
         self.model
             .assimilate_location(&pattern.extension, pattern.observed_mean.clone())?;
-        self.model.refit(
+        self.last_refit = Some(self.model.refit(
             self.config.refit_tol.max(1e-12),
             self.config.refit_max_cycles.max(1),
-        )?;
+        )?);
         Ok(())
     }
 
@@ -151,10 +163,10 @@ impl Miner {
             center,
             pattern.observed_variance,
         )?;
-        self.model.refit(
+        self.last_refit = Some(self.model.refit(
             self.config.refit_tol.max(1e-12),
             self.config.refit_max_cycles.max(1),
-        )?;
+        )?);
         Ok(())
     }
 
@@ -299,6 +311,24 @@ mod tests {
         // One location + one spread constraint.
         assert_eq!(miner.model().constraints().len(), 2);
         assert!(miner.model().max_violation() < 1e-6);
+    }
+
+    #[test]
+    fn refit_stats_are_observable_across_iterations() {
+        let (data, _) = synthetic_paper(3);
+        let mut miner = Miner::from_empirical(data, quick_config()).unwrap();
+        assert!(miner.last_refit_stats().is_none(), "no refit before mining");
+        miner.step_location().unwrap().unwrap();
+        let first = miner.last_refit_stats().expect("refit ran");
+        // A single non-overlapping constraint projects exactly and needs no
+        // extra cycling.
+        assert_eq!(first.cycles, 0);
+        assert_eq!(first.constraints_updated, 0);
+        miner.step_location().unwrap().unwrap();
+        let second = miner.last_refit_stats().expect("refit ran");
+        // Whatever the overlap structure, the counters stay consistent:
+        // every cycle touches at most all stored constraints.
+        assert!(second.constraints_updated <= second.cycles * miner.model().constraints().len());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   linear combination of χ²₁ variables (paper Eq. 18).
 //! * [`normal`] — univariate normal pdf/cdf/quantile.
 //! * [`kde`] — Gaussian kernel density estimation (paper Fig. 1).
-//! * [`quantile`] — percentiles/quantiles for the discretization split
+//! * [`mod@quantile`] — percentiles/quantiles for the discretization split
 //!   points (§III: 1/5–4/5 percentiles).
 //! * [`summary`] — streaming mean/variance and weighted summaries.
 

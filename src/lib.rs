@@ -17,6 +17,7 @@
 pub use sisd_baselines as baselines;
 pub use sisd_core as core;
 pub use sisd_data as data;
+pub use sisd_frontier as frontier;
 pub use sisd_linalg as linalg;
 pub use sisd_model as model;
 pub use sisd_search as search;
@@ -24,7 +25,7 @@ pub use sisd_stats as stats;
 
 /// The end-to-end mining API in one import: dataset containers and
 /// generators, the background model, the beam/sphere/miner search surface,
-/// the SI scores, and the shared [`SisdError`].
+/// the SI scores, and the shared [`SisdError`](sisd_core::SisdError).
 pub mod prelude {
     pub use sisd_core::{
         location_ic, location_si, parse_intention, spread_ic, spread_si, Condition, ConditionOp,

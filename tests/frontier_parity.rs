@@ -1,0 +1,319 @@
+//! Frontier parity: the batched `sisd-frontier` kernels and builder must be
+//! **identical** to the per-candidate `BitSet::and`/`count` loop they
+//! replaced — same children, same order, same words — across random masks,
+//! lengths crossing word boundaries, and thread counts; and the searches
+//! built on them must return bit-identical results to the pre-refactor
+//! serial generation path at 1 and 4 threads.
+
+use proptest::prelude::*;
+use sisd::core::{ConditionOp, Intention, LocationPattern};
+use sisd::data::{kernels, BitSet, Column, Dataset};
+use sisd::frontier::{dedup_in_order, FrontierBuilder, FrontierConfig, MaskMatrix, ParentSpec};
+use sisd::linalg::Matrix;
+use sisd::model::BackgroundModel;
+use sisd::search::{
+    branch_bound_search, generate_conditions, BeamConfig, BeamSearch, BranchBoundConfig, Candidate,
+    EvalConfig, Evaluator,
+};
+use sisd::stats::Xoshiro256pp;
+use std::collections::HashSet;
+
+fn random_mask(rng: &mut Xoshiro256pp, n: usize, density: f64) -> BitSet {
+    BitSet::from_fn(n, |_| rng.uniform() < density)
+}
+
+/// The serial per-candidate reference for refinement: nested loops over
+/// parents and masks, one `BitSet::and` + `count` per pair, identical
+/// filters — what the search code did before this subsystem existed.
+fn reference_refine(
+    masks: &[BitSet],
+    parents: &[(&BitSet, usize)],
+    allowed: impl Fn(usize, usize) -> bool,
+    min_support: usize,
+) -> Vec<(usize, usize, usize, BitSet)> {
+    let mut out = Vec::new();
+    for (p, &(ext, max_support)) in parents.iter().enumerate() {
+        for (row, mask) in masks.iter().enumerate() {
+            if !allowed(p, row) {
+                continue;
+            }
+            let child = ext.and(mask);
+            let support = child.count();
+            if support >= min_support && support <= max_support {
+                out.push((p, row, support, child));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `and_count_many` over the packed arena equals one
+    /// `BitSet::and().count()` per row.
+    #[test]
+    fn and_count_many_matches_per_candidate_counts(seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        // Lengths deliberately straddle word boundaries.
+        let n = 1 + (seed as usize * 37) % 310;
+        let rows = 1 + (seed as usize) % 40;
+        let masks: Vec<BitSet> = (0..rows).map(|_| random_mask(&mut rng, n, 0.35)).collect();
+        let matrix = MaskMatrix::from_bitsets(n, masks.iter().cloned());
+        let parent = random_mask(&mut rng, n, 0.6);
+        let mut counts = vec![0usize; rows];
+        matrix.and_count_block(&parent, 0, rows, &mut counts);
+        for (row, mask) in masks.iter().enumerate() {
+            prop_assert_eq!(counts[row], parent.and(mask).count());
+            prop_assert_eq!(
+                kernels::and_count(parent.words(), mask.words()),
+                parent.intersection_count(mask)
+            );
+        }
+    }
+
+    /// The builder's children — order, supports, and extension words — are
+    /// identical to the serial per-candidate loop at every thread count.
+    #[test]
+    fn refine_parents_matches_per_candidate_loop(seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let n = 2 + (seed as usize * 13) % 260;
+        let rows = 1 + (seed as usize) % 50;
+        let min_support = (seed as usize) % 4;
+        let masks: Vec<BitSet> = (0..rows).map(|_| random_mask(&mut rng, n, 0.4)).collect();
+        let matrix = MaskMatrix::from_bitsets(n, masks.iter().cloned());
+        let parent_sets: Vec<BitSet> =
+            (0..4).map(|_| random_mask(&mut rng, n, 0.7)).collect();
+        let parents_ref: Vec<(&BitSet, usize)> = parent_sets
+            .iter()
+            .map(|ext| (ext, ext.count().saturating_sub(1)))
+            .collect();
+        let allowed =
+            |p: usize, row: usize| !(p * 7 + row * 3 + seed as usize).is_multiple_of(5);
+        let expect = reference_refine(&masks, &parents_ref, allowed, min_support);
+
+        let parents: Vec<ParentSpec<'_>> = parent_sets
+            .iter()
+            .map(|ext| ParentSpec { ext, max_support: ext.count().saturating_sub(1) })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let builder = FrontierBuilder::new(
+                &matrix,
+                FrontierConfig { min_support, threads },
+            );
+            let got = builder.refine_parents(&parents, allowed);
+            prop_assert_eq!(got.len(), expect.len(), "threads={}", threads);
+            for (i, (p, row, support, ext)) in expect.iter().enumerate() {
+                let m = got.meta(i);
+                prop_assert_eq!(m.parent, *p);
+                prop_assert_eq!(m.row, *row);
+                prop_assert_eq!(m.support, *support);
+                prop_assert_eq!(&got.child_bitset(i), ext, "threads={}", threads);
+            }
+        }
+    }
+
+    /// Extension-hash dedup after (possibly parallel) refinement keeps
+    /// exactly the children a serial generate-and-dedup loop keeps.
+    #[test]
+    fn dedup_is_thread_invariant(seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+        let n = 40 + (seed as usize) % 100;
+        // Few distinct masks repeated: plenty of duplicate extensions.
+        let base: Vec<BitSet> = (0..3).map(|_| random_mask(&mut rng, n, 0.5)).collect();
+        let masks: Vec<BitSet> = (0..12).map(|j| base[j % 3].clone()).collect();
+        let matrix = MaskMatrix::from_bitsets(n, masks.clone());
+        let parent_sets: Vec<BitSet> = (0..3).map(|_| random_mask(&mut rng, n, 0.8)).collect();
+        let parents: Vec<ParentSpec<'_>> = parent_sets
+            .iter()
+            .map(|ext| ParentSpec { ext, max_support: n })
+            .collect();
+
+        // Extension-hash dedup over the child indices, keyed by the packed
+        // extension words.
+        let deduped = |threads: usize| {
+            let builder = FrontierBuilder::new(
+                &matrix,
+                FrontierConfig { min_support: 0, threads },
+            );
+            let children = builder.refine_parents(&parents, |_, _| true);
+            let mut seen = HashSet::new();
+            let kept = dedup_in_order(
+                0..children.len(),
+                |&i| children.child_words(i).to_vec(),
+                &mut seen,
+            );
+            kept.into_iter()
+                .map(|i| (children.meta(i), children.child_bitset(i)))
+                .collect::<Vec<_>>()
+        };
+        let serial = deduped(1);
+        for threads in [2usize, 4] {
+            let got = deduped(threads);
+            prop_assert_eq!(got.len(), serial.len(), "threads={}", threads);
+            for ((am, ae), (bm, be)) in got.iter().zip(&serial) {
+                prop_assert_eq!((am.parent, am.row), (bm.parent, bm.row));
+                prop_assert_eq!(ae, be);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Search-level parity: the refactored strategies against the pre-refactor
+// serial generation path.
+// ----------------------------------------------------------------------
+
+/// Canonical intention key, replicated from the search crate's dedup so the
+/// reference loop below matches the pre-refactor code exactly.
+fn intention_key(intention: &Intention) -> Vec<(usize, u8, u64)> {
+    let mut key: Vec<(usize, u8, u64)> = intention
+        .conditions()
+        .iter()
+        .map(|c| match c.op {
+            ConditionOp::Ge(t) => (c.attr, 0u8, t.to_bits()),
+            ConditionOp::Le(t) => (c.attr, 1u8, t.to_bits()),
+            ConditionOp::Eq(l) => (c.attr, 2u8, u64::from(l)),
+        })
+        .collect();
+    key.sort_unstable();
+    key
+}
+
+/// The pre-refactor beam: serial per-candidate generation (`BitSet::and`
+/// per (parent, condition) pair, condition masks evaluated into a plain
+/// `Vec<BitSet>`), the same structural filters and dedup, scoring through
+/// the engine, the same top-k and level-selection rules.
+fn reference_beam(
+    data: &Dataset,
+    model: &BackgroundModel,
+    cfg: &BeamConfig,
+) -> (Vec<LocationPattern>, usize) {
+    let ev = Evaluator::gaussian(data, model, cfg.dl, EvalConfig::default());
+    let conditions = generate_conditions(data, &cfg.refine);
+    let condition_exts: Vec<BitSet> = conditions.iter().map(|c| c.evaluate(data)).collect();
+    let max_cov =
+        ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
+    let mut top: Vec<LocationPattern> = Vec::new();
+    let mut evaluated = 0usize;
+    let mut seen: HashSet<Vec<(usize, u8, u64)>> = HashSet::new();
+    let mut frontier: Vec<(Intention, BitSet)> = vec![(Intention::empty(), BitSet::full(data.n()))];
+    for _depth in 1..=cfg.max_depth {
+        let mut batch: Vec<Candidate> = Vec::new();
+        for (parent_intent, parent_ext) in &frontier {
+            for (cidx, cond) in conditions.iter().enumerate() {
+                if parent_intent.conflicts_with(cond) {
+                    continue;
+                }
+                let ext = parent_ext.and(&condition_exts[cidx]);
+                let m = ext.count();
+                if m < cfg.min_coverage || m > max_cov || m == parent_ext.count() {
+                    continue;
+                }
+                let child_intent = parent_intent.with(*cond);
+                if !seen.insert(intention_key(&child_intent)) {
+                    continue;
+                }
+                batch.push(Candidate {
+                    intention: child_intent,
+                    ext,
+                });
+            }
+        }
+        let scored = ev.score_all(&batch);
+        evaluated += scored.len();
+        let mut level: Vec<(Intention, BitSet, f64)> = Vec::with_capacity(scored.len());
+        for s in scored {
+            level.push((s.intention.clone(), s.ext.clone(), s.score.si));
+            let p = s.into_pattern();
+            let pos = top.partition_point(|q| q.score.si >= p.score.si);
+            if pos < cfg.top_k {
+                top.insert(pos, p);
+                top.truncate(cfg.top_k);
+            }
+        }
+        if level.is_empty() {
+            break;
+        }
+        level.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        level.truncate(cfg.width);
+        frontier = level.into_iter().map(|(i, e, _)| (i, e)).collect();
+    }
+    (top, evaluated)
+}
+
+#[test]
+fn beam_search_is_bit_identical_to_the_pre_refactor_path() {
+    let (data, _) = sisd::data::datasets::synthetic_paper(42);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let cfg = BeamConfig {
+        width: 12,
+        max_depth: 3,
+        top_k: 60,
+        ..BeamConfig::default()
+    };
+    let (expect_top, expect_evaluated) = reference_beam(&data, &model, &cfg);
+    for threads in [1usize, 4] {
+        let cfg_t = BeamConfig {
+            eval: EvalConfig::with_threads(threads),
+            ..cfg.clone()
+        };
+        let result = BeamSearch::new(cfg_t).run(&data, &model);
+        assert_eq!(result.evaluated, expect_evaluated, "threads={threads}");
+        assert_eq!(result.top.len(), expect_top.len(), "threads={threads}");
+        for (a, b) in result.top.iter().zip(&expect_top) {
+            assert_eq!(a.extension, b.extension, "threads={threads}");
+            assert_eq!(a.intention, b.intention, "threads={threads}");
+            assert_eq!(
+                a.score.si.to_bits(),
+                b.score.si.to_bits(),
+                "threads={threads}: SI must be bit-identical to the pre-refactor path"
+            );
+        }
+    }
+}
+
+/// A single-target dataset with a planted subgroup, for branch-and-bound.
+fn bb_data(seed: u64, n: usize) -> Dataset {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let flag: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+    let num: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+    let mut targets = Matrix::zeros(n, 1);
+    for i in 0..n {
+        let boost = if flag[i] { 2.0 } else { 0.0 };
+        targets[(i, 0)] = rng.normal() + boost + 0.5 * num[i];
+    }
+    Dataset::new(
+        "bb",
+        vec!["flag".into(), "num".into()],
+        vec![Column::binary(&flag), Column::Numeric(num)],
+        vec!["y".into()],
+        targets,
+    )
+}
+
+#[test]
+fn branch_bound_is_thread_invariant_through_the_frontier() {
+    let data = bb_data(11, 250);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let run = |threads: usize| {
+        branch_bound_search(
+            &data,
+            &model,
+            BranchBoundConfig {
+                max_depth: 3,
+                min_coverage: 5,
+                eval: EvalConfig::with_threads(threads),
+                ..BranchBoundConfig::default()
+            },
+        )
+    };
+    let serial = run(1);
+    let best = serial.best.as_ref().expect("optimum found");
+    let parallel = run(4);
+    assert_eq!(parallel.evaluated, serial.evaluated);
+    assert_eq!(parallel.pruned, serial.pruned);
+    let pbest = parallel.best.as_ref().unwrap();
+    assert_eq!(pbest.extension, best.extension);
+    assert_eq!(pbest.score.si.to_bits(), best.score.si.to_bits());
+}
