@@ -11,9 +11,10 @@
 //! single-core container).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sisd_data::{kernels, BitSet};
+use sisd_data::{kernels, BitSet, ShardPlan};
 use sisd_frontier::{
     ChildBatch, ChildMeta, FrontierBuilder, FrontierConfig, MaskMatrix, ParentSpec,
+    ShardedFrontierBuilder, ShardedMaskMatrix,
 };
 use sisd_stats::Xoshiro256pp;
 use std::hint::black_box;
@@ -129,6 +130,77 @@ fn bench_frontier_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-shard matrices sliced from the workload's full-dataset masks.
+fn sharded_matrix(w: &Workload, shards: usize) -> ShardedMaskMatrix {
+    let plan = ShardPlan::new(N_ROWS, shards);
+    ShardedMaskMatrix::from_parts(
+        plan.clone(),
+        (0..shards)
+            .map(|s| {
+                MaskMatrix::from_bitsets(
+                    plan.shard_len(s),
+                    w.masks.iter().map(|m| m.shard(&plan, s)),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn batched_sharded(w: &Workload, matrix: &ShardedMaskMatrix, threads: usize) -> ChildBatch {
+    let parents: Vec<ParentSpec<'_>> = w
+        .parents
+        .iter()
+        .map(|ext| ParentSpec {
+            ext,
+            max_support: ext.count().saturating_sub(1),
+        })
+        .collect();
+    ShardedFrontierBuilder::new(
+        matrix,
+        FrontierConfig {
+            min_support: MIN_SUPPORT,
+            threads,
+        },
+    )
+    .refine_parents(&parents, |_, _| true)
+}
+
+/// Sharded-vs-unsharded refinement on the same workload (`--shards`
+/// coverage: run `cargo bench --bench bench_frontier -- sharded` to time
+/// only these). S = 1 measures the sharded code path's overhead at the
+/// unsharded layout; S ∈ {2, 4} add the per-shard partial buffers and the
+/// shard-order merge. Parity with the unsharded batch is asserted before
+/// timing.
+fn bench_sharded_frontier_generation(c: &mut Criterion) {
+    let w = workload(17);
+    let reference = batched(&w, 1);
+    let matrices: Vec<(usize, ShardedMaskMatrix)> = [1usize, 2, 4]
+        .iter()
+        .map(|&s| (s, sharded_matrix(&w, s)))
+        .collect();
+    for (s, matrix) in &matrices {
+        let got = batched_sharded(&w, matrix, 1);
+        assert_eq!(got.len(), reference.len(), "shards={s}");
+        for i in 0..reference.len() {
+            assert_eq!(got.meta(i), reference.meta(i), "shards={s}");
+            assert_eq!(got.child_words(i), reference.child_words(i), "shards={s}");
+        }
+    }
+
+    let mut group = c.benchmark_group("frontier_sharded_8192x256x32");
+    group.sample_size(10);
+    group.bench_function("unsharded_threads1", |b| {
+        b.iter(|| batched(black_box(&w), 1).len())
+    });
+    for (s, matrix) in &matrices {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("shards{s}_threads1")),
+            |b| b.iter(|| batched_sharded(black_box(&w), matrix, 1).len()),
+        );
+    }
+    group.finish();
+}
+
 fn bench_and_count_many(c: &mut Criterion) {
     // The count-only kernel in isolation: support counts for one parent
     // against every matrix row, fused vs materialize-then-count.
@@ -169,5 +241,10 @@ fn bench_and_count_many(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_frontier_generation, bench_and_count_many);
+criterion_group!(
+    benches,
+    bench_frontier_generation,
+    bench_sharded_frontier_generation,
+    bench_and_count_many
+);
 criterion_main!(benches);

@@ -8,15 +8,19 @@
 //! w ≈ (0.5704, 0.8214) on (CDU, SPD) with much *smaller* variance than
 //! expected — the parties battle for the same voters.
 
-use sisd_bench::{f2, f3, print_table, section, threads_arg};
+use sisd_bench::{f2, f3, print_table, section, shards_arg, threads_arg};
 use sisd_data::datasets::german_socio_synthetic;
 use sisd_search::{BeamConfig, EvalConfig, Miner, MinerConfig, SphereConfig};
 
 fn main() {
     let threads = threads_arg(1);
+    let shards = shards_arg(1);
     let (data, truth) = german_socio_synthetic(2018);
     section("Figs. 7–8 — socio-economics simulacrum, 3 iterations (2-sparse spread)");
-    println!("candidate evaluation on {threads} thread(s) (--threads N to change)");
+    println!(
+        "candidate evaluation on {threads} thread(s), {shards} row-range shard(s) \
+         (--threads N / --shards S to change; results identical at any setting)"
+    );
     println!(
         "n={} dx={} dy={} (planted: {} eastern districts)",
         data.n(),
@@ -31,7 +35,7 @@ fn main() {
             max_depth: 4,
             top_k: 150,
             min_coverage: 10,
-            eval: EvalConfig::with_threads(threads),
+            eval: EvalConfig::with_threads(threads).with_shards(shards),
             ..BeamConfig::default()
         },
         sphere: SphereConfig::default(),

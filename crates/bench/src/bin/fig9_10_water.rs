@@ -6,15 +6,19 @@
 //! spread direction has *larger* variance than expected, with the weight
 //! concentrated on BOD and KMnO₄ without any sparsity being enforced.
 
-use sisd_bench::{f2, f3, print_table, section, threads_arg};
+use sisd_bench::{f2, f3, print_table, section, shards_arg, threads_arg};
 use sisd_data::datasets::water_quality_synthetic;
 use sisd_search::{BeamConfig, EvalConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
 
 fn main() {
     let threads = threads_arg(1);
+    let shards = shards_arg(1);
     let data = water_quality_synthetic(2018);
     section("Figs. 9–10 — water-quality simulacrum: location + full-sphere spread");
-    println!("candidate evaluation on {threads} thread(s) (--threads N to change)");
+    println!(
+        "candidate evaluation on {threads} thread(s), {shards} row-range shard(s) \
+         (--threads N / --shards S to change; results identical at any setting)"
+    );
     println!(
         "n={} bioindicators={} chemical targets={}",
         data.n(),
@@ -29,7 +33,7 @@ fn main() {
             top_k: 150,
             min_coverage: 30,
             refine: RefineConfig::default(),
-            eval: EvalConfig::with_threads(threads),
+            eval: EvalConfig::with_threads(threads).with_shards(shards),
             ..BeamConfig::default()
         },
         sphere: SphereConfig {

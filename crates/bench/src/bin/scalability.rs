@@ -5,9 +5,11 @@
 //! of data points and controlled by the beam parameters. This harness
 //! subsamples the crime simulacrum at several sizes and reports wall-clock
 //! per search, plus the speedup of the engine's multi-threaded candidate
-//! evaluator. `--threads N` (default 4) sets the parallel worker count.
+//! evaluator. `--threads N` (default 4) sets the parallel worker count;
+//! `--shards S` (default 1) runs every search through the row-range
+//! sharded pipeline (results are bit-identical at any setting).
 
-use sisd_bench::{print_table, section, threads_arg};
+use sisd_bench::{print_table, section, shards_arg, threads_arg};
 use sisd_data::datasets::crime_synthetic;
 use sisd_data::{BitSet, Column, Dataset};
 use sisd_linalg::Matrix;
@@ -46,6 +48,7 @@ fn head(data: &Dataset, n: usize) -> Dataset {
 
 fn main() {
     let threads = threads_arg(4);
+    let shards = shards_arg(1);
     let full = crime_synthetic(2018);
     section("Scalability — beam runtime vs n (crime simulacrum, width 40, depth 2)");
 
@@ -54,17 +57,18 @@ fn main() {
         max_depth: 2,
         top_k: 50,
         min_coverage: 10,
+        eval: EvalConfig::default().with_shards(shards),
         ..BeamConfig::default()
     };
     let cfg_parallel = BeamConfig {
-        eval: EvalConfig::with_threads(threads),
+        eval: EvalConfig::with_threads(threads).with_shards(shards),
         ..cfg.clone()
     };
 
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
-    println!("available parallelism: {cores} core(s); --threads {threads}");
+    println!("available parallelism: {cores} core(s); --threads {threads}; --shards {shards}");
 
     let mut rows = Vec::new();
     for &n in &[250usize, 500, 1000, 1994] {

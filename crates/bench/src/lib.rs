@@ -56,38 +56,61 @@ pub fn print_tsv(tag: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("#end {tag}");
 }
 
+/// Parses a `--<name> N` flag from the process arguments (also accepts
+/// `--<name>=N`), defaulting to `default`.
+///
+/// # Panics
+/// Panics when the value is missing, non-numeric, or zero — silently
+/// rewriting a requested count would misreport the measurement.
+fn positive_flag_arg(name: &str, default: usize) -> usize {
+    let parse_positive = |v: &str| -> usize {
+        match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("--{name} needs a positive integer, got '{v}'"),
+        }
+    };
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let args: Vec<String> = std::env::args().collect();
+    let mut value = default;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == flag {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--{name} needs a positive integer"));
+            value = parse_positive(v);
+            i += 2;
+            continue;
+        }
+        if let Some(v) = args[i].strip_prefix(&prefix) {
+            value = parse_positive(v);
+        }
+        i += 1;
+    }
+    value
+}
+
 /// Parses a `--threads N` flag from the process arguments (also accepts
 /// `--threads=N`), defaulting to `default`. The value is wired into the
 /// search engine's `EvalConfig`; results are identical at any setting.
 ///
 /// # Panics
-/// Panics when the value is missing, non-numeric, or zero — silently
-/// rewriting a requested thread count would misreport the measurement.
+/// Panics when the value is missing, non-numeric, or zero.
 pub fn threads_arg(default: usize) -> usize {
-    fn parse_positive(v: &str) -> usize {
-        match v.parse() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("--threads needs a positive integer, got '{v}'"),
-        }
-    }
-    let args: Vec<String> = std::env::args().collect();
-    let mut threads = default;
-    let mut i = 1;
-    while i < args.len() {
-        if args[i] == "--threads" {
-            let v = args
-                .get(i + 1)
-                .unwrap_or_else(|| panic!("--threads needs a positive integer"));
-            threads = parse_positive(v);
-            i += 2;
-            continue;
-        }
-        if let Some(v) = args[i].strip_prefix("--threads=") {
-            threads = parse_positive(v);
-        }
-        i += 1;
-    }
-    threads
+    positive_flag_arg("threads", default)
+}
+
+/// Parses a `--shards N` flag from the process arguments (also accepts
+/// `--shards=N`), defaulting to `default`. The value sets the engine's
+/// row-range shard count (`EvalConfig::shards`); results are bit-identical
+/// at any setting — the flag exists to exercise and measure the sharded
+/// execution path.
+///
+/// # Panics
+/// Panics when the value is missing, non-numeric, or zero.
+pub fn shards_arg(default: usize) -> usize {
+    positive_flag_arg("shards", default)
 }
 
 /// Two-decimal formatting shorthand.

@@ -7,15 +7,40 @@
 //! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
 //! and the [`criterion_group!`] / [`criterion_main!`] macros — with a small
 //! fixed-iteration timer that reports the median wall-clock time per
-//! iteration. Numbers are indicative, not statistically rigorous; swap the
-//! workspace `criterion` dependency back to crates.io for real measurements.
+//! iteration. Positional CLI arguments act as criterion-style substring
+//! filters on `group/id` paths (`cargo bench --bench bench_frontier --
+//! sharded` times only the sharded variants). Numbers are indicative, not
+//! statistically rigorous; swap the workspace `criterion` dependency back
+//! to crates.io for real measurements.
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Number of timed samples per benchmark. Each sample runs the closure once
 /// after a single warm-up call.
 const SAMPLES: usize = 10;
+
+/// Substring filters parsed from the bench binary's CLI, criterion-style:
+/// every non-flag argument is a filter, and a benchmark runs when its
+/// `group/id` path contains any filter (all benchmarks run when no filter
+/// is given). So `cargo bench --bench bench_frontier -- sharded` times
+/// only the sharded variants. Flags (arguments starting with `-`, e.g.
+/// the `--bench` cargo appends) are ignored.
+fn filters() -> &'static [String] {
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
+fn selected(path: &str) -> bool {
+    let fs = filters();
+    fs.is_empty() || fs.iter().any(|f| path.contains(f))
+}
 
 /// Entry point handed to every benchmark function.
 #[derive(Debug, Default)]
@@ -26,9 +51,10 @@ pub struct Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        println!("group: {name}");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
+            header_printed: false,
             sample_size: SAMPLES,
         }
     }
@@ -38,7 +64,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), SAMPLES, &mut f);
+        let id = id.to_string();
+        if selected(&id) {
+            run_one(&id, SAMPLES, &mut f);
+        }
         self
     }
 }
@@ -46,6 +75,8 @@ impl Criterion {
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
+    header_printed: bool,
     sample_size: usize,
 }
 
@@ -56,12 +87,25 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Prints the group header before the first selected benchmark, so
+    /// fully filtered-out groups stay silent.
+    fn header(&mut self) {
+        if !self.header_printed {
+            println!("group: {}", self.name);
+            self.header_printed = true;
+        }
+    }
+
     /// Benchmarks `f` under the given id.
     pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), self.sample_size, &mut f);
+        let id = id.to_string();
+        if selected(&format!("{}/{id}", self.name)) {
+            self.header();
+            run_one(&id, self.sample_size, &mut f);
+        }
         self
     }
 
@@ -76,9 +120,11 @@ impl BenchmarkGroup<'_> {
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&id.to_string(), self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        let id = id.to_string();
+        if selected(&format!("{}/{id}", self.name)) {
+            self.header();
+            run_one(&id, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        }
         self
     }
 

@@ -12,6 +12,10 @@
 //! * [`kernels`] — word-level fused AND/popcount primitives over bitset
 //!   word slices, the substrate of the `sisd-frontier` batched refinement
 //!   kernels,
+//! * [`shard`] — word-aligned row-range sharding: [`ShardPlan`] partitions
+//!   the row space so bitset words never straddle shards,
+//!   [`ShardedDataset`] carries per-shard column/target views, and
+//!   [`BitSet::concat_words`] merges shard-local masks back bit-exactly,
 //! * [`csv`] — a small CSV loader/writer,
 //! * [`datasets`] — seeded generators for the paper's synthetic data and
 //!   simulacra of its three real datasets.
@@ -22,9 +26,11 @@ pub mod csv;
 pub mod datasets;
 pub mod discretize;
 pub mod kernels;
+pub mod shard;
 pub mod table;
 
 pub use bitset::BitSet;
 pub use column::Column;
 pub use discretize::{discretize, discretize_attribute, Binning};
+pub use shard::{ShardPlan, ShardedDataset};
 pub use table::Dataset;

@@ -78,7 +78,7 @@ pub struct ChildBatch {
 }
 
 impl ChildBatch {
-    fn with_shape(n: usize, stride: usize) -> Self {
+    pub(crate) fn with_shape(n: usize, stride: usize) -> Self {
         Self {
             n,
             stride,
@@ -123,7 +123,7 @@ impl ChildBatch {
         BitSet::from_words(self.child_words(i).to_vec(), self.n)
     }
 
-    fn push(&mut self, meta: ChildMeta, child_words: &[u64]) {
+    pub(crate) fn push(&mut self, meta: ChildMeta, child_words: &[u64]) {
         self.meta.push(meta);
         self.words.extend_from_slice(child_words);
     }
@@ -138,12 +138,12 @@ impl ChildBatch {
 /// rows, so a single wide parent (e.g. the root of a level-1 beam) still
 /// splits across workers. Small enough to parallelize short condition
 /// languages, large enough that an item amortizes its scheduling.
-const BLOCK_ROWS: usize = 32;
+pub(crate) const BLOCK_ROWS: usize = 32;
 
 /// Smallest number of work items worth a worker thread: spawning and
 /// joining a scoped thread costs tens of microseconds, so small frontiers
 /// run inline regardless of the configured thread count.
-const MIN_ITEMS_PER_WORKER: usize = 2;
+pub(crate) const MIN_ITEMS_PER_WORKER: usize = 2;
 
 /// Smallest kernel workload (words ANDed) worth a worker thread. The
 /// fused kernels stream several words per nanosecond, so a worker must
@@ -152,7 +152,7 @@ const MIN_ITEMS_PER_WORKER: usize = 2;
 /// branch-and-bound's per-node refinement (one parent against a small
 /// language) stays single-threaded at any configured thread count — its
 /// parallelism lives in `score_all`, not here.
-const MIN_WORDS_PER_WORKER: usize = 1 << 15;
+pub(crate) const MIN_WORDS_PER_WORKER: usize = 1 << 15;
 
 /// The batched refinement engine over one [`MaskMatrix`]. Cheap to
 /// construct (three words); build one wherever a search holds a matrix.

@@ -27,6 +27,14 @@
 //!   materialized as a `BitSet` ([`ChildBatch::child_bitset`]), after
 //!   downstream filters like dedup have had their say.
 //!
+//! Row-range sharding ([`sharded`]) layers one more axis on top: a
+//! [`ShardedMaskMatrix`] keeps one matrix per word-aligned shard of a
+//! [`sisd_data::ShardPlan`], and [`ShardedFrontierBuilder`] /
+//! [`MaskStore`] refine over `(parent, shard, row-block)` items whose
+//! per-shard counts and child words merge in shard order — exact integer
+//! sums and exact word concatenation, so the sharded batch is
+//! bit-identical to the unsharded one at any shard count.
+//!
 //! # Determinism contract
 //!
 //! [`FrontierBuilder::refine_parents`] returns children ordered by
@@ -37,13 +45,16 @@
 //! [`dedup_in_order`], top-k selection, batch scoring through
 //! `sisd-search`'s evaluator) therefore behave as if the search were
 //! single-threaded, mirroring the `Evaluator::score_all` contract one
-//! layer up.
+//! layer up. [`ShardedFrontierBuilder::refine_parents`] extends the same
+//! contract across shard counts.
 
 pub mod builder;
 pub mod matrix;
+pub mod sharded;
 
 pub use builder::{
     dedup_in_order, refine_block, ChildBatch, ChildMeta, FrontierBuilder, FrontierConfig,
     ParentSpec,
 };
 pub use matrix::MaskMatrix;
+pub use sharded::{MaskStore, ShardedFrontierBuilder, ShardedMaskMatrix};

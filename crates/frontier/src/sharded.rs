@@ -1,0 +1,515 @@
+//! Row-range-sharded mask matrices and frontier refinement.
+//!
+//! The shard-aware half of the frontier subsystem: a [`ShardedMaskMatrix`]
+//! keeps one [`MaskMatrix`] **per shard** of a word-aligned
+//! [`ShardPlan`], and a [`ShardedFrontierBuilder`] refines frontier
+//! parents against those per-shard matrices over `(parent, shard,
+//! row-block)` work items. Each shard's kernels touch only that shard's
+//! words — the shape that lets shards live in separate allocations today
+//! and out-of-core or on other nodes later — and the merge recombines the
+//! per-shard partials **in shard order**:
+//!
+//! * a child's support is the sum of its per-shard intersection counts
+//!   (exact integers, so the sum equals the unsharded popcount), and
+//! * a child's extension words are the concatenation of its per-shard
+//!   words (exact by the plan's word-alignment invariant).
+//!
+//! The emitted [`ChildBatch`] is therefore **bit-identical** to what the
+//! unsharded [`FrontierBuilder`] emits over the equivalent whole-dataset
+//! matrix — same children, same `(parent, row)` order, same words — at
+//! any thread count *and any shard count*, `S = 1` included. Unlike the
+//! unsharded path, the support filters cannot run inside the per-shard
+//! kernels (no shard knows the total count), so rejected candidates cost
+//! their per-shard partial words until the merge; the filters still run
+//! before any child is materialized as a [`BitSet`].
+
+use crate::builder::{BLOCK_ROWS, MIN_ITEMS_PER_WORKER, MIN_WORDS_PER_WORKER};
+use crate::matrix::MaskMatrix;
+use crate::{ChildBatch, ChildMeta, FrontierBuilder, FrontierConfig, ParentSpec};
+use sisd_core::Condition;
+use sisd_data::shard::ShardPlan;
+use sisd_data::{kernels, BitSet, Dataset, ShardedDataset};
+
+/// One condition bit-matrix per row-range shard.
+///
+/// Matrix rows are condition indices exactly as in [`MaskMatrix`]; shard
+/// `s`'s matrix holds each condition's mask restricted to
+/// `plan.row_range(s)`. Concatenating row `j` across shards in shard
+/// order reproduces the unsharded mask of condition `j` bit for bit.
+#[derive(Debug, Clone)]
+pub struct ShardedMaskMatrix {
+    plan: ShardPlan,
+    shards: Vec<MaskMatrix>,
+    rows: usize,
+}
+
+impl ShardedMaskMatrix {
+    /// Evaluates every condition on every shard view — the sharded
+    /// counterpart of [`MaskMatrix::evaluate`]. Each shard's evaluation
+    /// touches only that shard's rows.
+    pub fn evaluate(data: &ShardedDataset, conditions: &[Condition]) -> Self {
+        Self::from_parts(
+            data.plan().clone(),
+            (0..data.shards())
+                .map(|s| MaskMatrix::evaluate(data.shard(s), conditions))
+                .collect(),
+        )
+    }
+
+    /// [`ShardedMaskMatrix::evaluate`] building each shard view
+    /// transiently — slice one row range, evaluate its masks, drop the
+    /// view — so the extra memory is bounded by **one** shard's rows
+    /// instead of a full second copy of the dataset. The entry point for
+    /// searches, which only retain the masks.
+    pub fn evaluate_transient(data: &Dataset, shards: usize, conditions: &[Condition]) -> Self {
+        let plan = ShardPlan::new(data.n(), shards);
+        let parts = (0..plan.shards())
+            .map(|s| MaskMatrix::evaluate(&data.slice_rows(plan.row_range(s)), conditions))
+            .collect();
+        Self::from_parts(plan, parts)
+    }
+
+    /// Wraps pre-built per-shard matrices.
+    ///
+    /// # Panics
+    /// Panics when the matrix count differs from the plan's shard count,
+    /// a shard matrix's capacity differs from its row range, or the
+    /// matrices disagree on the condition count.
+    pub fn from_parts(plan: ShardPlan, shards: Vec<MaskMatrix>) -> Self {
+        assert_eq!(
+            shards.len(),
+            plan.shards(),
+            "ShardedMaskMatrix: {} matrices for {} shards",
+            shards.len(),
+            plan.shards()
+        );
+        let rows = shards.first().map_or(0, MaskMatrix::rows);
+        for (s, m) in shards.iter().enumerate() {
+            assert_eq!(
+                m.n(),
+                plan.shard_len(s),
+                "ShardedMaskMatrix: shard {s} capacity mismatch"
+            );
+            assert_eq!(m.rows(), rows, "ShardedMaskMatrix: shard {s} row count");
+        }
+        Self { plan, shards, rows }
+    }
+
+    /// The row partition the matrices are sharded by.
+    #[inline]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of dataset rows across all shards.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.plan.n()
+    }
+
+    /// Number of condition masks (matrix rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Shard `s`'s matrix.
+    #[inline]
+    pub fn shard(&self, s: usize) -> &MaskMatrix {
+        &self.shards[s]
+    }
+
+    /// Condition `j`'s full-dataset mask, merged from the shards in shard
+    /// order — bit-identical to the unsharded matrix row.
+    pub fn row_bitset(&self, j: usize) -> BitSet {
+        let parts: Vec<BitSet> = self.shards.iter().map(|m| m.row_bitset(j)).collect();
+        BitSet::concat_words(&parts)
+    }
+
+    /// Condition `j`'s full-dataset support: the per-shard popcounts
+    /// summed (exact).
+    pub fn row_count(&self, j: usize) -> usize {
+        self.shards.iter().map(|m| m.row_count(j)).sum()
+    }
+}
+
+/// The sharded refinement engine: [`FrontierBuilder`]'s counterpart over a
+/// [`ShardedMaskMatrix`], emitting bit-identical batches (see the module
+/// docs for the merge contract).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedFrontierBuilder<'m> {
+    matrix: &'m ShardedMaskMatrix,
+    config: FrontierConfig,
+}
+
+/// Per-`(parent, shard, row-block)` partial output: for every allowed row
+/// of the block, the shard-local child words (packed consecutively at the
+/// shard's stride) and intersection count.
+struct ShardPartial {
+    counts: Vec<usize>,
+    words: Vec<u64>,
+}
+
+impl<'m> ShardedFrontierBuilder<'m> {
+    /// A builder over `matrix` with the given filters/threading.
+    pub fn new(matrix: &'m ShardedMaskMatrix, config: FrontierConfig) -> Self {
+        Self { matrix, config }
+    }
+
+    /// The sharded matrix being refined against.
+    pub fn matrix(&self) -> &'m ShardedMaskMatrix {
+        self.matrix
+    }
+
+    /// Refines every parent against every matrix row with
+    /// `allowed(parent_idx, row) == true` — the same contract and the same
+    /// output, bit for bit, as [`FrontierBuilder::refine_parents`] over
+    /// the unsharded matrix, at any thread and shard count.
+    ///
+    /// Parents are full-dataset extensions; their per-shard views are
+    /// zero-copy word slices (the plan's word alignment at work).
+    ///
+    /// # Panics
+    /// Panics when a parent's capacity differs from the plan's row count.
+    pub fn refine_parents<F>(&self, parents: &[ParentSpec<'_>], allowed: F) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+    {
+        let plan = self.matrix.plan();
+        let rows = self.matrix.rows();
+        let nshards = plan.shards();
+        let total_stride = plan.n().div_ceil(sisd_data::bitset::WORD_BITS);
+        for p in parents {
+            assert_eq!(
+                p.ext.len(),
+                plan.n(),
+                "ShardedFrontierBuilder: parent capacity mismatch"
+            );
+        }
+        if parents.is_empty() || rows == 0 {
+            return ChildBatch::with_shape(plan.n(), total_stride);
+        }
+
+        // Phase 1 — per-shard kernels over (parent, shard, row-block)
+        // items, indexed ((p·blocks + b)·S + s) so the merge can address
+        // the S partials of any (parent, block) directly. Chunked over
+        // scoped threads exactly like the unsharded builder; partials are
+        // collected in item order, so scheduling never reorders anything.
+        let blocks = rows.div_ceil(BLOCK_ROWS);
+        let n_items = parents.len() * blocks * nshards;
+        let run_item = |item: usize| -> ShardPartial {
+            let s = item % nshards;
+            let b = (item / nshards) % blocks;
+            let p = item / (nshards * blocks);
+            let matrix = self.matrix.shard(s);
+            let stride = matrix.stride();
+            let parent_words = &parents[p].ext.words()[plan.word_range(s)];
+            let lo = b * BLOCK_ROWS;
+            let hi = rows.min(lo + BLOCK_ROWS);
+            let mut partial = ShardPartial {
+                counts: Vec::with_capacity(hi - lo),
+                words: Vec::with_capacity((hi - lo) * stride),
+            };
+            let mut scratch = vec![0u64; stride];
+            for row in lo..hi {
+                if !allowed(p, row) {
+                    continue;
+                }
+                let count =
+                    kernels::and_into_count(parent_words, matrix.row_words(row), &mut scratch);
+                partial.counts.push(count);
+                partial.words.extend_from_slice(&scratch);
+            }
+            partial
+        };
+        let total_words = parents.len() * rows * total_stride;
+        let workers = self
+            .config
+            .threads
+            .min(n_items / MIN_ITEMS_PER_WORKER)
+            .min(total_words / MIN_WORDS_PER_WORKER)
+            .max(1);
+        let partials: Vec<ShardPartial> = if workers <= 1 {
+            (0..n_items).map(run_item).collect()
+        } else {
+            let chunk_size = n_items.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let lo = w * chunk_size;
+                        let hi = n_items.min(lo + chunk_size);
+                        scope.spawn(move || (lo..hi).map(run_item).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sharded frontier worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Phase 2 — serial merge in (parent, row) order: sum the per-shard
+        // counts, apply the support filters on the *total*, and emit the
+        // shard words concatenated in shard order. This is the only place
+        // that sees whole children, and it visits them in exactly the
+        // serial nested-loop order.
+        let mut out = ChildBatch::with_shape(plan.n(), total_stride);
+        let mut child = vec![0u64; total_stride];
+        for p in 0..parents.len() {
+            for b in 0..blocks {
+                let group = &partials[(p * blocks + b) * nshards..(p * blocks + b + 1) * nshards];
+                let lo = b * BLOCK_ROWS;
+                let hi = rows.min(lo + BLOCK_ROWS);
+                // `allowed` is shard-independent, so every shard's partial
+                // lists the same rows in the same positions.
+                let mut k = 0usize;
+                for row in lo..hi {
+                    if !allowed(p, row) {
+                        continue;
+                    }
+                    let support: usize = group.iter().map(|g| g.counts[k]).sum();
+                    if support >= self.config.min_support && support <= parents[p].max_support {
+                        let mut off = 0usize;
+                        for (s, g) in group.iter().enumerate() {
+                            let stride = self.matrix.shard(s).stride();
+                            child[off..off + stride]
+                                .copy_from_slice(&g.words[k * stride..(k + 1) * stride]);
+                            off += stride;
+                        }
+                        out.push(
+                            ChildMeta {
+                                parent: p,
+                                row,
+                                support,
+                            },
+                            &child,
+                        );
+                    }
+                    k += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A mask store that is either whole-dataset or sharded by row range —
+/// the single entry point searches use, so strategy code stays agnostic
+/// of the layout. Both variants refine through one call and emit
+/// bit-identical [`ChildBatch`]es (the sharded determinism contract).
+#[derive(Debug, Clone)]
+pub enum MaskStore {
+    /// One contiguous whole-dataset matrix.
+    Dense(MaskMatrix),
+    /// Per-shard matrices over a word-aligned row partition.
+    Sharded(ShardedMaskMatrix),
+}
+
+impl MaskStore {
+    /// Evaluates the condition language once, dense for `shards <= 1`,
+    /// sharded otherwise (per-shard dataset views are built and dropped
+    /// one at a time — only the masks are retained, and peak extra memory
+    /// is one shard's rows).
+    pub fn evaluate(data: &Dataset, conditions: &[Condition], shards: usize) -> Self {
+        if shards > 1 {
+            MaskStore::Sharded(ShardedMaskMatrix::evaluate_transient(
+                data, shards, conditions,
+            ))
+        } else {
+            MaskStore::Dense(MaskMatrix::evaluate(data, conditions))
+        }
+    }
+
+    /// Number of condition masks.
+    pub fn rows(&self) -> usize {
+        match self {
+            MaskStore::Dense(m) => m.rows(),
+            MaskStore::Sharded(m) => m.rows(),
+        }
+    }
+
+    /// Number of dataset rows each mask ranges over.
+    pub fn n(&self) -> usize {
+        match self {
+            MaskStore::Dense(m) => m.n(),
+            MaskStore::Sharded(m) => m.n(),
+        }
+    }
+
+    /// Number of row-range shards (1 for the dense layout).
+    pub fn shards(&self) -> usize {
+        match self {
+            MaskStore::Dense(_) => 1,
+            MaskStore::Sharded(m) => m.plan().shards(),
+        }
+    }
+
+    /// Refines `parents` against every allowed mask under `config`,
+    /// dispatching to the layout's builder. Output is bit-identical
+    /// across layouts.
+    pub fn refine_parents<F>(
+        &self,
+        config: FrontierConfig,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+    ) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+    {
+        match self {
+            MaskStore::Dense(m) => FrontierBuilder::new(m, config).refine_parents(parents, allowed),
+            MaskStore::Sharded(m) => {
+                ShardedFrontierBuilder::new(m, config).refine_parents(parents, allowed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisd_stats::Xoshiro256pp;
+
+    fn random_mask(rng: &mut Xoshiro256pp, n: usize, density: f64) -> BitSet {
+        BitSet::from_fn(n, |_| rng.uniform() < density)
+    }
+
+    /// Per-shard matrices sliced from full-dataset masks.
+    fn shard_matrices(masks: &[BitSet], plan: &ShardPlan) -> Vec<MaskMatrix> {
+        (0..plan.shards())
+            .map(|s| {
+                MaskMatrix::from_bitsets(plan.shard_len(s), masks.iter().map(|m| m.shard(plan, s)))
+            })
+            .collect()
+    }
+
+    fn fixture(seed: u64, n: usize, rows: usize) -> (Vec<BitSet>, Vec<BitSet>) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let masks = (0..rows).map(|_| random_mask(&mut rng, n, 0.4)).collect();
+        let parents = (0..4).map(|_| random_mask(&mut rng, n, 0.6)).collect();
+        (masks, parents)
+    }
+
+    #[test]
+    fn sharded_rows_merge_to_the_unsharded_masks() {
+        for &(n, rows) in &[(65usize, 5usize), (128, 8), (300, 40), (64, 3)] {
+            let (masks, _) = fixture(7 + n as u64, n, rows);
+            let dense = MaskMatrix::from_bitsets(n, masks.iter().cloned());
+            for s in [1usize, 2, 3, 7] {
+                let plan = ShardPlan::new(n, s);
+                let sharded =
+                    ShardedMaskMatrix::from_parts(plan.clone(), shard_matrices(&masks, &plan));
+                assert_eq!(sharded.rows(), rows);
+                assert_eq!(sharded.n(), n);
+                for j in 0..rows {
+                    assert_eq!(
+                        sharded.row_bitset(j),
+                        dense.row_bitset(j),
+                        "n={n} s={s} row {j}"
+                    );
+                    assert_eq!(sharded.row_count(j), dense.row_count(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_refinement_is_bit_identical_to_unsharded() {
+        for &(n, rows) in &[(65usize, 7usize), (128, 33), (300, 45), (63, 100)] {
+            let (masks, parent_sets) = fixture(n as u64 * 13 + rows as u64, n, rows);
+            let dense = MaskMatrix::from_bitsets(n, masks.iter().cloned());
+            let parents: Vec<ParentSpec<'_>> = parent_sets
+                .iter()
+                .map(|ext| ParentSpec {
+                    ext,
+                    max_support: ext.count().saturating_sub(1),
+                })
+                .collect();
+            let allowed = |p: usize, row: usize| !(p + 2 * row).is_multiple_of(5);
+            let config = FrontierConfig {
+                min_support: 2,
+                threads: 1,
+            };
+            let expect = FrontierBuilder::new(&dense, config).refine_parents(&parents, allowed);
+            for s in [1usize, 2, 3, 7] {
+                let plan = ShardPlan::new(n, s);
+                let sharded =
+                    ShardedMaskMatrix::from_parts(plan.clone(), shard_matrices(&masks, &plan));
+                for threads in [1usize, 2, 4] {
+                    let got = ShardedFrontierBuilder::new(
+                        &sharded,
+                        FrontierConfig {
+                            min_support: 2,
+                            threads,
+                        },
+                    )
+                    .refine_parents(&parents, allowed);
+                    assert_eq!(got.len(), expect.len(), "n={n} s={s} t={threads}");
+                    for i in 0..expect.len() {
+                        assert_eq!(got.meta(i), expect.meta(i), "n={n} s={s} t={threads}");
+                        assert_eq!(
+                            got.child_words(i),
+                            expect.child_words(i),
+                            "n={n} s={s} t={threads} child {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_parents_rows_or_shards_are_handled() {
+        let plan = ShardPlan::new(100, 7); // trailing shards empty
+        let sharded = ShardedMaskMatrix::from_parts(plan.clone(), shard_matrices(&[], &plan));
+        let builder = ShardedFrontierBuilder::new(&sharded, FrontierConfig::default());
+        assert!(builder.refine_parents(&[], |_, _| true).is_empty());
+        let full = BitSet::full(100);
+        let parents = [ParentSpec {
+            ext: &full,
+            max_support: 100,
+        }];
+        assert!(builder.refine_parents(&parents, |_, _| true).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_shard_capacity_rejected() {
+        let plan = ShardPlan::new(100, 2);
+        let bad = vec![
+            MaskMatrix::from_bitsets(64, std::iter::once(BitSet::full(64))),
+            MaskMatrix::from_bitsets(10, std::iter::once(BitSet::full(10))),
+        ];
+        ShardedMaskMatrix::from_parts(plan, bad);
+    }
+
+    #[test]
+    fn mask_store_dispatch_is_layout_invariant() {
+        let (masks, parent_sets) = fixture(99, 200, 24);
+        let dense = MaskMatrix::from_bitsets(200, masks.iter().cloned());
+        let parents: Vec<ParentSpec<'_>> = parent_sets
+            .iter()
+            .map(|ext| ParentSpec {
+                ext,
+                max_support: 200,
+            })
+            .collect();
+        let config = FrontierConfig {
+            min_support: 1,
+            threads: 2,
+        };
+        let expect = MaskStore::Dense(dense).refine_parents(config, &parents, |_, _| true);
+        let plan = ShardPlan::new(200, 3);
+        let store = MaskStore::Sharded(ShardedMaskMatrix::from_parts(
+            plan.clone(),
+            shard_matrices(&masks, &plan),
+        ));
+        assert_eq!(store.shards(), 3);
+        let got = store.refine_parents(config, &parents, |_, _| true);
+        assert_eq!(got.len(), expect.len());
+        for i in 0..expect.len() {
+            assert_eq!(got.meta(i), expect.meta(i));
+            assert_eq!(got.child_words(i), expect.child_words(i));
+        }
+    }
+}

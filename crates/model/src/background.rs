@@ -287,6 +287,29 @@ impl BackgroundModel {
         out
     }
 
+    /// [`BackgroundModel::cell_counts`] aggregated from per-shard partial
+    /// counts: each shard contributes the intersection count of its own
+    /// word range (a zero-copy slice on both sides, by the plan's
+    /// word-alignment invariant), and the per-shard counts are summed.
+    /// Counts are exact integers, so the signature is **identical** to
+    /// the unsharded one for any shard count — no part of the statistics
+    /// query ever touches a whole-dataset mask traversal.
+    pub fn cell_counts_sharded(
+        &self,
+        ext: &BitSet,
+        plan: &sisd_data::ShardPlan,
+    ) -> Vec<(usize, usize)> {
+        assert_eq!(plan.n(), self.n, "cell_counts_sharded: plan row count");
+        let mut out = Vec::new();
+        for (idx, cell) in self.cells.iter().enumerate() {
+            let c = sisd_data::shard::sharded_intersection_count(&cell.ext, ext, plan);
+            if c > 0 {
+                out.push((idx, c));
+            }
+        }
+        out
+    }
+
     // ------------------------------------------------------------------
     // Statistics queries (used by SI evaluation — hot path)
     // ------------------------------------------------------------------

@@ -154,17 +154,78 @@ impl BinaryBackgroundModel {
         self.cells = out;
     }
 
+    /// Indices and in-extension counts of cells intersecting `ext` — the
+    /// cell-count signature, mirroring
+    /// [`crate::BackgroundModel::cell_counts`].
+    pub fn cell_counts(&self, ext: &BitSet) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (idx, cell) in self.cells.iter().enumerate() {
+            let c = cell.ext.intersection_count(ext);
+            if c > 0 {
+                out.push((idx, c));
+            }
+        }
+        out
+    }
+
+    /// [`BinaryBackgroundModel::cell_counts`] aggregated from per-shard
+    /// partial counts (zero-copy word slices per shard, summed — exact
+    /// integers, identical to the unsharded signature for any shard
+    /// count).
+    pub fn cell_counts_sharded(
+        &self,
+        ext: &BitSet,
+        plan: &sisd_data::ShardPlan,
+    ) -> Vec<(usize, usize)> {
+        assert_eq!(plan.n(), self.n, "cell_counts_sharded: plan row count");
+        let mut out = Vec::new();
+        for (idx, cell) in self.cells.iter().enumerate() {
+            let c = sisd_data::shard::sharded_intersection_count(&cell.ext, ext, plan);
+            if c > 0 {
+                out.push((idx, c));
+            }
+        }
+        out
+    }
+
     /// Expected subgroup mean and its normal-approximation sd for an
-    /// arbitrary candidate extension.
+    /// arbitrary candidate extension. Streams the cells without building
+    /// a signature vector — the allocation-free unsharded hot path.
     pub fn location_stats(&self, ext: &BitSet) -> Result<BinaryLocationStats, ModelError> {
+        self.stats_from_counts(
+            self.cells
+                .iter()
+                .enumerate()
+                .map(|(g, cell)| (g, cell.ext.intersection_count(ext)))
+                .filter(|&(_, c)| c > 0),
+        )
+    }
+
+    /// [`BinaryBackgroundModel::location_stats`] over a precomputed
+    /// cell-count signature (from [`BinaryBackgroundModel::cell_counts`]
+    /// or its sharded counterpart, on this model in its current state).
+    /// Cells are visited in ascending index order either way, so the
+    /// accumulated statistics are bit-identical to the extension-based
+    /// query.
+    pub fn location_stats_for_counts(
+        &self,
+        counts: &[(usize, usize)],
+    ) -> Result<BinaryLocationStats, ModelError> {
+        self.stats_from_counts(counts.iter().copied())
+    }
+
+    /// The shared accumulation over `(cell index, count)` pairs in
+    /// ascending cell order — both entry points feed the same fold, so
+    /// their results are bit-identical.
+    fn stats_from_counts(
+        &self,
+        counts: impl Iterator<Item = (usize, usize)>,
+    ) -> Result<BinaryLocationStats, ModelError> {
         let mut m = 0usize;
         let mut mean = vec![0.0; self.dy];
         let mut var = vec![0.0; self.dy];
-        for cell in &self.cells {
-            let c = cell.ext.intersection_count(ext);
-            if c == 0 {
-                continue;
-            }
+        for (g, c) in counts {
+            let cell = &self.cells[g];
             m += c;
             for j in 0..self.dy {
                 mean[j] += c as f64 * cell.p[j];
@@ -198,13 +259,37 @@ impl BinaryBackgroundModel {
             });
         }
         let stats = self.location_stats(ext)?;
+        Ok(Self::ic_of_stats(&stats, observed))
+    }
+
+    /// [`BinaryBackgroundModel::location_ic`] over a precomputed
+    /// cell-count signature — the sharded evaluation entry point: the
+    /// signature comes from per-shard partial counts and the IC never
+    /// needs the materialized extension.
+    pub fn location_ic_for_counts(
+        &self,
+        counts: &[(usize, usize)],
+        observed: &[f64],
+    ) -> Result<f64, ModelError> {
+        if observed.len() != self.dy {
+            return Err(ModelError::Dimension {
+                expected: self.dy,
+                got: observed.len(),
+            });
+        }
+        let stats = self.location_stats_for_counts(counts)?;
+        Ok(Self::ic_of_stats(&stats, observed))
+    }
+
+    /// The shared IC formula over already-computed statistics.
+    fn ic_of_stats(stats: &BinaryLocationStats, observed: &[f64]) -> f64 {
         let mut ic = 0.0;
         for ((obs, mean), sd) in observed.iter().zip(&stats.mean).zip(&stats.sd) {
             let z = (obs - mean) / sd;
             ic += 0.5 * (2.0 * std::f64::consts::PI).ln() + sd.ln() + 0.5 * z * z;
         }
         // −log density → the per-attribute log-sd terms enter negatively.
-        Ok(ic)
+        ic
     }
 
     /// Assimilates a location pattern: tilts covered rows' log-odds so the

@@ -30,7 +30,7 @@ use crate::refine::{generate_conditions, RefineConfig};
 use crate::EvalConfig;
 use sisd_core::{Condition, DlParams, Intention, LocationPattern};
 use sisd_data::{BitSet, Dataset};
-use sisd_frontier::{FrontierBuilder, FrontierConfig, MaskMatrix, ParentSpec};
+use sisd_frontier::{FrontierConfig, MaskStore, ParentSpec};
 use sisd_model::BackgroundModel;
 
 /// Branch-and-bound configuration.
@@ -79,9 +79,10 @@ pub struct BranchBoundResult {
 struct Searcher<'a> {
     data: &'a Dataset,
     conditions: Vec<Condition>,
-    /// All condition masks, evaluated once and packed contiguously; every
-    /// node's children are generated from its rows via `sisd-frontier`.
-    matrix: MaskMatrix,
+    /// All condition masks, evaluated once (contiguously, or per row-range
+    /// shard when `cfg.eval.shards > 1`); every node's children are
+    /// generated from its rows via `sisd-frontier`.
+    store: MaskStore,
     y: Vec<f64>,
     mu: f64,
     sigma2: f64,
@@ -156,18 +157,17 @@ impl<'a> Searcher<'a> {
         }
         // Generate the node's children through the batched frontier
         // kernels (mask AND + popcount + coverage filters in one fused
-        // pass over the bit-matrix), then score them as one batch through
+        // pass over the bit-matrix — per shard, merged in shard order,
+        // when sharding is on), then score them as one owned batch through
         // the engine (parallel when `cfg.eval.threads > 1`; identical
-        // results either way). Exact scores don't depend on the incumbent,
-        // so batching before the in-order best/recurse sweep visits exactly
-        // the nodes the one-at-a-time search visited.
-        let builder = FrontierBuilder::new(
-            &self.matrix,
-            FrontierConfig {
-                min_support: self.cfg.min_coverage.max(1),
-                threads: self.cfg.eval.threads,
-            },
-        );
+        // results either way; extensions move into the scored results
+        // instead of being cloned). Exact scores don't depend on the
+        // incumbent, so batching before the in-order best/recurse sweep
+        // visits exactly the nodes the one-at-a-time search visited.
+        let frontier_cfg = FrontierConfig {
+            min_support: self.cfg.min_coverage.max(1),
+            threads: self.cfg.eval.threads,
+        };
         // A child covering as many rows as its (non-root) parent is the
         // same extension with a strictly longer description: dominated,
         // and its subtree is a subset of this node's subtree.
@@ -176,9 +176,11 @@ impl<'a> Searcher<'a> {
         } else {
             ext.count().saturating_sub(1)
         };
-        let children = builder.refine_parents(&[ParentSpec { ext, max_support }], |_, row| {
-            row >= first_cond && !intention.conflicts_with(&self.conditions[row])
-        });
+        let children = self.store.refine_parents(
+            frontier_cfg,
+            &[ParentSpec { ext, max_support }],
+            |_, row| row >= first_cond && !intention.conflicts_with(&self.conditions[row]),
+        );
         let mut child_first_cond: Vec<usize> = Vec::with_capacity(children.len());
         let mut batch: Vec<Candidate> = Vec::with_capacity(children.len());
         for i in 0..children.len() {
@@ -189,7 +191,7 @@ impl<'a> Searcher<'a> {
                 ext: children.child_bitset(i),
             });
         }
-        let scored = ev.try_score_all(&batch);
+        let scored = ev.try_score_all_owned(batch);
         for (next_cond, maybe) in child_first_cond.into_iter().zip(scored) {
             let Some(s) = maybe else { continue };
             self.evaluated += 1;
@@ -222,12 +224,12 @@ pub fn branch_bound_search(
     let mu = model.row_mean(0)[0];
     let sigma2 = model.row_cov(0)[(0, 0)];
     let conditions = generate_conditions(data, &cfg.refine);
-    let matrix = MaskMatrix::evaluate(data, &conditions);
+    let store = MaskStore::evaluate(data, &conditions, cfg.eval.shards.max(1));
     let ev = Evaluator::gaussian(data, model, cfg.dl, cfg.eval);
     let mut s = Searcher {
         data,
         conditions,
-        matrix,
+        store,
         y: data.target_col(0),
         mu,
         sigma2,

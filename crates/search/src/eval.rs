@@ -33,8 +33,8 @@ use sisd_core::{
     location_ic_of_stats, spread_si, Condition, ConditionOp, Intention, LocationPattern,
     LocationScore, SisdResult, SpreadScore,
 };
-use sisd_data::{BitSet, Dataset};
-use sisd_frontier::{FrontierBuilder, FrontierConfig, MaskMatrix, ParentSpec};
+use sisd_data::{BitSet, Dataset, ShardPlan};
+use sisd_frontier::{FrontierConfig, MaskStore, ParentSpec};
 use sisd_model::{BackgroundModel, BinaryBackgroundModel, FactorCache, ModelError};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,11 +49,20 @@ pub struct EvalConfig {
     /// Worker threads for batch candidate evaluation. `1` keeps scoring on
     /// the calling thread; results are identical either way.
     pub threads: usize,
+    /// Row-range shards for mask construction, frontier refinement, and
+    /// statistics aggregation. `1` keeps the whole-dataset layout; any
+    /// `S > 1` runs the pipeline per word-aligned shard and merges in
+    /// shard order, with results **bit-identical** to the unsharded path
+    /// at any shard count.
+    pub shards: usize,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            shards: 1,
+        }
     }
 }
 
@@ -62,7 +71,16 @@ impl EvalConfig {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            shards: 1,
         }
+    }
+
+    /// Sets the row-range shard count (floored at 1). Results are
+    /// identical at any value; the knob exercises the sharded execution
+    /// path end to end.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -124,6 +142,11 @@ pub struct Evaluator<'a> {
     data: &'a Dataset,
     dl: sisd_core::DlParams,
     threads: usize,
+    /// `Some` when the engine aggregates statistics per row-range shard
+    /// (`EvalConfig::shards > 1`): cell counts sum exact per-shard word
+    /// slices, and float accumulators fold shard by shard in shard order,
+    /// so every score is bit-identical to the unsharded path.
+    plan: Option<ShardPlan>,
     backend: Backend<'a>,
     /// Batch-scored candidates dropped for a reason *other* than an empty
     /// extension — i.e. numeric model breakdown (`BadPrior`). Zero in
@@ -143,6 +166,7 @@ impl<'a> Evaluator<'a> {
             data,
             dl,
             threads: cfg.threads.max(1),
+            plan: (cfg.shards > 1).then(|| ShardPlan::new(data.n(), cfg.shards)),
             backend: Backend::Gaussian {
                 model,
                 cache: FactorCache::new(),
@@ -163,6 +187,7 @@ impl<'a> Evaluator<'a> {
             data,
             dl,
             threads: cfg.threads.max(1),
+            plan: (cfg.shards > 1).then(|| ShardPlan::new(data.n(), cfg.shards)),
             backend: Backend::Bernoulli { model },
             numeric_failures: AtomicUsize::new(0),
         }
@@ -181,6 +206,12 @@ impl<'a> Evaluator<'a> {
     /// Worker threads used by [`Evaluator::score_all`].
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Row-range shard count of the statistics aggregation (1 when
+    /// unsharded).
+    pub fn shards(&self) -> usize {
+        self.plan.as_ref().map_or(1, ShardPlan::shards)
     }
 
     /// Candidates dropped from batch scoring for a reason other than an
@@ -234,7 +265,60 @@ impl<'a> Evaluator<'a> {
                 return mean;
             }
         }
-        self.data.target_mean(ext)
+        self.fallback_mean(ext)
+    }
+
+    /// The row-scan observed mean, aggregated per shard when the engine is
+    /// sharded. The sharded fold visits rows in exactly the unsharded
+    /// ascending order (see `Dataset::target_mean_sharded`), so the two
+    /// are bit-identical.
+    fn fallback_mean(&self, ext: &BitSet) -> Vec<f64> {
+        match &self.plan {
+            Some(plan) => self.data.target_mean_sharded(ext, plan),
+            None => self.data.target_mean(ext),
+        }
+    }
+
+    /// Observed mean and SI breakdown of one candidate of the given
+    /// description arity — the scoring core shared by the borrowing and
+    /// owning entry points. When the engine is sharded, the cell-count
+    /// signature is summed from per-shard word slices and the row-scan
+    /// mean folds shard by shard; both reproduce the unsharded bits
+    /// exactly.
+    fn score_parts(&self, arity: usize, ext: &BitSet) -> SisdResult<(Vec<f64>, LocationScore)> {
+        if ext.count() == 0 {
+            return Err(ModelError::EmptyExtension.into());
+        }
+        let dl = self.dl.location_dl(arity);
+        let (observed_mean, ic) = match &self.backend {
+            Backend::Gaussian { model, cache, .. } => {
+                let counts = match &self.plan {
+                    Some(plan) => model.cell_counts_sharded(ext, plan),
+                    None => model.cell_counts(ext),
+                };
+                let observed = self.observed_mean(ext, &counts);
+                let stats = model.location_stats_for_counts(&counts, &observed, Some(cache))?;
+                let ic = location_ic_of_stats(&stats, model.dy());
+                (observed, ic)
+            }
+            Backend::Bernoulli { model } => {
+                let observed = self.fallback_mean(ext);
+                let ic = match &self.plan {
+                    Some(plan) => model
+                        .location_ic_for_counts(&model.cell_counts_sharded(ext, plan), &observed)?,
+                    None => model.location_ic(ext, &observed)?,
+                };
+                (observed, ic)
+            }
+        };
+        Ok((
+            observed_mean,
+            LocationScore {
+                ic,
+                dl,
+                si: ic / dl,
+            },
+        ))
     }
 
     /// Scores one location candidate through the same IC formula as
@@ -244,34 +328,33 @@ impl<'a> Evaluator<'a> {
     /// summation order than `Dataset::target_mean`. Bit-identity is
     /// guaranteed *within* the engine at any thread count.
     pub fn score_location(&self, intention: &Intention, ext: &BitSet) -> SisdResult<Scored> {
-        if ext.count() == 0 {
-            return Err(ModelError::EmptyExtension.into());
-        }
-        let dl = self.dl.location_dl(intention.len());
-        let (observed_mean, ic) = match &self.backend {
-            Backend::Gaussian { model, cache, .. } => {
-                let counts = model.cell_counts(ext);
-                let observed = self.observed_mean(ext, &counts);
-                let stats = model.location_stats_for_counts(&counts, &observed, Some(cache))?;
-                let ic = location_ic_of_stats(&stats, model.dy());
-                (observed, ic)
-            }
-            Backend::Bernoulli { model } => {
-                let observed = self.data.target_mean(ext);
-                let ic = model.location_ic(ext, &observed)?;
-                (observed, ic)
-            }
-        };
+        let (observed_mean, score) = self.score_parts(intention.len(), ext)?;
         Ok(Scored {
             intention: intention.clone(),
             ext: ext.clone(),
             observed_mean,
-            score: LocationScore {
-                ic,
-                dl,
-                si: ic / dl,
-            },
+            score,
         })
+    }
+
+    /// [`Evaluator::score_location`] taking the candidate by value: the
+    /// intention and extension **move** into the returned [`Scored`]
+    /// (and onward into the [`LocationPattern`]) instead of being cloned
+    /// per result — an extension materialized once from a frontier batch
+    /// is the same heap allocation the final pattern carries.
+    fn score_owned(&self, candidate: Candidate) -> Option<Scored> {
+        match self.score_parts(candidate.intention.len(), &candidate.ext) {
+            Ok((observed_mean, score)) => Some(Scored {
+                intention: candidate.intention,
+                ext: candidate.ext,
+                observed_mean,
+                score,
+            }),
+            Err(e) => {
+                self.note_failure(&e);
+                None
+            }
+        }
     }
 
     /// Scores a spread candidate (direction `w`, centred on the subgroup's
@@ -345,6 +428,60 @@ impl<'a> Evaluator<'a> {
     /// preserved) — the shape level-wise searches consume.
     pub fn score_all(&self, candidates: &[Candidate]) -> Vec<Scored> {
         self.try_score_all(candidates)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// [`Evaluator::try_score_all`] taking the batch by value: every
+    /// candidate's intention and extension **move** into its `Scored` slot
+    /// instead of being cloned (same scores, same order, same threading
+    /// contract). This is the batch boundary fix for the frontier arena:
+    /// a dedup-surviving extension is allocated once when it leaves the
+    /// `ChildBatch` and that allocation is the one the final
+    /// `LocationPattern` owns.
+    pub fn try_score_all_owned(&self, candidates: Vec<Candidate>) -> Vec<Option<Scored>> {
+        let workers = self.threads.min(candidates.len().div_ceil(Self::MIN_CHUNK));
+        if workers <= 1 {
+            return candidates
+                .into_iter()
+                .map(|c| self.score_owned(c))
+                .collect();
+        }
+        // Split the owned batch into contiguous per-worker chunks (struct
+        // moves, no deep copies), score on scoped threads, merge in chunk
+        // order — the exact plan of the borrowing path.
+        let chunk_size = candidates.len().div_ceil(workers);
+        let mut parts: Vec<Vec<Candidate>> = Vec::with_capacity(workers);
+        let mut rest = candidates;
+        while rest.len() > chunk_size {
+            let tail = rest.split_off(chunk_size);
+            parts.push(rest);
+            rest = tail;
+        }
+        parts.push(rest);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.into_iter()
+                            .map(|c| self.score_owned(c))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        })
+    }
+
+    /// [`Evaluator::try_score_all_owned`] with failed candidates dropped
+    /// (order preserved).
+    pub fn score_all_owned(&self, candidates: Vec<Candidate>) -> Vec<Scored> {
+        self.try_score_all_owned(candidates)
             .into_iter()
             .flatten()
             .collect()
@@ -438,6 +575,15 @@ pub(crate) struct BeamLevelsOutcome {
 /// reaches a conjunction first), score the whole level as one batch
 /// through the engine, keep the `width` best as the next frontier.
 ///
+/// With `ev.shards() > 1` the mask matrix is built per row-range shard and
+/// refinement runs over `(parent, shard, row-block)` items merged in shard
+/// order; statistics aggregate from per-shard partials inside the engine.
+/// The search result is bit-identical at any shard count.
+///
+/// Dedup-surviving extensions are materialized **once** from the frontier
+/// batch and move through scoring into the final patterns (owned batch
+/// evaluation); only the `width` next-frontier parents are cloned.
+///
 /// The wall-clock budget is honoured during both phases of a level:
 /// candidate *generation* checks it between frontier-parent slices, and
 /// batch *scoring* checks it between bounded slices (one thread-round of
@@ -452,16 +598,14 @@ pub(crate) fn run_beam_levels(
 ) -> BeamLevelsOutcome {
     let data = ev.data();
     let conditions = generate_conditions(data, &cfg.refine);
-    // Every condition mask, evaluated once for the whole search and packed
-    // into one contiguous arena; levels and strategies reuse the rows.
-    let matrix = MaskMatrix::evaluate(data, &conditions);
-    let builder = FrontierBuilder::new(
-        &matrix,
-        FrontierConfig {
-            min_support: cfg.min_coverage,
-            threads: ev.threads(),
-        },
-    );
+    // Every condition mask, evaluated once for the whole search — one
+    // contiguous arena, or one arena per row-range shard when the engine
+    // is sharded; levels and strategies reuse the rows either way.
+    let store = MaskStore::evaluate(data, &conditions, ev.shards());
+    let frontier_cfg = FrontierConfig {
+        min_support: cfg.min_coverage,
+        threads: ev.threads(),
+    };
     let max_cov =
         ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
 
@@ -512,7 +656,7 @@ pub(crate) fn run_beam_levels(
         match cfg.time_budget {
             // No budget: one batch, maximally parallel.
             None => {
-                let children = builder.refine_parents(&parents, allowed);
+                let children = store.refine_parents(frontier_cfg, &parents, allowed);
                 push_children(&children, 0, &mut batch, &mut seen);
             }
             // Budgeted: refine in slices of one thread-round of parents so
@@ -526,42 +670,58 @@ pub(crate) fn run_beam_levels(
                         break;
                     }
                     let base = s * slice;
-                    let children = builder.refine_parents(chunk, |p, row| allowed(base + p, row));
+                    let children =
+                        store.refine_parents(frontier_cfg, chunk, |p, row| allowed(base + p, row));
                     push_children(&children, base, &mut batch, &mut seen);
                 }
             }
         }
         let scored = match cfg.time_budget {
-            // No budget: one batch, maximally parallel.
-            None => ev.score_all(&batch),
+            // No budget: one batch, maximally parallel. Owned scoring:
+            // each keeper's extension moves through to its pattern.
+            None => ev.score_all_owned(batch),
             // Budgeted: score in slices sized to one full thread-round so
             // the elapsed check runs between slices; a slice, once
             // submitted, completes (bounded overshoot).
             Some(budget) => {
                 let slice = (ev.threads() * Evaluator::MIN_CHUNK).max(64);
                 let mut out = Vec::with_capacity(batch.len());
-                for chunk in batch.chunks(slice) {
+                let mut rest = batch;
+                while !rest.is_empty() {
                     if start.elapsed() > budget {
                         timed_out = true;
                         break;
                     }
-                    out.extend(ev.score_all(chunk));
+                    let tail = rest.split_off(rest.len().min(slice));
+                    out.extend(ev.score_all_owned(rest));
+                    rest = tail;
                 }
                 out
             }
         };
         evaluated += scored.len();
-        let mut level: Vec<(Intention, BitSet, f64)> = Vec::with_capacity(scored.len());
+        // Select the next frontier before the scored level moves into the
+        // top-k log: a stable index sort by SI descending reproduces the
+        // old sort-the-level order exactly (ties keep scored order), and
+        // only the `width` keepers pay an (intention, extension) clone.
+        let mut next: Vec<(Intention, BitSet)> = Vec::new();
+        let done = timed_out || scored.is_empty();
+        if !done {
+            let mut order: Vec<usize> = (0..scored.len()).collect();
+            order.sort_by(|&a, &b| scored[b].score.si.partial_cmp(&scored[a].score.si).unwrap());
+            order.truncate(cfg.width);
+            next = order
+                .iter()
+                .map(|&i| (scored[i].intention.clone(), scored[i].ext.clone()))
+                .collect();
+        }
         for s in scored {
-            level.push((s.intention.clone(), s.ext.clone(), s.score.si));
             top.push(s.into_pattern());
         }
-        if timed_out || level.is_empty() {
+        if done {
             break;
         }
-        level.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
-        level.truncate(cfg.width);
-        frontier = level.into_iter().map(|(i, e, _)| (i, e)).collect();
+        frontier = next;
     }
 
     BeamLevelsOutcome {
@@ -640,6 +800,96 @@ mod tests {
                 assert_eq!(a.score.ic.to_bits(), b.score.ic.to_bits(), "t={threads}");
                 assert_eq!(a.score.si.to_bits(), b.score.si.to_bits(), "t={threads}");
                 assert_eq!(a.observed_mean, b.observed_mean);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let (data, mut model) = fixture();
+        // Heterogeneous cells so the sharded signature path is non-trivial.
+        let half = BitSet::from_indices(data.n(), 0..data.n() / 2);
+        let mean = data.target_mean(&half);
+        model.assimilate_location(&half, mean).unwrap();
+        let cands = candidates(&data, 40);
+        let serial = {
+            let ev = Evaluator::gaussian(&data, &model, DlParams::default(), EvalConfig::default());
+            ev.score_all(&cands)
+        };
+        for shards in [1usize, 2, 3, 7] {
+            let ev = Evaluator::gaussian(
+                &data,
+                &model,
+                DlParams::default(),
+                EvalConfig::default().with_shards(shards),
+            );
+            assert_eq!(ev.shards(), shards);
+            let got = ev.score_all(&cands);
+            assert_eq!(got.len(), serial.len());
+            for (a, b) in got.iter().zip(&serial) {
+                assert_eq!(a.score.ic.to_bits(), b.score.ic.to_bits(), "s={shards}");
+                assert_eq!(a.score.si.to_bits(), b.score.si.to_bits(), "s={shards}");
+                assert_eq!(a.observed_mean, b.observed_mean, "s={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn owned_scoring_moves_the_extension_allocation() {
+        let (data, model) = fixture();
+        let ev = Evaluator::gaussian(&data, &model, DlParams::default(), EvalConfig::default());
+        let cands = candidates(&data, 5);
+        let batch = cands.clone();
+        let ptrs: Vec<*const u64> = batch.iter().map(|c| c.ext.words().as_ptr()).collect();
+        let scored = ev.score_all_owned(batch);
+        assert_eq!(scored.len(), 5);
+        // The owned results carry the same scores as the borrowing path.
+        let borrowed = ev.score_all(&cands);
+        for (a, b) in scored.iter().zip(&borrowed) {
+            assert_eq!(a.score.si.to_bits(), b.score.si.to_bits());
+        }
+        // The extension buffer moves untouched from candidate to scored
+        // result to user-facing pattern: one allocation end to end.
+        for (s, (c, ptr)) in scored.into_iter().zip(cands.iter().zip(&ptrs)) {
+            assert_eq!(s.ext, c.ext, "same extension value");
+            assert_eq!(
+                s.ext.words().as_ptr(),
+                *ptr,
+                "owned scoring must move the extension's heap buffer, not clone it"
+            );
+            let p = s.into_pattern();
+            assert_eq!(p.extension.words().as_ptr(), *ptr);
+        }
+    }
+
+    #[test]
+    fn owned_scoring_matches_borrowed_across_threads_and_failures() {
+        let (data, model) = fixture();
+        let mut cands = candidates(&data, 40);
+        cands[7].ext = BitSet::empty(data.n()); // one failing slot
+        for threads in [1usize, 3] {
+            let ev = Evaluator::gaussian(
+                &data,
+                &model,
+                DlParams::default(),
+                EvalConfig::with_threads(threads),
+            );
+            let owned = ev.try_score_all_owned(cands.clone());
+            let borrowed = ev.try_score_all(&cands);
+            assert_eq!(owned.len(), borrowed.len());
+            for (i, (a, b)) in owned.iter().zip(&borrowed).enumerate() {
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(
+                            x.score.si.to_bits(),
+                            y.score.si.to_bits(),
+                            "t={threads} i={i}"
+                        );
+                        assert_eq!(x.ext, y.ext);
+                    }
+                    (None, None) => assert_eq!(i, 7, "only the empty extension may fail"),
+                    _ => panic!("owned/borrowed disagree at slot {i} (threads={threads})"),
+                }
             }
         }
     }

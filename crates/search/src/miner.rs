@@ -46,7 +46,15 @@ impl MinerConfig {
     /// evaluates candidates on that many threads, with results identical
     /// to the single-threaded search.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.beam.eval = EvalConfig::with_threads(threads);
+        self.beam.eval = EvalConfig::with_threads(threads).with_shards(self.beam.eval.shards);
+        self
+    }
+
+    /// Sets the engine's row-range shard count; every search this miner
+    /// runs builds masks, refines frontiers, and aggregates statistics per
+    /// shard, with results bit-identical to the unsharded search.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.beam.eval = self.beam.eval.with_shards(shards);
         self
     }
 }

@@ -1,0 +1,134 @@
+//! Allocation accounting for the batch-scoring boundary.
+//!
+//! PR 3 left one known copy at the `ChildBatch` → `LocationPattern` seam:
+//! scored candidates cloned their extension (and intention) into each
+//! result. The owned scoring path (`Evaluator::score_all_owned`) moves
+//! them instead, so a dedup-surviving extension is heap-allocated exactly
+//! once — when it leaves the frontier arena — and that allocation is the
+//! one the final pattern owns. This test pins the fix with a counting
+//! global allocator: scoring an owned batch must perform at least one
+//! fewer allocation per candidate (the extension buffer clone) than the
+//! borrowing path, which still clones for its callers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A pass-through allocator that counts allocations and allocated bytes.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn counted<T>(f: impl FnOnce() -> T) -> (T, usize, usize) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    let out = f();
+    (
+        out,
+        ALLOCS.load(Ordering::Relaxed) - a0,
+        BYTES.load(Ordering::Relaxed) - b0,
+    )
+}
+
+use sisd::core::{DlParams, Intention};
+use sisd::data::datasets::synthetic_paper;
+use sisd::data::BitSet;
+use sisd::model::BackgroundModel;
+use sisd::search::{Candidate, EvalConfig, Evaluator};
+use sisd::stats::Xoshiro256pp;
+
+fn batch(n: usize, k: usize) -> Vec<Candidate> {
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    (0..k)
+        .map(|_| Candidate {
+            intention: Intention::empty(),
+            ext: BitSet::from_indices(n, rng.sample_indices(n, 40)),
+        })
+        .collect()
+}
+
+#[test]
+fn owned_scoring_saves_one_extension_allocation_per_candidate() {
+    let (data, _) = synthetic_paper(42);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let ev = Evaluator::gaussian(&data, &model, DlParams::default(), EvalConfig::default());
+    const K: usize = 64;
+    let cands = batch(data.n(), K);
+
+    // Warm every lazy structure (per-cell factors, per-cell target sums)
+    // so the measured passes differ only in how they treat the candidate.
+    let warm = ev.score_all(&cands);
+    assert_eq!(warm.len(), K);
+
+    let ext_words = data.n().div_ceil(64);
+    let ext_bytes = ext_words * std::mem::size_of::<u64>();
+
+    // Minimum over three passes per path: one-off allocator effects (a
+    // hash-map resize landing inside one window) only ever *add* counts,
+    // so the minimum is the clean per-pass profile.
+    let min3 = |mut pass: Box<dyn FnMut() -> (usize, usize)>| -> (usize, usize) {
+        let mut best = (usize::MAX, usize::MAX);
+        for _ in 0..3 {
+            let (a, b) = pass();
+            best = (best.0.min(a), best.1.min(b));
+        }
+        best
+    };
+
+    // Borrowing path: clones each candidate's extension into its result.
+    let borrowed = ev.score_all(&cands);
+    assert_eq!(borrowed.len(), K);
+    let (borrowed_allocs, borrowed_bytes) = min3(Box::new(|| {
+        let (out, a, b) = counted(|| ev.score_all(&cands));
+        assert_eq!(out.len(), K);
+        (a, b)
+    }));
+
+    // Owned path: moves each candidate's extension into its result. The
+    // clone of the input batch is made *outside* the counted region.
+    let owned = ev.score_all_owned(cands.clone());
+    for (a, b) in owned.iter().zip(&borrowed) {
+        assert_eq!(a.score.si.to_bits(), b.score.si.to_bits());
+    }
+    let (owned_allocs, owned_bytes) = min3(Box::new(|| {
+        let input = cands.clone();
+        let (out, a, b) = counted(|| ev.score_all_owned(input));
+        assert_eq!(out.len(), K);
+        (a, b)
+    }));
+
+    // Identical scoring work, minus one extension-buffer clone per
+    // candidate (intentions here are empty and clone without allocating).
+    assert!(
+        owned_allocs + K <= borrowed_allocs,
+        "owned scoring must save ≥1 allocation per candidate: \
+         owned={owned_allocs}, borrowed={borrowed_allocs}, K={K}"
+    );
+    assert!(
+        owned_bytes + K * ext_bytes <= borrowed_bytes,
+        "owned scoring must save the extension bytes: \
+         owned={owned_bytes}, borrowed={borrowed_bytes}, per-ext={ext_bytes}"
+    );
+}
+
+// (The no-copy property is additionally pinned pointer-precisely by
+// `owned_scoring_moves_the_extension_allocation` in the eval unit tests:
+// the scored result and final pattern hold the candidate's original heap
+// buffer. Comparative counting here + pointer identity there avoids
+// exact-equality assertions on global allocation counts, which jitter
+// with randomized hash-map resize timing.)
