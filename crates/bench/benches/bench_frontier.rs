@@ -1,14 +1,19 @@
 //! Frontier-generation throughput: the batched `sisd-frontier` refinement
-//! (contiguous bit-matrix, fused AND+popcount kernels, allocation only for
-//! surviving children) against the per-candidate `BitSet::and` + `count`
-//! loop it replaced, on a dense synthetic workload shaped like a wide beam
-//! level: 32 frontier parents × 256 condition masks over 8192 rows, with a
-//! support floor that keeps roughly half the children.
+//! (contiguous bit-matrix, fused AND+popcount kernels, count-first
+//! two-pass split, allocation only for surviving children) against the
+//! per-candidate `BitSet::and` + `count` loop it replaced and against the
+//! single-pass (PR 4) builder, on a dense synthetic workload shaped like a
+//! wide beam level: 32 frontier parents × 256 condition masks over 8192
+//! rows, with a support floor that keeps roughly half the children — the
+//! rejected half is exactly what count-first refinement never
+//! materializes.
 //!
-//! Both paths produce identical children (asserted before timing); the
-//! thread variants are bit-identical by the frontier determinism contract
-//! and bounded by the machine's available parallelism (coincident on a
-//! single-core container).
+//! All paths produce identical children (asserted before timing — these
+//! asserts double as CI's cheap end-to-end parity gate, see the
+//! bench-parity smoke step in the workflow); the thread variants are
+//! bit-identical by the frontier determinism contract and bounded by the
+//! machine's available parallelism (coincident on a single-core
+//! container).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sisd_data::{kernels, BitSet, ShardPlan};
@@ -96,6 +101,28 @@ fn batched(w: &Workload, threads: usize) -> ChildBatch {
     .refine_parents(&parents, |_, _| true)
 }
 
+/// The PR 4 single-pass builder on the same workload (fused AND + store +
+/// popcount for every candidate, filters inline) — the baseline the
+/// count-first split is measured against.
+fn batched_single_pass(w: &Workload, threads: usize) -> ChildBatch {
+    let parents: Vec<ParentSpec<'_>> = w
+        .parents
+        .iter()
+        .map(|ext| ParentSpec {
+            ext,
+            max_support: ext.count().saturating_sub(1),
+        })
+        .collect();
+    FrontierBuilder::new(
+        &w.matrix,
+        FrontierConfig {
+            min_support: MIN_SUPPORT,
+            threads,
+        },
+    )
+    .refine_parents_single_pass(&parents, |_, _| true)
+}
+
 fn assert_identical(a: &ChildBatch, b: &[(ChildMeta, BitSet)]) {
     assert_eq!(a.len(), b.len(), "child counts differ");
     for (i, (meta, ext)) in b.iter().enumerate() {
@@ -114,12 +141,16 @@ fn bench_frontier_generation(c: &mut Criterion) {
     );
     for threads in [1usize, 2, 4] {
         assert_identical(&batched(&w, threads), &reference);
+        assert_identical(&batched_single_pass(&w, threads), &reference);
     }
 
     let mut group = c.benchmark_group("frontier_generation_8192x256x32");
     group.sample_size(10);
     group.bench_function("per_candidate_and_loop", |b| {
         b.iter(|| per_candidate_loop(black_box(&w)).len())
+    });
+    group.bench_function("single_pass_threads1", |b| {
+        b.iter(|| batched_single_pass(black_box(&w), 1).len())
     });
     for &threads in &[1usize, 2, 4] {
         group.bench_function(
@@ -165,12 +196,40 @@ fn batched_sharded(w: &Workload, matrix: &ShardedMaskMatrix, threads: usize) -> 
     .refine_parents(&parents, |_, _| true)
 }
 
+/// The PR 4 single-pass sharded builder (per-shard words buffered for
+/// every candidate until the merge) — the baseline whose 1.7–2× sharding
+/// penalty count-first refinement removes.
+fn batched_sharded_single_pass(
+    w: &Workload,
+    matrix: &ShardedMaskMatrix,
+    threads: usize,
+) -> ChildBatch {
+    let parents: Vec<ParentSpec<'_>> = w
+        .parents
+        .iter()
+        .map(|ext| ParentSpec {
+            ext,
+            max_support: ext.count().saturating_sub(1),
+        })
+        .collect();
+    ShardedFrontierBuilder::new(
+        matrix,
+        FrontierConfig {
+            min_support: MIN_SUPPORT,
+            threads,
+        },
+    )
+    .refine_parents_single_pass(&parents, |_, _| true)
+}
+
 /// Sharded-vs-unsharded refinement on the same workload (`--shards`
 /// coverage: run `cargo bench --bench bench_frontier -- sharded` to time
 /// only these). S = 1 measures the sharded code path's overhead at the
-/// unsharded layout; S ∈ {2, 4} add the per-shard partial buffers and the
-/// shard-order merge. Parity with the unsharded batch is asserted before
-/// timing.
+/// unsharded layout; S ∈ {2, 4} add the per-shard count partials and the
+/// shard-order merge; the `single_pass_shards4` row keeps the PR 4
+/// buffer-everything baseline on the books. Parity of every timed path
+/// with the unsharded count-first batch is asserted before timing — CI
+/// runs this group once per push as a cheap end-to-end parity gate.
 fn bench_sharded_frontier_generation(c: &mut Criterion) {
     let w = workload(17);
     let reference = batched(&w, 1);
@@ -179,11 +238,15 @@ fn bench_sharded_frontier_generation(c: &mut Criterion) {
         .map(|&s| (s, sharded_matrix(&w, s)))
         .collect();
     for (s, matrix) in &matrices {
-        let got = batched_sharded(&w, matrix, 1);
-        assert_eq!(got.len(), reference.len(), "shards={s}");
-        for i in 0..reference.len() {
-            assert_eq!(got.meta(i), reference.meta(i), "shards={s}");
-            assert_eq!(got.child_words(i), reference.child_words(i), "shards={s}");
+        for got in [
+            batched_sharded(&w, matrix, 1),
+            batched_sharded_single_pass(&w, matrix, 1),
+        ] {
+            assert_eq!(got.len(), reference.len(), "shards={s}");
+            for i in 0..reference.len() {
+                assert_eq!(got.meta(i), reference.meta(i), "shards={s}");
+                assert_eq!(got.child_words(i), reference.child_words(i), "shards={s}");
+            }
         }
     }
 
@@ -198,6 +261,13 @@ fn bench_sharded_frontier_generation(c: &mut Criterion) {
             |b| b.iter(|| batched_sharded(black_box(&w), matrix, 1).len()),
         );
     }
+    let (_, m4) = matrices
+        .iter()
+        .find(|(s, _)| *s == 4)
+        .expect("shard list must include S = 4 for the single-pass baseline row");
+    group.bench_function("single_pass_shards4", |b| {
+        b.iter(|| batched_sharded_single_pass(black_box(&w), m4, 1).len())
+    });
     group.finish();
 }
 

@@ -43,6 +43,16 @@ fn and_into_count_body(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
     count
 }
 
+/// Portable fused AND-store body without the popcount — the pass-2
+/// (materialize-only) twin of [`and_into_count_body`], for callers that
+/// already know the intersection count from a count-only pass.
+#[inline(always)]
+fn and_into_body(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((x, y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        *o = x & y;
+    }
+}
+
 /// Portable block body: one fused count per arena row (see
 /// [`and_count_many`] for the layout contract, asserted by the caller).
 #[inline(always)]
@@ -50,6 +60,28 @@ fn and_count_many_body(parent: &[u64], block: &[u64], counts: &mut [usize]) {
     let stride = parent.len();
     for (row, c) in block.chunks_exact(stride).zip(counts.iter_mut()) {
         *c = and_count_body(parent, row);
+    }
+}
+
+/// Portable selective block body: fused counts for the rows with
+/// `select[j] == true`, leaving the other `counts` entries untouched (see
+/// [`and_count_many_select`]).
+#[inline(always)]
+fn and_count_many_select_body(
+    parent: &[u64],
+    block: &[u64],
+    select: &[bool],
+    counts: &mut [usize],
+) {
+    let stride = parent.len();
+    for ((row, sel), c) in block
+        .chunks_exact(stride)
+        .zip(select)
+        .zip(counts.iter_mut())
+    {
+        if *sel {
+            *c = and_count_body(parent, row);
+        }
     }
 }
 
@@ -78,17 +110,47 @@ mod x86 {
     /// # Safety
     /// See [`and_count`].
     #[target_feature(enable = "avx2,popcnt")]
+    pub(super) unsafe fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+        super::and_into_body(a, b, out)
+    }
+
+    /// # Safety
+    /// See [`and_count`].
+    #[target_feature(enable = "avx2,popcnt")]
     pub(super) unsafe fn and_count_many(parent: &[u64], block: &[u64], counts: &mut [usize]) {
         super::and_count_many_body(parent, block, counts)
     }
 
-    /// Cached CPU-feature probe (an atomic load after the first call).
-    /// Both features the twins enable are verified — every AVX2 CPU ships
-    /// POPCNT, but a hypervisor can mask CPUID bits independently, and the
-    /// `target_feature` safety contract wants each one checked.
+    /// # Safety
+    /// See [`and_count`].
+    #[target_feature(enable = "avx2,popcnt")]
+    pub(super) unsafe fn and_count_many_select(
+        parent: &[u64],
+        block: &[u64],
+        select: &[bool],
+        counts: &mut [usize],
+    ) {
+        super::and_count_many_select_body(parent, block, select, counts)
+    }
+
+    /// The detection result, probed exactly once per process. The std
+    /// macro caches its own CPUID probe, but still pays two atomic loads
+    /// plus bit tests per call; memoizing the combined answer here makes
+    /// the hot-path dispatch a single `OnceLock` read.
+    pub(super) static AVX2_POPCNT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+    /// The uncached probe backing [`AVX2_POPCNT`]. Both features the twins
+    /// enable are verified — every AVX2 CPU ships POPCNT, but a hypervisor
+    /// can mask CPUID bits independently, and the `target_feature` safety
+    /// contract wants each one checked.
+    pub(super) fn detect() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+    }
+
+    /// Cached CPU-feature probe: one `OnceLock` read after the first call.
     #[inline(always)]
     pub(super) fn avx2() -> bool {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+        *AVX2_POPCNT.get_or_init(detect)
     }
 }
 
@@ -129,6 +191,29 @@ pub fn and_into_count(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
     and_into_count_body(a, b, out)
 }
 
+/// `out = a & b` without the popcount — the pass-2 materialization kernel
+/// for callers that already know the intersection count from a count-only
+/// pass ([`and_count_many`] / [`and_count_many_select`]) and only need the
+/// surviving child's words written.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    assert_eq!(a.len(), b.len(), "kernels::and_into: length mismatch");
+    assert_eq!(
+        a.len(),
+        out.len(),
+        "kernels::and_into: output length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2() {
+        // SAFETY: AVX2 support verified by the cached runtime probe.
+        unsafe { x86::and_into(a, b, out) };
+        return;
+    }
+    and_into_body(a, b, out)
+}
+
 /// Batched `popcount(parent & row)` over a contiguous block of rows.
 ///
 /// `block` is a row-major arena of `counts.len()` rows of `parent.len()`
@@ -157,6 +242,47 @@ pub fn and_count_many(parent: &[u64], block: &[u64], counts: &mut [usize]) {
         return;
     }
     and_count_many_body(parent, block, counts)
+}
+
+/// [`and_count_many`] restricted to the rows with `select[j] == true`:
+/// fused AND+popcounts for the selected rows of the block, **without
+/// writing any child words** and without touching the `counts` entries of
+/// deselected rows. This is the pass-1 (count-only) kernel of count-first
+/// frontier refinement — a whole block of (parent × mask) support counts
+/// streams through the cache with no store traffic at all, so candidates
+/// that a support filter or bound predicate will reject never materialize
+/// anything.
+///
+/// # Panics
+/// Panics if `block.len() != parent.len() * counts.len()` or
+/// `select.len() != counts.len()`.
+pub fn and_count_many_select(parent: &[u64], block: &[u64], select: &[bool], counts: &mut [usize]) {
+    let stride = parent.len();
+    assert_eq!(
+        block.len(),
+        stride * counts.len(),
+        "kernels::and_count_many_select: block length mismatch"
+    );
+    assert_eq!(
+        select.len(),
+        counts.len(),
+        "kernels::and_count_many_select: select length mismatch"
+    );
+    if stride == 0 {
+        for (c, &sel) in counts.iter_mut().zip(select) {
+            if sel {
+                *c = 0;
+            }
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2() {
+        // SAFETY: AVX2 support verified by the cached runtime probe.
+        unsafe { x86::and_count_many_select(parent, block, select, counts) };
+        return;
+    }
+    and_count_many_select_body(parent, block, select, counts)
 }
 
 #[cfg(test)]
@@ -239,11 +365,70 @@ mod tests {
     }
 
     #[test]
+    fn and_into_matches_and_into_count() {
+        for len in [1usize, 63, 64, 65, 200, 777] {
+            let a = BitSet::from_words(words(11, len.div_ceil(64)), len);
+            let b = BitSet::from_words(words(12, len.div_ceil(64)), len);
+            let mut store_only = vec![0u64; a.words().len()];
+            let mut counted = vec![0u64; a.words().len()];
+            and_into(a.words(), b.words(), &mut store_only);
+            and_into_count(a.words(), b.words(), &mut counted);
+            assert_eq!(store_only, counted, "len={len}");
+            assert_eq!(store_only, a.and(&b).words(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn and_count_many_select_counts_only_selected_rows() {
+        let len = 300usize;
+        let stride = len.div_ceil(64);
+        let parent = BitSet::from_words(words(6, stride), len);
+        let rows: Vec<BitSet> = (0..17)
+            .map(|r| BitSet::from_words(words(200 + r, stride), len))
+            .collect();
+        let block: Vec<u64> = rows.iter().flat_map(|r| r.words().to_vec()).collect();
+        let select: Vec<bool> = (0..rows.len()).map(|j| j % 3 != 1).collect();
+        const UNTOUCHED: usize = usize::MAX;
+        let mut counts = vec![UNTOUCHED; rows.len()];
+        and_count_many_select(parent.words(), &block, &select, &mut counts);
+        for (j, r) in rows.iter().enumerate() {
+            if select[j] {
+                assert_eq!(counts[j], parent.intersection_count(r), "row {j}");
+            } else {
+                assert_eq!(
+                    counts[j], UNTOUCHED,
+                    "deselected row {j} must stay untouched"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn empty_inputs_are_fine() {
         assert_eq!(and_count(&[], &[]), 0);
         let mut counts = vec![7usize; 3];
         and_count_many(&[], &[], &mut counts);
         assert_eq!(counts, vec![0, 0, 0]);
+        // Zero-stride select: chosen rows get 0, the rest stay untouched.
+        let mut counts = vec![7usize; 3];
+        and_count_many_select(&[], &[], &[true, false, true], &mut counts);
+        assert_eq!(counts, vec![0, 7, 0]);
+        let mut out: [u64; 0] = [];
+        and_into(&[], &[], &mut out);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn feature_dispatch_is_cached_in_a_oncelock() {
+        // Exercise a kernel so the dispatch path has definitely run, then
+        // assert the probe was memoized and agrees with the std macro.
+        assert_eq!(and_count(&[0b1011], &[0b1110]), 2);
+        let cached = super::x86::AVX2_POPCNT
+            .get()
+            .expect("first kernel call must populate the OnceLock");
+        assert_eq!(*cached, super::x86::detect());
+        // Repeated consultation returns the same cached value.
+        assert_eq!(super::x86::avx2(), *cached);
     }
 
     #[test]

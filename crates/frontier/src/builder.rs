@@ -6,12 +6,31 @@
 //! level-wise candidate generation, batched. Children land in a
 //! [`ChildBatch`]: one packed word arena plus per-child metadata, instead
 //! of one heap allocation per child, so rejected candidates cost nothing
-//! and accepted ones cost an arena append. Work is split into contiguous
-//! `(parent, row-block)` items; with `threads > 1` the items are chunked
-//! over scoped OS threads and the per-chunk outputs are merged in item
-//! order, so the emitted child sequence is **identical at any thread
-//! count** — exactly the sequence the serial per-candidate `BitSet::and`
-//! loop produced.
+//! and accepted ones cost an arena append.
+//!
+//! **Count first, materialize survivors.** Refinement runs in two passes
+//! (the count-then-materialize split of frequent-itemset miners):
+//!
+//! 1. *Count-only* — fused AND+popcounts for every allowed (parent, row)
+//!    pair via [`sisd_data::kernels::and_count_many_select`], with **no
+//!    store traffic at all**: pass 1 emits one dense support vector in
+//!    serial `(parent, row)` order.
+//! 2. A **serial filter** applies the support floor/ceiling and a
+//!    caller-supplied keep predicate ([`FrontierBuilder::refine_with_prune`]
+//!    — dedup signature checks, branch-and-bound optimistic bounds) to the
+//!    counts, in `(parent, row)` order.
+//! 3. *Materialize* — only the survivors' child words are computed
+//!    ([`sisd_data::kernels::and_into`]) and written straight into the
+//!    [`ChildBatch`] arena, in the same order.
+//!
+//! A candidate rejected by a support filter, a dedup check, or a bound
+//! predicate therefore never writes a single word. Both passes split into
+//! contiguous work items ((parent, row-block) counts; survivor chunks)
+//! processed on scoped OS threads and merged in item order, so the emitted
+//! child sequence is **identical at any thread count** — exactly the
+//! sequence the serial per-candidate `BitSet::and` loop produced, and
+//! bit-identical to the single-pass reference
+//! ([`FrontierBuilder::refine_parents_single_pass`]).
 
 use crate::matrix::MaskMatrix;
 use sisd_data::{kernels, BitSet};
@@ -87,6 +106,23 @@ impl ChildBatch {
         }
     }
 
+    /// Assembles a batch whose metadata and word arena were produced by
+    /// the two-pass (count-first) refinement.
+    pub(crate) fn from_parts(
+        n: usize,
+        stride: usize,
+        meta: Vec<ChildMeta>,
+        words: Vec<u64>,
+    ) -> Self {
+        debug_assert_eq!(words.len(), meta.len() * stride);
+        Self {
+            n,
+            stride,
+            meta,
+            words,
+        }
+    }
+
     /// Number of children in the batch.
     pub fn len(&self) -> usize {
         self.meta.len()
@@ -154,6 +190,82 @@ pub(crate) const MIN_ITEMS_PER_WORKER: usize = 2;
 /// parallelism lives in `score_all`, not here.
 pub(crate) const MIN_WORDS_PER_WORKER: usize = 1 << 15;
 
+/// Pass-1 sentinel: the dense count of a `(parent, row)` pair the
+/// `allowed` filter rejected. Impossible as a real support (`≤ n`), so the
+/// serial filter distinguishes "skipped" from "counted" without consulting
+/// `allowed` a second time.
+pub(crate) const SKIPPED: usize = usize::MAX;
+
+/// Splits `len` work units into at most `workers` contiguous chunks and
+/// runs `run(chunk_index, lo..hi)` on scoped threads, returning the
+/// outputs in chunk order. The shared deterministic fan-out of both
+/// refinement passes: outputs are merged in chunk (= serial) order, so
+/// scheduling never reorders anything.
+pub(crate) fn run_chunked<T: Send>(
+    len: usize,
+    workers: usize,
+    run: impl Fn(usize, std::ops::Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let chunk_size = len.div_ceil(workers.max(1));
+    let chunks: Vec<std::ops::Range<usize>> = (0..workers.max(1))
+        .map(|w| (w * chunk_size).min(len)..((w + 1) * chunk_size).min(len))
+        .collect();
+    let run = &run;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| scope.spawn(move || run(i, r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("frontier worker panicked"))
+            .collect()
+    })
+}
+
+/// Pass-2 fan-out shared by the unsharded and sharded builders: writes
+/// each survivor's `stride`-word arena slot via `write(meta, out)` — a
+/// pure function of the child's metadata — chunking survivors over scoped
+/// threads when the workload clears the worker thresholds. Disjoint
+/// output slices and pure per-child writes keep the arena bit-identical
+/// at any thread count.
+pub(crate) fn materialize_survivors(
+    threads: usize,
+    stride: usize,
+    meta: &[ChildMeta],
+    words: &mut [u64],
+    write: impl Fn(&ChildMeta, &mut [u64]) + Sync,
+) {
+    if stride == 0 || meta.is_empty() {
+        return;
+    }
+    debug_assert_eq!(words.len(), meta.len() * stride);
+    let run = |meta: &[ChildMeta], words: &mut [u64]| {
+        for (m, out) in meta.iter().zip(words.chunks_exact_mut(stride)) {
+            write(m, out);
+        }
+    };
+    let workers = threads
+        .min(meta.len() / MIN_ITEMS_PER_WORKER)
+        .min(words.len() / MIN_WORDS_PER_WORKER)
+        .max(1);
+    if workers <= 1 {
+        run(meta, words);
+        return;
+    }
+    let chunk_size = meta.len().div_ceil(workers);
+    let run = &run;
+    std::thread::scope(|scope| {
+        for (mc, wc) in meta
+            .chunks(chunk_size)
+            .zip(words.chunks_mut(chunk_size * stride))
+        {
+            scope.spawn(move || run(mc, wc));
+        }
+    });
+}
+
 /// The batched refinement engine over one [`MaskMatrix`]. Cheap to
 /// construct (three words); build one wherever a search holds a matrix.
 #[derive(Debug, Clone, Copy)]
@@ -178,7 +290,211 @@ impl<'m> FrontierBuilder<'m> {
     /// pass the support filters, ordered by `(parent, row)` — exactly the
     /// order a serial nested loop over parents and conditions visits them,
     /// at any thread count.
+    ///
+    /// Runs count-first (see the module docs): supports are computed
+    /// without writing any child words, and only the children passing the
+    /// filters are materialized into the batch. Output is bit-identical to
+    /// [`FrontierBuilder::refine_parents_single_pass`].
     pub fn refine_parents<F>(&self, parents: &[ParentSpec<'_>], allowed: F) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+    {
+        self.refine_with_prune(parents, allowed, |_, _, _| true)
+    }
+
+    /// [`FrontierBuilder::refine_parents`] with a serial keep predicate
+    /// between the count pass and materialization: `keep(parent, row,
+    /// support)` is consulted **once per support-passing child, in
+    /// `(parent, row)` order, on the calling thread**, and a `false`
+    /// return drops the child before any of its words are computed.
+    ///
+    /// The predicate order makes stateful filters exact: a first-wins
+    /// dedup signature check behaves as in the serial nested loop at any
+    /// thread count, and a branch-and-bound optimistic-bound predicate
+    /// prunes doomed candidates before they are materialized rather than
+    /// after they are scored.
+    pub fn refine_with_prune<F, P>(
+        &self,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+        mut keep: P,
+    ) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+        P: FnMut(usize, usize, usize) -> bool,
+    {
+        let rows = self.matrix.rows();
+        let stride = self.matrix.stride();
+        let n = self.matrix.n();
+        for p in parents {
+            assert_eq!(
+                p.ext.len(),
+                n,
+                "refine_with_prune: parent capacity mismatch"
+            );
+        }
+        if parents.is_empty() || rows == 0 {
+            return ChildBatch::with_shape(n, stride);
+        }
+
+        let blocks = rows.div_ceil(BLOCK_ROWS);
+        let n_items = parents.len() * blocks;
+        let total_words = parents.len() * rows * stride;
+        let workers = self
+            .config
+            .threads
+            .min(n_items / MIN_ITEMS_PER_WORKER)
+            .min(total_words / MIN_WORDS_PER_WORKER)
+            .max(1);
+        // On the calling thread the keep predicate can run inline, so the
+        // two passes fuse per block: count a cache-resident block, filter
+        // on the counts, and materialize its survivors while the rows are
+        // still hot — one streaming read of the matrix and one arena write
+        // per survivor, with no scratch buffer at all. (The two-pass split
+        // below exists for parallel runs, where the serial keep contract
+        // forces counting and filtering to finish before materialization.)
+        if workers <= 1 {
+            return self.refine_fused_serial(parents, allowed, keep);
+        }
+
+        // Pass 1 — count-only: dense per-(parent, row) supports, SKIPPED
+        // where `allowed` rejects. Work items are contiguous row blocks
+        // per parent in (parent, row) order; each worker chunk emits its
+        // counts contiguously, so concatenating chunk outputs in chunk
+        // order yields the parent-major dense vector directly.
+        let count_items = |items: std::ops::Range<usize>| -> Vec<usize> {
+            let mut out = Vec::new();
+            let mut select = [false; BLOCK_ROWS];
+            for item in items {
+                let p = item / blocks;
+                let lo = (item % blocks) * BLOCK_ROWS;
+                let hi = rows.min(lo + BLOCK_ROWS);
+                for (j, row) in (lo..hi).enumerate() {
+                    select[j] = allowed(p, row);
+                }
+                let base = out.len();
+                out.resize(base + (hi - lo), SKIPPED);
+                kernels::and_count_many_select(
+                    parents[p].ext.words(),
+                    self.matrix.block_words(lo, hi),
+                    &select[..hi - lo],
+                    &mut out[base..],
+                );
+            }
+            out
+        };
+        let counts: Vec<usize> = run_chunked(n_items, workers, |_, items| count_items(items))
+            .into_iter()
+            .flatten()
+            .collect();
+
+        // Serial filter in (parent, row) order: support floor/ceiling on
+        // the counts, then the caller's keep predicate.
+        let mut meta: Vec<ChildMeta> = Vec::new();
+        for (p, spec) in parents.iter().enumerate() {
+            for row in 0..rows {
+                let support = counts[p * rows + row];
+                if support == SKIPPED
+                    || support < self.config.min_support
+                    || support > spec.max_support
+                    || !keep(p, row, support)
+                {
+                    continue;
+                }
+                meta.push(ChildMeta {
+                    parent: p,
+                    row,
+                    support,
+                });
+            }
+        }
+
+        // Pass 2 — materialize only the survivors, each into its arena
+        // slot (a pure function of its parent and row, so parallel chunks
+        // over disjoint slices stay bit-identical).
+        let mut words = vec![0u64; meta.len() * stride];
+        materialize_survivors(self.config.threads, stride, &meta, &mut words, |m, out| {
+            kernels::and_into(
+                parents[m.parent].ext.words(),
+                self.matrix.row_words(m.row),
+                out,
+            )
+        });
+        ChildBatch::from_parts(n, stride, meta, words)
+    }
+
+    /// The fused serial form of count-first refinement: per row block,
+    /// count (no stores), filter on the counts, and materialize the
+    /// block's survivors while its rows are cache-resident. Identical
+    /// output to the two-pass form by construction — both visit
+    /// `(parent, row)` in serial order and compute each child as the same
+    /// pure AND.
+    fn refine_fused_serial<F, P>(
+        &self,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+        mut keep: P,
+    ) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool,
+        P: FnMut(usize, usize, usize) -> bool,
+    {
+        let rows = self.matrix.rows();
+        let stride = self.matrix.stride();
+        let mut meta: Vec<ChildMeta> = Vec::new();
+        let mut words: Vec<u64> = Vec::new();
+        let mut select = [false; BLOCK_ROWS];
+        let mut counts = [0usize; BLOCK_ROWS];
+        for (p, spec) in parents.iter().enumerate() {
+            let parent_words = spec.ext.words();
+            let mut lo = 0usize;
+            while lo < rows {
+                let hi = rows.min(lo + BLOCK_ROWS);
+                for (j, row) in (lo..hi).enumerate() {
+                    select[j] = allowed(p, row);
+                }
+                counts[..hi - lo].fill(SKIPPED);
+                kernels::and_count_many_select(
+                    parent_words,
+                    self.matrix.block_words(lo, hi),
+                    &select[..hi - lo],
+                    &mut counts[..hi - lo],
+                );
+                for (j, row) in (lo..hi).enumerate() {
+                    let support = counts[j];
+                    if support == SKIPPED
+                        || support < self.config.min_support
+                        || support > spec.max_support
+                        || !keep(p, row, support)
+                    {
+                        continue;
+                    }
+                    meta.push(ChildMeta {
+                        parent: p,
+                        row,
+                        support,
+                    });
+                    let base = words.len();
+                    words.resize(base + stride, 0);
+                    kernels::and_into(parent_words, self.matrix.row_words(row), &mut words[base..]);
+                }
+                lo = hi;
+            }
+        }
+        ChildBatch::from_parts(self.matrix.n(), stride, meta, words)
+    }
+
+    /// The single-pass reference: fused AND+store+popcount per allowed
+    /// row through a scratch buffer, filters applied inline — the PR 4
+    /// refinement path, kept as the bit-exactness oracle for the
+    /// count-first implementation (parity proptests and the benches
+    /// compare against it) and as the better shape for callers that keep
+    /// nearly every child.
+    pub fn refine_parents_single_pass<F>(
+        &self,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+    ) -> ChildBatch
     where
         F: Fn(usize, usize) -> bool + Sync,
     {

@@ -15,25 +15,37 @@
 //!   searches over the same dataset all reuse the same rows.
 //! * [`sisd_data::kernels`] + [`refine_block`] — **word-blocked kernels.**
 //!   The fused AND+popcount primitives live next to `BitSet` in
-//!   `sisd-data`; [`refine_block`] applies them to one parent against a
-//!   contiguous block of matrix rows, emitting child extensions and
-//!   popcounts in a single pass through a reusable scratch buffer, so
-//!   candidates that fail the support filter never allocate.
-//! * [`FrontierBuilder`] — **deterministic parallel refinement.** Splits a
-//!   frontier into contiguous `(parent, row-block)` work items, refines
-//!   them on scoped OS threads, and merges the outputs in item order.
-//!   Children land in a [`ChildBatch`] — metadata plus one packed word
-//!   arena — so a heap allocation is paid only when a child is
-//!   materialized as a `BitSet` ([`ChildBatch::child_bitset`]), after
-//!   downstream filters like dedup have had their say.
+//!   `sisd-data`: count-only block kernels
+//!   ([`sisd_data::kernels::and_count_many_select`]) for the counting
+//!   pass, a store-only AND ([`sisd_data::kernels::and_into`]) for
+//!   materialization, and the fused AND+store+popcount
+//!   ([`sisd_data::kernels::and_into_count`]) that [`refine_block`]
+//!   applies for the single-pass reference path.
+//! * [`FrontierBuilder`] — **count-first deterministic parallel
+//!   refinement.** Pass 1 computes support counts for every allowed
+//!   `(parent, row)` pair with *no store traffic*; the support filters
+//!   and a caller-supplied keep predicate
+//!   ([`FrontierBuilder::refine_with_prune`] — dedup signature checks,
+//!   branch-and-bound optimistic bounds) run serially on the counts; pass
+//!   2 materializes only the survivors into a [`ChildBatch`] — metadata
+//!   plus one packed word arena. A rejected candidate never writes a
+//!   word, and a heap allocation is paid only when a surviving child is
+//!   materialized as a `BitSet` ([`ChildBatch::child_bitset`]). On the
+//!   calling thread the passes fuse per cache-resident block; with
+//!   `threads > 1` both passes split into contiguous work items merged in
+//!   item order.
 //!
 //! Row-range sharding ([`sharded`]) layers one more axis on top: a
 //! [`ShardedMaskMatrix`] keeps one matrix per word-aligned shard of a
 //! [`sisd_data::ShardPlan`], and [`ShardedFrontierBuilder`] /
-//! [`MaskStore`] refine over `(parent, shard, row-block)` items whose
-//! per-shard counts and child words merge in shard order — exact integer
-//! sums and exact word concatenation, so the sharded batch is
-//! bit-identical to the unsharded one at any shard count.
+//! [`MaskStore`] refine count-first over `(parent, shard, row-block)`
+//! items: pass 1 ships only per-shard counts (summed in shard order —
+//! exact integers), the filters and keep predicate run on the global
+//! totals, and survivors' words are materialized shard by shard and
+//! concatenated in shard order (exact by word alignment), so the sharded
+//! batch is bit-identical to the unsharded one at any shard count — and a
+//! candidate rejected by any filter costs `S` integers, not `S` word
+//! rows.
 //!
 //! # Determinism contract
 //!

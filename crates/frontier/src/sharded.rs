@@ -17,13 +17,27 @@
 //! The emitted [`ChildBatch`] is therefore **bit-identical** to what the
 //! unsharded [`FrontierBuilder`] emits over the equivalent whole-dataset
 //! matrix — same children, same `(parent, row)` order, same words — at
-//! any thread count *and any shard count*, `S = 1` included. Unlike the
-//! unsharded path, the support filters cannot run inside the per-shard
-//! kernels (no shard knows the total count), so rejected candidates cost
-//! their per-shard partial words until the merge; the filters still run
-//! before any child is materialized as a [`BitSet`].
+//! any thread count *and any shard count*, `S = 1` included.
+//!
+//! **Count first, materialize survivors.** No shard knows a candidate's
+//! total support, so the support filters can only run after the cross-
+//! shard merge — the trap is buffering every candidate's per-shard child
+//! words until then. The sharded builder avoids it with the same two-pass
+//! split as the unsharded one: pass 1 computes **counts only** per
+//! `(parent, shard, row-block)` item (no word is written anywhere), the
+//! per-shard counts are summed in shard order and the support filters plus
+//! the caller's keep predicate run once on the global totals, and pass 2
+//! materializes only the survivors — each child's words computed shard by
+//! shard straight into its [`ChildBatch`] arena slot, concatenated in
+//! shard order (exact by the plan's word-alignment invariant). A rejected
+//! candidate costs `S` integers instead of its full word row, which is
+//! what makes per-shard work cheap enough to ship out-of-core or
+//! cross-node.
 
-use crate::builder::{BLOCK_ROWS, MIN_ITEMS_PER_WORKER, MIN_WORDS_PER_WORKER};
+use crate::builder::{
+    materialize_survivors, run_chunked, BLOCK_ROWS, MIN_ITEMS_PER_WORKER, MIN_WORDS_PER_WORKER,
+    SKIPPED,
+};
 use crate::matrix::MaskMatrix;
 use crate::{ChildBatch, ChildMeta, FrontierBuilder, FrontierConfig, ParentSpec};
 use sisd_core::Condition;
@@ -166,12 +180,261 @@ impl<'m> ShardedFrontierBuilder<'m> {
     /// output, bit for bit, as [`FrontierBuilder::refine_parents`] over
     /// the unsharded matrix, at any thread and shard count.
     ///
+    /// Runs count-first (see the module docs): pass 1 ships only per-shard
+    /// support counts, the filters run on the cross-shard totals, and only
+    /// the survivors' words are computed and merged. Output is
+    /// bit-identical to
+    /// [`ShardedFrontierBuilder::refine_parents_single_pass`].
+    ///
     /// Parents are full-dataset extensions; their per-shard views are
     /// zero-copy word slices (the plan's word alignment at work).
     ///
     /// # Panics
     /// Panics when a parent's capacity differs from the plan's row count.
     pub fn refine_parents<F>(&self, parents: &[ParentSpec<'_>], allowed: F) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+    {
+        self.refine_with_prune(parents, allowed, |_, _, _| true)
+    }
+
+    /// [`ShardedFrontierBuilder::refine_parents`] with a serial keep
+    /// predicate between the count pass and materialization — the sharded
+    /// counterpart of [`FrontierBuilder::refine_with_prune`], with the
+    /// identical contract: `keep(parent, row, support)` sees **global**
+    /// (cross-shard-summed) supports, once per support-passing child, in
+    /// `(parent, row)` order, on the calling thread.
+    pub fn refine_with_prune<F, P>(
+        &self,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+        mut keep: P,
+    ) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+        P: FnMut(usize, usize, usize) -> bool,
+    {
+        let plan = self.matrix.plan();
+        let rows = self.matrix.rows();
+        let nshards = plan.shards();
+        let total_stride = plan.n().div_ceil(sisd_data::bitset::WORD_BITS);
+        for p in parents {
+            assert_eq!(
+                p.ext.len(),
+                plan.n(),
+                "ShardedFrontierBuilder: parent capacity mismatch"
+            );
+        }
+        if parents.is_empty() || rows == 0 {
+            return ChildBatch::with_shape(plan.n(), total_stride);
+        }
+
+        let blocks = rows.div_ceil(BLOCK_ROWS);
+        let n_items = parents.len() * blocks * nshards;
+        let total_words = parents.len() * rows * total_stride;
+        let workers = self
+            .config
+            .threads
+            .min(n_items / MIN_ITEMS_PER_WORKER)
+            .min(total_words / MIN_WORDS_PER_WORKER)
+            .max(1);
+        // On the calling thread the keep predicate runs inline, so the
+        // passes fuse per (parent, block): count the block on every shard,
+        // sum, filter, and materialize its survivors while the shard rows
+        // are cache-resident (see the unsharded fused path).
+        if workers <= 1 {
+            return self.refine_fused_serial(parents, allowed, keep);
+        }
+
+        // Pass 1 — count-only per-shard kernels over (parent, shard,
+        // row-block) items, indexed ((p·blocks + b)·S + s) so the merge
+        // can address the S count lanes of any (parent, block) directly.
+        // Each item emits one fixed-width BLOCK_ROWS lane of counts
+        // (SKIPPED where `allowed` rejects or past the block's tail) and
+        // **no words**: a candidate's pre-merge footprint is S integers,
+        // not S word rows. Worker chunks append lanes to one flat vector
+        // each, concatenated in item order, so the merged layout is dense
+        // and scheduling never reorders anything.
+        let count_items = |items: std::ops::Range<usize>| -> Vec<usize> {
+            let mut out = Vec::with_capacity(items.len() * BLOCK_ROWS);
+            let mut select = [false; BLOCK_ROWS];
+            for item in items {
+                let s = item % nshards;
+                let b = (item / nshards) % blocks;
+                let p = item / (nshards * blocks);
+                let matrix = self.matrix.shard(s);
+                let parent_words = &parents[p].ext.words()[plan.word_range(s)];
+                let lo = b * BLOCK_ROWS;
+                let hi = rows.min(lo + BLOCK_ROWS);
+                for (j, row) in (lo..hi).enumerate() {
+                    select[j] = allowed(p, row);
+                }
+                let base = out.len();
+                out.resize(base + BLOCK_ROWS, SKIPPED);
+                kernels::and_count_many_select(
+                    parent_words,
+                    matrix.block_words(lo, hi),
+                    &select[..hi - lo],
+                    &mut out[base..base + (hi - lo)],
+                );
+            }
+            out
+        };
+        let partials: Vec<usize> = run_chunked(n_items, workers, |_, items| count_items(items))
+            .into_iter()
+            .flatten()
+            .collect();
+        let lane = |p: usize, b: usize, s: usize| -> &[usize] {
+            &partials[((p * blocks + b) * nshards + s) * BLOCK_ROWS..][..BLOCK_ROWS]
+        };
+
+        // Serial filter in (parent, row) order: sum the per-shard counts
+        // (exact integers, so the total equals the unsharded popcount),
+        // apply the support filters on the total, then the caller's keep
+        // predicate. No child words exist yet.
+        let mut meta: Vec<ChildMeta> = Vec::new();
+        for (p, spec) in parents.iter().enumerate() {
+            for b in 0..blocks {
+                let lo = b * BLOCK_ROWS;
+                let hi = rows.min(lo + BLOCK_ROWS);
+                for (j, row) in (lo..hi).enumerate() {
+                    // `allowed` is shard-independent: shard 0's sentinel
+                    // stands for them all.
+                    if lane(p, b, 0)[j] == SKIPPED {
+                        continue;
+                    }
+                    let support: usize = (0..nshards).map(|s| lane(p, b, s)[j]).sum();
+                    if support < self.config.min_support
+                        || support > spec.max_support
+                        || !keep(p, row, support)
+                    {
+                        continue;
+                    }
+                    meta.push(ChildMeta {
+                        parent: p,
+                        row,
+                        support,
+                    });
+                }
+            }
+        }
+
+        // Pass 2 — materialize only the survivors: each child's words are
+        // computed shard by shard directly into its arena slot, in shard
+        // order (word concatenation is exact by the plan's alignment
+        // invariant).
+        let mut words = vec![0u64; meta.len() * total_stride];
+        materialize_survivors(
+            self.config.threads,
+            total_stride,
+            &meta,
+            &mut words,
+            |m, child| {
+                for s in 0..nshards {
+                    let wr = plan.word_range(s);
+                    kernels::and_into(
+                        &parents[m.parent].ext.words()[wr.clone()],
+                        self.matrix.shard(s).row_words(m.row),
+                        &mut child[wr],
+                    );
+                }
+            },
+        );
+        ChildBatch::from_parts(plan.n(), total_stride, meta, words)
+    }
+
+    /// The fused serial form of sharded count-first refinement: per
+    /// `(parent, block)`, count the block's rows on every shard (no
+    /// stores), sum the per-shard counts, filter on the totals, and
+    /// materialize the block's survivors shard by shard while the rows
+    /// are cache-resident. Identical output to the two-pass form by
+    /// construction.
+    fn refine_fused_serial<F, P>(
+        &self,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+        mut keep: P,
+    ) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool,
+        P: FnMut(usize, usize, usize) -> bool,
+    {
+        let plan = self.matrix.plan();
+        let rows = self.matrix.rows();
+        let nshards = plan.shards();
+        let total_stride = plan.n().div_ceil(sisd_data::bitset::WORD_BITS);
+        let mut meta: Vec<ChildMeta> = Vec::new();
+        let mut words: Vec<u64> = Vec::new();
+        let mut select = [false; BLOCK_ROWS];
+        // Per-shard count lanes for one block: lane s occupies
+        // shard_counts[s·BLOCK_ROWS..][..BLOCK_ROWS].
+        let mut shard_counts = vec![0usize; nshards * BLOCK_ROWS];
+        for (p, spec) in parents.iter().enumerate() {
+            let parent_words = spec.ext.words();
+            let mut lo = 0usize;
+            while lo < rows {
+                let hi = rows.min(lo + BLOCK_ROWS);
+                for (j, row) in (lo..hi).enumerate() {
+                    select[j] = allowed(p, row);
+                }
+                for s in 0..nshards {
+                    let lane = &mut shard_counts[s * BLOCK_ROWS..][..hi - lo];
+                    lane.fill(SKIPPED);
+                    kernels::and_count_many_select(
+                        &parent_words[plan.word_range(s)],
+                        self.matrix.shard(s).block_words(lo, hi),
+                        &select[..hi - lo],
+                        lane,
+                    );
+                }
+                for (j, row) in (lo..hi).enumerate() {
+                    if !select[j] {
+                        continue;
+                    }
+                    let support: usize =
+                        (0..nshards).map(|s| shard_counts[s * BLOCK_ROWS + j]).sum();
+                    if support < self.config.min_support
+                        || support > spec.max_support
+                        || !keep(p, row, support)
+                    {
+                        continue;
+                    }
+                    meta.push(ChildMeta {
+                        parent: p,
+                        row,
+                        support,
+                    });
+                    let base = words.len();
+                    words.resize(base + total_stride, 0);
+                    let child = &mut words[base..];
+                    for s in 0..nshards {
+                        let wr = plan.word_range(s);
+                        kernels::and_into(
+                            &parent_words[wr.clone()],
+                            self.matrix.shard(s).row_words(row),
+                            &mut child[wr],
+                        );
+                    }
+                }
+                lo = hi;
+            }
+        }
+        ChildBatch::from_parts(plan.n(), total_stride, meta, words)
+    }
+
+    /// The single-pass reference: per-shard kernels compute counts *and*
+    /// child words for every allowed candidate, buffered until the
+    /// shard-order merge applies the support filters on the totals — the
+    /// PR 4 sharded refinement path, kept as the bit-exactness oracle for
+    /// the count-first implementation (parity proptests and the benches
+    /// compare against it). Its documented cost — every candidate buffers
+    /// its per-shard partial words even when about to be rejected — is
+    /// exactly what [`ShardedFrontierBuilder::refine_with_prune`] removes.
+    pub fn refine_parents_single_pass<F>(
+        &self,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+    ) -> ChildBatch
     where
         F: Fn(usize, usize) -> bool + Sync,
     {
@@ -232,20 +495,12 @@ impl<'m> ShardedFrontierBuilder<'m> {
         let partials: Vec<ShardPartial> = if workers <= 1 {
             (0..n_items).map(run_item).collect()
         } else {
-            let chunk_size = n_items.div_ceil(workers);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let lo = w * chunk_size;
-                        let hi = n_items.min(lo + chunk_size);
-                        scope.spawn(move || (lo..hi).map(run_item).collect::<Vec<_>>())
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("sharded frontier worker panicked"))
-                    .collect()
+            run_chunked(n_items, workers, |_, items| {
+                items.map(run_item).collect::<Vec<_>>()
             })
+            .into_iter()
+            .flatten()
+            .collect()
         };
 
         // Phase 2 — serial merge in (parent, row) order: sum the per-shard
@@ -356,10 +611,32 @@ impl MaskStore {
     where
         F: Fn(usize, usize) -> bool + Sync,
     {
+        self.refine_with_prune(config, parents, allowed, |_, _, _| true)
+    }
+
+    /// [`MaskStore::refine_parents`] with a serial keep predicate between
+    /// the count pass and materialization (see
+    /// [`FrontierBuilder::refine_with_prune`]): `keep(parent, row,
+    /// support)` sees global supports in `(parent, row)` order on the
+    /// calling thread, and a `false` drops the child before any of its
+    /// words are computed — on either layout.
+    pub fn refine_with_prune<F, P>(
+        &self,
+        config: FrontierConfig,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+        keep: P,
+    ) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+        P: FnMut(usize, usize, usize) -> bool,
+    {
         match self {
-            MaskStore::Dense(m) => FrontierBuilder::new(m, config).refine_parents(parents, allowed),
+            MaskStore::Dense(m) => {
+                FrontierBuilder::new(m, config).refine_with_prune(parents, allowed, keep)
+            }
             MaskStore::Sharded(m) => {
-                ShardedFrontierBuilder::new(m, config).refine_parents(parents, allowed)
+                ShardedFrontierBuilder::new(m, config).refine_with_prune(parents, allowed, keep)
             }
         }
     }

@@ -9,9 +9,12 @@
 //! Candidate scoring — including multi-threading and factorization reuse —
 //! is delegated to the shared [`crate::eval::Evaluator`], and candidate
 //! *generation* to the batched `sisd-frontier` subsystem (condition masks
-//! evaluated once per search into a contiguous bit-matrix, refined with
-//! fused AND+popcount kernels); set [`EvalConfig::threads`] to parallelize
-//! both. Results are identical at any thread count.
+//! evaluated once per search into a contiguous bit-matrix, refined
+//! **count-first**: supports are counted with store-free fused kernels,
+//! the coverage filters and conjunction dedup run on the counts, and only
+//! surviving children's extensions are materialized); set
+//! [`EvalConfig::threads`] to parallelize both. Results are identical at
+//! any thread count.
 
 use crate::eval::{run_beam_levels, Evaluator};
 use crate::refine::RefineConfig;

@@ -3,10 +3,12 @@
 //! extension of the paper implemented end to end.
 //!
 //! Runs the *same* level-wise loop as [`crate::beam`] (width / depth /
-//! coverage floor / top-k log / canonical conjunction dedup), through the
-//! same [`crate::eval::Evaluator`] — only the backend differs: IC is
-//! computed under the Bernoulli background distribution instead of the
-//! Gaussian one. This is the principled way to mine presence/absence
+//! coverage floor / top-k log / canonical conjunction dedup — run as the
+//! count-first frontier's keep predicate, so duplicate conjunctions are
+//! dropped on support counts before their extensions are materialized),
+//! through the same [`crate::eval::Evaluator`] — only the backend
+//! differs: IC is computed under the Bernoulli background distribution
+//! instead of the Gaussian one. This is the principled way to mine presence/absence
 //! targets like the mammal atlas, where the Gaussian model treats 0/1
 //! indicators as real values. `config.eval.threads` parallelizes candidate
 //! evaluation here too, with identical results at any thread count.

@@ -24,6 +24,17 @@
 //! every descendant's SI is at most `IC⋆(E) / DL(|C|+1)` — the pruning
 //! rule. Depth-first search with canonical (index-ascending) condition
 //! enumeration then finds the *globally optimal* pattern of the language.
+//!
+//! The same scan, kept as a running maximum per subset size
+//! (the private `SupportBound` table), bounds any **child of known support**
+//! before its extension exists: a child covering `m` rows — and everything
+//! below it — is a subset of `E` of size at most `m`, so its whole
+//! subtree's IC is at most `max_{m' ≤ m} IC⋆_{m'}(E)`. That predicate is
+//! fed to the count-first frontier builder
+//! ([`sisd_frontier::MaskStore::refine_with_prune`]), which evaluates it on
+//! the support counts from the count-only pass — a child that cannot beat
+//! the incumbent is pruned before its extension words are ever written,
+//! not after it has been materialized and scored.
 
 use crate::eval::{Candidate, Evaluator};
 use crate::refine::{generate_conditions, RefineConfig};
@@ -99,6 +110,32 @@ struct Searcher<'a> {
 /// 1×1 Cholesky factor), so pruning stays admissible at any SI magnitude.
 const BOUND_SLACK: f64 = 1e-9;
 
+/// Per-support-size optimistic IC bounds over one node's extension `E`:
+/// `for_support(m)` is the maximum IC over all subsets of `E` whose size
+/// lies in `[min_coverage, m]` — an admissible bound on a child of support
+/// `m` *and its entire subtree*, computable from the support count alone
+/// (before the child's extension exists). Built once per node from the
+/// sorted target values' prefix/suffix sums; `max()` recovers the classic
+/// whole-node bound `IC⋆(E)`.
+struct SupportBound {
+    /// `best_ic[m]` = max over `min_coverage ≤ m' ≤ m` of
+    /// `max(IC(top m'), IC(bottom m'))`; `NEG_INFINITY` below the floor.
+    best_ic: Vec<f64>,
+}
+
+impl SupportBound {
+    /// The whole-extension bound `IC⋆(E)` (max over every admissible
+    /// subset size).
+    fn max(&self) -> f64 {
+        *self.best_ic.last().expect("best_ic is never empty")
+    }
+
+    /// The bound for a child covering `m` rows.
+    fn for_support(&self, m: usize) -> f64 {
+        self.best_ic[m.min(self.best_ic.len() - 1)]
+    }
+}
+
 impl<'a> Searcher<'a> {
     /// Closed-form IC of a subset with size `m` and value sum `sum` under
     /// the uniform model — used for the optimistic bound only; exact
@@ -110,31 +147,27 @@ impl<'a> Searcher<'a> {
             + mf * (mean - self.mu) * (mean - self.mu) / (2.0 * self.sigma2)
     }
 
-    /// Tight optimistic bound: max IC over all subsets of `ext` meeting the
-    /// coverage floor.
-    fn optimistic_ic(&self, ext: &BitSet) -> f64 {
+    /// Builds the per-support bound table of `ext`: sort the covered
+    /// target values once, then fold prefix (bottom-`m`) and suffix
+    /// (top-`m`) sums into a running maximum per subset size. The final
+    /// entry equals the old whole-node `optimistic_ic` exactly (same max
+    /// over the same finite set of floats).
+    fn support_bound(&self, ext: &BitSet) -> SupportBound {
         let mut values: Vec<f64> = ext.iter().map(|i| self.y[i]).collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = values.len();
-        let mut best = f64::NEG_INFINITY;
-        // Prefix (bottom-m) and suffix (top-m) sums in one pass each.
-        let mut sum = 0.0;
-        for (k, &v) in values.iter().enumerate() {
-            sum += v;
-            let m = k + 1;
+        let mut best_ic = vec![f64::NEG_INFINITY; n + 1];
+        let (mut bottom, mut top) = (0.0f64, 0.0f64);
+        for m in 1..=n {
+            bottom += values[m - 1];
+            top += values[n - m];
+            let mut b = best_ic[m - 1];
             if m >= self.cfg.min_coverage {
-                best = best.max(self.ic(m, sum));
+                b = b.max(self.ic(m, bottom)).max(self.ic(m, top));
             }
+            best_ic[m] = b;
         }
-        sum = 0.0;
-        for k in 0..n {
-            sum += values[n - 1 - k];
-            let m = k + 1;
-            if m >= self.cfg.min_coverage {
-                best = best.max(self.ic(m, sum));
-            }
-        }
-        best
+        SupportBound { best_ic }
     }
 
     fn descend(
@@ -149,21 +182,23 @@ impl<'a> Searcher<'a> {
         }
         // Bound every descendant: they refine ext and have ≥ |C|+1
         // conditions (DL is increasing in |C|, SI decreasing).
-        let bound = self.optimistic_ic(ext) / self.cfg.dl.location_dl(intention.len() + 1);
+        let bounds = self.support_bound(ext);
+        let child_dl = self.cfg.dl.location_dl(intention.len() + 1);
         let slack = BOUND_SLACK * (1.0 + self.best_si.abs());
-        if bound <= self.best_si - slack {
+        if bounds.max() / child_dl <= self.best_si - slack {
             self.pruned += 1;
             return;
         }
-        // Generate the node's children through the batched frontier
-        // kernels (mask AND + popcount + coverage filters in one fused
-        // pass over the bit-matrix — per shard, merged in shard order,
-        // when sharding is on), then score them as one owned batch through
-        // the engine (parallel when `cfg.eval.threads > 1`; identical
-        // results either way; extensions move into the scored results
-        // instead of being cloned). Exact scores don't depend on the
-        // incumbent, so batching before the in-order best/recurse sweep
-        // visits exactly the nodes the one-at-a-time search visited.
+        // Generate the node's children through the count-first frontier
+        // builder: pass 1 computes support counts only (per shard, summed
+        // in shard order, when sharding is on), the keep predicate below
+        // prunes on them, and only the survivors' extension words are
+        // materialized. Survivors are then scored as one owned batch
+        // through the engine (parallel when `cfg.eval.threads > 1`;
+        // identical results either way; extensions move into the scored
+        // results instead of being cloned). Exact scores don't depend on
+        // the incumbent, so batching before the in-order best/recurse
+        // sweep visits exactly the nodes the one-at-a-time search visited.
         let frontier_cfg = FrontierConfig {
             min_support: self.cfg.min_coverage.max(1),
             threads: self.cfg.eval.threads,
@@ -176,11 +211,29 @@ impl<'a> Searcher<'a> {
         } else {
             ext.count().saturating_sub(1)
         };
-        let children = self.store.refine_parents(
+        // Prune on counts, before materialization: a child of support `m`
+        // and all of its descendants are subsets of `ext` with at most `m`
+        // rows and at least |C|+1 conditions, so their SI is bounded by
+        // the size-m table entry over the child's own (shortest, hence
+        // cheapest) description length. The incumbent is frozen at batch
+        // time — a sibling scored later can only *raise* it, so freezing
+        // prunes no more than the one-at-a-time sweep would.
+        let incumbent = self.best_si;
+        let mut bound_pruned = 0usize;
+        let children = self.store.refine_with_prune(
             frontier_cfg,
             &[ParentSpec { ext, max_support }],
             |_, row| row >= first_cond && !intention.conflicts_with(&self.conditions[row]),
+            |_, _, support| {
+                if bounds.for_support(support) / child_dl <= incumbent - slack {
+                    bound_pruned += 1;
+                    false
+                } else {
+                    true
+                }
+            },
         );
+        self.pruned += bound_pruned;
         let mut child_first_cond: Vec<usize> = Vec::with_capacity(children.len());
         let mut batch: Vec<Candidate> = Vec::with_capacity(children.len());
         for i in 0..children.len() {

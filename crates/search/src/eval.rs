@@ -568,21 +568,32 @@ pub(crate) struct BeamLevelsOutcome {
 
 /// The level-wise beam search (paper §II-D), generic over the evaluation
 /// backend: generate each level's candidates through the batched frontier
-/// subsystem (`sisd-frontier` — mask AND + coverage filters over the
-/// condition bit-matrix, parallel on `ev.threads()` workers, children in
-/// serial `(parent, condition)` order at any thread count), dedup *after*
-/// the structural filters (so the outcome is independent of which parent
-/// reaches a conjunction first), score the whole level as one batch
-/// through the engine, keep the `width` best as the next frontier.
+/// subsystem (`sisd-frontier` — count-first mask AND + coverage filters
+/// over the condition bit-matrix, parallel on `ev.threads()` workers,
+/// children in serial `(parent, condition)` order at any thread count),
+/// with the canonical-conjunction dedup running as the builder's keep
+/// predicate **between the count pass and materialization** — a duplicate
+/// conjunction is dropped on its support count alone and never has its
+/// extension words computed. Dedup still happens after the structural
+/// filters (so the outcome is independent of which parent reaches a
+/// conjunction first, exactly as in the serial nested loop); the whole
+/// level is then scored as one batch through the engine and the `width`
+/// best become the next frontier.
 ///
 /// With `ev.shards() > 1` the mask matrix is built per row-range shard and
-/// refinement runs over `(parent, shard, row-block)` items merged in shard
-/// order; statistics aggregate from per-shard partials inside the engine.
-/// The search result is bit-identical at any shard count.
+/// refinement runs count-first over `(parent, shard, row-block)` items:
+/// pass 1 ships only per-shard counts, the dedup/support filters run on
+/// the shard-summed totals, and only survivors are materialized (merged in
+/// shard order); statistics aggregate from per-shard partials inside the
+/// engine. The search result is bit-identical at any shard count.
 ///
-/// Dedup-surviving extensions are materialized **once** from the frontier
-/// batch and move through scoring into the final patterns (owned batch
-/// evaluation); only the `width` next-frontier parents are cloned.
+/// Surviving extensions are materialized **once** from the frontier batch
+/// and move through scoring into the final patterns (owned batch
+/// evaluation). The next frontier *borrows* the `width` best scored
+/// results of its level — each scored level is held back from the top-k
+/// log until the following level has been generated, then moved in
+/// unchanged (same push order as pushing eagerly), so no per-level parent
+/// clone exists at all (pinned by `tests/alloc_counts.rs`).
 ///
 /// The wall-clock budget is honoured during both phases of a level:
 /// candidate *generation* checks it between frontier-parent slices, and
@@ -613,42 +624,45 @@ pub(crate) fn run_beam_levels(
     let mut evaluated = 0usize;
     let mut timed_out = false;
     let mut seen: HashSet<Vec<(usize, u8, u64)>> = HashSet::new();
-    let mut frontier: Vec<(Intention, BitSet)> = vec![(Intention::empty(), BitSet::full(data.n()))];
+    // Level 1 refines the root; deeper levels refine the `width` best of
+    // the previous level, borrowed from that level's retained scored
+    // results (`pending`) via `frontier_idx`.
+    let root_intent = Intention::empty();
+    let root_ext = BitSet::full(data.n());
+    let mut pending: Vec<Scored> = Vec::new();
+    let mut frontier_idx: Vec<usize> = Vec::new();
 
-    for _depth in 1..=cfg.max_depth {
+    for depth in 1..=cfg.max_depth {
+        let level_parents: Vec<(&Intention, &BitSet)> = if depth == 1 {
+            vec![(&root_intent, &root_ext)]
+        } else {
+            frontier_idx
+                .iter()
+                .map(|&i| (&pending[i].intention, &pending[i].ext))
+                .collect()
+        };
         // The parent's own coverage caps its children: a child covering as
         // many rows as its parent is the same extension with a longer
         // description (dominated), so the per-parent ceiling is one less.
-        let parents: Vec<ParentSpec<'_>> = frontier
+        let parents: Vec<ParentSpec<'_>> = level_parents
             .iter()
-            .map(|(_, ext)| ParentSpec {
+            .map(|&(_, ext)| ParentSpec {
                 ext,
                 max_support: max_cov.min(ext.count().saturating_sub(1)),
             })
             .collect();
-        let allowed = |p: usize, row: usize| !frontier[p].0.conflicts_with(&conditions[row]);
+        let allowed = |p: usize, row: usize| !level_parents[p].0.conflicts_with(&conditions[row]);
         // Sequential post-pass in the deterministic child order: attach
-        // intentions, drop duplicate conjunctions (first parent wins, as
-        // in the serial nested loop), and materialize extensions only for
-        // the keepers (the arena batch defers per-child allocation).
+        // intentions and materialize extensions — the batch holds exactly
+        // the dedup survivors, because the keep predicate below ran the
+        // first-wins signature check on the support counts.
         let mut batch: Vec<Candidate> = Vec::new();
         let push_children =
-            |children: &sisd_frontier::ChildBatch,
-             base: usize,
-             batch: &mut Vec<Candidate>,
-             seen: &mut HashSet<Vec<(usize, u8, u64)>>| {
-                let kept = sisd_frontier::dedup_in_order(
-                    0..children.len(),
-                    |&i| {
-                        let m = children.meta(i);
-                        intention_key_with(&frontier[base + m.parent].0, &conditions[m.row])
-                    },
-                    seen,
-                );
-                for i in kept {
+            |children: &sisd_frontier::ChildBatch, base: usize, batch: &mut Vec<Candidate>| {
+                for i in 0..children.len() {
                     let m = children.meta(i);
                     batch.push(Candidate {
-                        intention: frontier[base + m.parent].0.with(conditions[m.row]),
+                        intention: level_parents[base + m.parent].0.with(conditions[m.row]),
                         ext: children.child_bitset(i),
                     });
                 }
@@ -656,8 +670,11 @@ pub(crate) fn run_beam_levels(
         match cfg.time_budget {
             // No budget: one batch, maximally parallel.
             None => {
-                let children = store.refine_parents(frontier_cfg, &parents, allowed);
-                push_children(&children, 0, &mut batch, &mut seen);
+                let children =
+                    store.refine_with_prune(frontier_cfg, &parents, allowed, |p, row, _| {
+                        seen.insert(intention_key_with(level_parents[p].0, &conditions[row]))
+                    });
+                push_children(&children, 0, &mut batch);
             }
             // Budgeted: refine in slices of one thread-round of parents so
             // the elapsed check runs between slices; a slice, once
@@ -670,9 +687,18 @@ pub(crate) fn run_beam_levels(
                         break;
                     }
                     let base = s * slice;
-                    let children =
-                        store.refine_parents(frontier_cfg, chunk, |p, row| allowed(base + p, row));
-                    push_children(&children, base, &mut batch, &mut seen);
+                    let children = store.refine_with_prune(
+                        frontier_cfg,
+                        chunk,
+                        |p, row| allowed(base + p, row),
+                        |p, row, _| {
+                            seen.insert(intention_key_with(
+                                level_parents[base + p].0,
+                                &conditions[row],
+                            ))
+                        },
+                    );
+                    push_children(&children, base, &mut batch);
                 }
             }
         }
@@ -700,28 +726,36 @@ pub(crate) fn run_beam_levels(
             }
         };
         evaluated += scored.len();
-        // Select the next frontier before the scored level moves into the
-        // top-k log: a stable index sort by SI descending reproduces the
-        // old sort-the-level order exactly (ties keep scored order), and
-        // only the `width` keepers pay an (intention, extension) clone.
-        let mut next: Vec<(Intention, BitSet)> = Vec::new();
-        let done = timed_out || scored.is_empty();
-        if !done {
-            let mut order: Vec<usize> = (0..scored.len()).collect();
-            order.sort_by(|&a, &b| scored[b].score.si.partial_cmp(&scored[a].score.si).unwrap());
-            order.truncate(cfg.width);
-            next = order
-                .iter()
-                .map(|&i| (scored[i].intention.clone(), scored[i].ext.clone()))
-                .collect();
-        }
-        for s in scored {
+        // The previous level's borrows ended with candidate generation:
+        // move its patterns into the log now, unchanged. The push
+        // sequence stays level by level in scored order — exactly the
+        // sequence eager pushing produced — so the top-k log is
+        // bit-identical; holding each level back for one iteration is
+        // what lets the next frontier borrow instead of clone.
+        for s in pending.drain(..) {
             top.push(s.into_pattern());
         }
+        let done = timed_out || scored.is_empty();
         if done {
+            for s in scored {
+                top.push(s.into_pattern());
+            }
             break;
         }
-        frontier = next;
+        // Select the next frontier: a stable index sort by SI descending
+        // reproduces the old sort-the-level order exactly (ties keep
+        // scored order). The keepers are indices into the retained level —
+        // no intention or extension is cloned.
+        let mut order: Vec<usize> = (0..scored.len()).collect();
+        order.sort_by(|&a, &b| scored[b].score.si.partial_cmp(&scored[a].score.si).unwrap());
+        order.truncate(cfg.width);
+        pending = scored;
+        frontier_idx = order;
+    }
+    // The last level was never followed by another generation pass: flush
+    // its retained results into the log.
+    for s in pending {
+        top.push(s.into_pattern());
     }
 
     BeamLevelsOutcome {

@@ -132,3 +132,81 @@ fn owned_scoring_saves_one_extension_allocation_per_candidate() {
 // buffer. Comparative counting here + pointer identity there avoids
 // exact-equality assertions on global allocation counts, which jitter
 // with randomized hash-map resize timing.)
+
+use sisd::data::{Column, Dataset};
+use sisd::linalg::Matrix;
+use sisd::search::{BeamConfig, BeamSearch};
+
+/// A wide dataset (large `n`, so one extension clone is expensive) whose
+/// condition language is eight `Eq` conditions on a single categorical
+/// attribute: a depth-1 beam scores exactly the eight single-label
+/// children of the root, whatever its width — so searches differing only
+/// in `width` do identical generation, scoring, and logging work.
+fn one_attribute_dataset(n: usize) -> Dataset {
+    let mut rng = Xoshiro256pp::seed_from_u64(17);
+    let labels: Vec<String> = (0..n).map(|i| format!("g{}", i % 8)).collect();
+    let mut targets = Matrix::zeros(n, 1);
+    for i in 0..n {
+        targets[(i, 0)] = rng.normal() + (i % 8) as f64 * 0.1;
+    }
+    Dataset::new(
+        "wide",
+        vec!["group".into()],
+        vec![Column::categorical_from_strs(
+            &labels.iter().map(String::as_str).collect::<Vec<_>>(),
+        )],
+        vec!["y".into()],
+        targets,
+    )
+}
+
+#[test]
+fn beam_levels_do_not_clone_next_frontier_parents() {
+    // PR 4 left one known per-level allocation: the `width` best scored
+    // results were cloned (intention + extension) into the next frontier
+    // because the scored level moved into the top-k log immediately. The
+    // beam now retains each scored level until the following level has
+    // been generated and the frontier *borrows* it, so the clones are
+    // gone — and with them the only width-dependent allocation of a
+    // level transition. Pin that by comparing a `width = 1` search with a
+    // `width = 8` search that do otherwise identical work (depth 1, all
+    // eight children of the root generated, scored, and logged in both):
+    // the old code paid `width × ext_bytes` in keeper clones (~57 KiB
+    // difference here), the new code pays zero.
+    const N: usize = 65_536;
+    let data = one_attribute_dataset(N);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let cfg = |width: usize| BeamConfig {
+        width,
+        max_depth: 1,
+        top_k: 20,
+        ..BeamConfig::default()
+    };
+    // Warm lazy model state so the measured runs differ only in `width`.
+    let warm = BeamSearch::new(cfg(8)).run(&data, &model);
+    assert_eq!(
+        warm.top.len(),
+        8,
+        "all eight groups must be scored and kept"
+    );
+
+    let measure = |width: usize| -> usize {
+        let mut best = usize::MAX;
+        for _ in 0..3 {
+            let (res, _, bytes) = counted(|| BeamSearch::new(cfg(width)).run(&data, &model));
+            assert_eq!(res.top.len(), 8);
+            best = best.min(bytes);
+        }
+        best
+    };
+    let width1 = measure(1);
+    let width8 = measure(8);
+    let ext_bytes = N.div_ceil(64) * std::mem::size_of::<u64>();
+    let extra = width8.saturating_sub(width1);
+    assert!(
+        extra < ext_bytes,
+        "selecting a wider next frontier must not allocate per keeper: \
+         extra={extra} bytes for 7 extra keepers vs {ext_bytes} bytes per \
+         old-style extension clone (width1={width1}, width8={width8})"
+    );
+}

@@ -72,8 +72,9 @@ proptest! {
         }
     }
 
-    /// The builder's children — order, supports, and extension words — are
-    /// identical to the serial per-candidate loop at every thread count.
+    /// The count-first builder's children — order, supports, and extension
+    /// words — are identical to the serial per-candidate loop **and** to
+    /// the single-pass (PR 4) builder at every thread count.
     #[test]
     fn refine_parents_matches_per_candidate_loop(seed in 0u64..10_000) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
@@ -109,6 +110,81 @@ proptest! {
                 prop_assert_eq!(m.row, *row);
                 prop_assert_eq!(m.support, *support);
                 prop_assert_eq!(&got.child_bitset(i), ext, "threads={}", threads);
+            }
+            // Count-first vs the single-pass (PR 4) builder, bit for bit.
+            let single = builder.refine_parents_single_pass(&parents, allowed);
+            prop_assert_eq!(got.len(), single.len(), "threads={}", threads);
+            for i in 0..single.len() {
+                prop_assert_eq!(got.meta(i), single.meta(i), "threads={}", threads);
+                prop_assert_eq!(got.child_words(i), single.child_words(i), "threads={}", threads);
+            }
+        }
+    }
+
+    /// `refine_with_prune` — the count-first path with a serial keep
+    /// predicate between counting and materialization — emits exactly the
+    /// single-pass builder's children post-filtered by the same predicate,
+    /// at every thread count. Exercised with a stateful first-wins dedup
+    /// predicate (the beam's use) and a support-threshold predicate shaped
+    /// like branch-and-bound's optimistic bound.
+    #[test]
+    fn refine_with_prune_matches_filtered_single_pass(seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x0694_6d1f_13b7_a55b);
+        let n = 2 + (seed as usize * 19) % 300;
+        let rows = 1 + (seed as usize) % 45;
+        let min_support = (seed as usize) % 3;
+        let masks: Vec<BitSet> = (0..rows).map(|_| random_mask(&mut rng, n, 0.45)).collect();
+        let matrix = MaskMatrix::from_bitsets(n, masks.iter().cloned());
+        let parent_sets: Vec<BitSet> =
+            (0..4).map(|_| random_mask(&mut rng, n, 0.75)).collect();
+        let parents: Vec<ParentSpec<'_>> = parent_sets
+            .iter()
+            .map(|ext| ParentSpec { ext, max_support: ext.count().saturating_sub(1) })
+            .collect();
+        let allowed = |p: usize, row: usize| !(p + row * 2 + seed as usize).is_multiple_of(7);
+
+        // A stateful dedup predicate (support-keyed, first wins) and a
+        // stateless bound-style predicate (keep only supports above a
+        // per-parent threshold — monotone in support, like an optimistic
+        // bound against an incumbent).
+        let bound_floor = 1 + (seed as usize) % 8;
+
+        for threads in [1usize, 2, 4] {
+            let builder = FrontierBuilder::new(
+                &matrix,
+                FrontierConfig { min_support, threads },
+            );
+            let single = builder.refine_parents_single_pass(&parents, allowed);
+
+            // Case 1: first-wins dedup on support values.
+            let mut seen: HashSet<usize> = HashSet::new();
+            let got = builder.refine_with_prune(&parents, allowed, |_, _, support| {
+                seen.insert(support)
+            });
+            let mut seen_ref: HashSet<usize> = HashSet::new();
+            let expect: Vec<usize> = (0..single.len())
+                .filter(|&i| seen_ref.insert(single.meta(i).support))
+                .collect();
+            prop_assert_eq!(got.len(), expect.len(), "dedup threads={}", threads);
+            for (k, &i) in expect.iter().enumerate() {
+                prop_assert_eq!(got.meta(k), single.meta(i), "dedup threads={}", threads);
+                prop_assert_eq!(got.child_words(k), single.child_words(i));
+            }
+
+            // Case 2: bound-style support-threshold predicate.
+            let got = builder.refine_with_prune(&parents, allowed, |p, _, support| {
+                support >= bound_floor + p
+            });
+            let expect: Vec<usize> = (0..single.len())
+                .filter(|&i| {
+                    let m = single.meta(i);
+                    m.support >= bound_floor + m.parent
+                })
+                .collect();
+            prop_assert_eq!(got.len(), expect.len(), "bound threads={}", threads);
+            for (k, &i) in expect.iter().enumerate() {
+                prop_assert_eq!(got.meta(k), single.meta(i), "bound threads={}", threads);
+                prop_assert_eq!(got.child_words(k), single.child_words(i));
             }
         }
     }

@@ -105,9 +105,11 @@ proptest! {
         }
     }
 
-    /// Sharded frontier refinement — per-shard kernels merged in shard
-    /// order — emits the unsharded `ChildBatch` bit for bit, at 1 and 4
-    /// threads and every shard count.
+    /// Sharded count-first frontier refinement — per-shard count-only
+    /// kernels, filters on shard-summed totals, survivors materialized in
+    /// shard order — emits the unsharded `ChildBatch` bit for bit, at 1
+    /// and 4 threads and every shard count; and both layouts' count-first
+    /// output equals their single-pass (PR 4) reference.
     #[test]
     fn sharded_frontier_matches_unsharded(seed in 0u64..10_000) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
@@ -122,20 +124,27 @@ proptest! {
             .map(|ext| ParentSpec { ext, max_support: ext.count().saturating_sub(1) })
             .collect();
         let allowed = |p: usize, row: usize| !(p * 5 + row + seed as usize).is_multiple_of(4);
-        let expect = FrontierBuilder::new(
+        let dense_builder = FrontierBuilder::new(
             &dense,
             FrontierConfig { min_support, threads: 1 },
-        )
-        .refine_parents(&parents, allowed);
+        );
+        let expect = dense_builder.refine_parents_single_pass(&parents, allowed);
+        // Unsharded count-first vs unsharded single-pass.
+        let dense_cf = dense_builder.refine_parents(&parents, allowed);
+        prop_assert_eq!(dense_cf.len(), expect.len());
+        for i in 0..expect.len() {
+            prop_assert_eq!(dense_cf.meta(i), expect.meta(i));
+            prop_assert_eq!(dense_cf.child_words(i), expect.child_words(i));
+        }
         for s in SHARD_COUNTS {
             let plan = ShardPlan::new(n, s);
             let sharded = ShardedMaskMatrix::from_parts(plan.clone(), shard_matrices(&masks, &plan));
             for threads in [1usize, 4] {
-                let got = ShardedFrontierBuilder::new(
+                let builder = ShardedFrontierBuilder::new(
                     &sharded,
                     FrontierConfig { min_support, threads },
-                )
-                .refine_parents(&parents, allowed);
+                );
+                let got = builder.refine_parents(&parents, allowed);
                 prop_assert_eq!(got.len(), expect.len(), "s={} t={}", s, threads);
                 for i in 0..expect.len() {
                     prop_assert_eq!(got.meta(i), expect.meta(i), "s={} t={}", s, threads);
@@ -143,6 +152,71 @@ proptest! {
                         got.child_words(i),
                         expect.child_words(i),
                         "s={} t={} child {}", s, threads, i
+                    );
+                }
+                // The sharded single-pass (PR 4) reference agrees too.
+                let single = builder.refine_parents_single_pass(&parents, allowed);
+                prop_assert_eq!(single.len(), expect.len(), "s={} t={}", s, threads);
+                for i in 0..expect.len() {
+                    prop_assert_eq!(single.meta(i), expect.meta(i), "s={} t={}", s, threads);
+                    prop_assert_eq!(single.child_words(i), expect.child_words(i));
+                }
+            }
+        }
+    }
+
+    /// Count-first refinement with a keep predicate — first-wins dedup
+    /// state and a branch-and-bound-shaped support bound — is bit-identical
+    /// between the sharded and unsharded layouts at every shard × thread
+    /// combination, and equals the single-pass output post-filtered by the
+    /// same predicate.
+    #[test]
+    fn sharded_refine_with_prune_matches_unsharded(seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x1234_5678_9abc_def0);
+        let n = 12 + (seed as usize * 23) % 260;
+        let rows = 1 + (seed as usize) % 36;
+        let min_support = (seed as usize) % 3;
+        let bound_floor = 1 + (seed as usize) % 6;
+        let masks: Vec<BitSet> = (0..rows).map(|_| random_mask(&mut rng, n, 0.4)).collect();
+        let dense = MaskMatrix::from_bitsets(n, masks.iter().cloned());
+        let parent_sets: Vec<BitSet> = (0..3).map(|_| random_mask(&mut rng, n, 0.7)).collect();
+        let parents: Vec<ParentSpec<'_>> = parent_sets
+            .iter()
+            .map(|ext| ParentSpec { ext, max_support: ext.count().saturating_sub(1) })
+            .collect();
+        let allowed = |p: usize, row: usize| !(p * 3 + row + seed as usize).is_multiple_of(6);
+        // The keep predicate combines both production shapes: a bound
+        // check on the global support (monotone, like B&B's optimistic
+        // bound against the incumbent) and stateful first-wins dedup.
+        let config = FrontierConfig { min_support, threads: 1 };
+        let single = FrontierBuilder::new(&dense, config)
+            .refine_parents_single_pass(&parents, allowed);
+        let mut seen_ref: std::collections::HashSet<(usize, usize)> = Default::default();
+        let expect: Vec<usize> = (0..single.len())
+            .filter(|&i| {
+                let m = single.meta(i);
+                m.support >= bound_floor && seen_ref.insert((m.row, m.support))
+            })
+            .collect();
+        for s in SHARD_COUNTS {
+            let plan = ShardPlan::new(n, s);
+            let sharded = ShardedMaskMatrix::from_parts(plan.clone(), shard_matrices(&masks, &plan));
+            for threads in [1usize, 4] {
+                let mut seen: std::collections::HashSet<(usize, usize)> = Default::default();
+                let got = ShardedFrontierBuilder::new(
+                    &sharded,
+                    FrontierConfig { min_support, threads },
+                )
+                .refine_with_prune(&parents, allowed, |_, row, support| {
+                    support >= bound_floor && seen.insert((row, support))
+                });
+                prop_assert_eq!(got.len(), expect.len(), "s={} t={}", s, threads);
+                for (k, &i) in expect.iter().enumerate() {
+                    prop_assert_eq!(got.meta(k), single.meta(i), "s={} t={}", s, threads);
+                    prop_assert_eq!(
+                        got.child_words(k),
+                        single.child_words(i),
+                        "s={} t={} child {}", s, threads, k
                     );
                 }
             }
