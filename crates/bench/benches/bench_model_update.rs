@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sisd_data::datasets::{crime_synthetic, german_socio_synthetic};
 use sisd_data::{BitSet, Dataset};
-use sisd_model::BackgroundModel;
+use sisd_model::{BackgroundModel, WARM_COLD_SCORE_TOL};
 use sisd_stats::Xoshiro256pp;
 use std::hint::black_box;
 
@@ -53,6 +53,96 @@ fn bench_location_update_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deep-session sweep: per-step `assimilate + refit` cost as a session
+/// accumulates k = 1..20 overlapping location patterns. With warm-started
+/// projections the curve should grow roughly linearly in k (per-step work
+/// is dominated by re-projections over the overlap structure), not
+/// cubically — the numbers are tracked in BASELINES.md.
+fn bench_deep_session_sweep(c: &mut Criterion) {
+    let (data, _) = german_socio_synthetic(7);
+    let exts = random_extensions(&data, 21, 11);
+    let mut group = c.benchmark_group("location_update_sweep");
+    let mut session = BackgroundModel::from_empirical(&data).expect("model");
+    for k in 1..=20usize {
+        let ext = &exts[k - 1];
+        let mean = data.target_mean(ext);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &session, |b, base| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.assimilate_location(black_box(ext), mean.clone()).unwrap();
+                m.refit(1e-7, 100).unwrap();
+                m.n_cells()
+            })
+        });
+        // Advance the session so step k+1 starts from k assimilated
+        // patterns.
+        session.assimilate_location(ext, mean).expect("advance");
+        session.refit(1e-7, 100).expect("refit");
+    }
+    group.finish();
+}
+
+/// CI smoke gate (`cargo bench -p sisd-bench --bench bench_model_update --
+/// smoke`): asserts that the warm-started incremental refit and a cold
+/// replay-from-prior refit land on the same belief state (row means within
+/// [`WARM_COLD_SCORE_TOL`]) **before** timing either path. A warm/cold
+/// divergence fails the bench run loudly rather than shipping wrong
+/// numbers.
+fn bench_smoke_warm_vs_cold(c: &mut Criterion) {
+    let (data, _) = german_socio_synthetic(7);
+    let exts = random_extensions(&data, 7, 11);
+    let mut warm = BackgroundModel::from_empirical(&data).expect("model");
+    for ext in exts.iter().take(6) {
+        warm.assimilate_location(ext, data.target_mean(ext))
+            .unwrap();
+        warm.refit(1e-9, 200).unwrap();
+    }
+    let mut cold = warm.clone();
+    cold.refit_cold(1e-9, 200).expect("cold refit");
+    for i in 0..data.n() {
+        for (a, b) in warm.row_mean(i).iter().zip(cold.row_mean(i)) {
+            assert!(
+                (a - b).abs() <= WARM_COLD_SCORE_TOL,
+                "warm/cold divergence at row {i}: {a} vs {b}"
+            );
+        }
+    }
+    let probe = &exts[6];
+    let observed = data.target_mean(probe);
+    let sw = warm.location_stats(probe, &observed).expect("stats");
+    let sc = cold.location_stats(probe, &observed).expect("stats");
+    assert!(
+        (sw.mahalanobis - sc.mahalanobis).abs() <= WARM_COLD_SCORE_TOL
+            && (sw.log_det_cov - sc.log_det_cov).abs() <= WARM_COLD_SCORE_TOL,
+        "warm/cold probe-score divergence: ({}, {}) vs ({}, {})",
+        sw.mahalanobis,
+        sw.log_det_cov,
+        sc.mahalanobis,
+        sc.log_det_cov
+    );
+
+    let ext = &exts[6];
+    let mean = data.target_mean(ext);
+    let mut group = c.benchmark_group("smoke_warm_vs_cold");
+    group.bench_function("warm_incremental", |b| {
+        b.iter(|| {
+            let mut m = warm.clone();
+            m.assimilate_location(black_box(ext), mean.clone()).unwrap();
+            m.refit(1e-7, 100).unwrap();
+            m.n_cells()
+        })
+    });
+    group.bench_function("cold_replay", |b| {
+        b.iter(|| {
+            let mut m = warm.clone();
+            m.assimilate_location(black_box(ext), mean.clone()).unwrap();
+            m.refit_cold(1e-7, 100).unwrap();
+            m.n_cells()
+        })
+    });
+    group.finish();
+}
+
 fn bench_spread_update(c: &mut Criterion) {
     let (data, _) = german_socio_synthetic(7);
     let exts = random_extensions(&data, 4, 13);
@@ -88,6 +178,8 @@ fn bench_initial_fit(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_location_update_scaling,
+    bench_deep_session_sweep,
+    bench_smoke_warm_vs_cold,
     bench_spread_update,
     bench_initial_fit
 );

@@ -8,7 +8,7 @@
 //! w ≈ (0.5704, 0.8214) on (CDU, SPD) with much *smaller* variance than
 //! expected — the parties battle for the same voters.
 
-use sisd_bench::{f2, f3, print_table, section, shards_arg, threads_arg};
+use sisd_bench::{f2, f3, print_table, report_assimilation, section, shards_arg, threads_arg};
 use sisd_data::datasets::german_socio_synthetic;
 use sisd_search::{BeamConfig, EvalConfig, Miner, MinerConfig, SphereConfig};
 
@@ -74,9 +74,13 @@ fn main() {
             .collect();
         print_table(&["party", "observed %", "expected %", "95% band"], &rows);
 
+        let t = std::time::Instant::now();
         miner.assimilate_location(&best).expect("assimilation");
+        report_assimilation("location", t.elapsed(), miner.last_refit_stats());
         let spread = miner.mine_spread(&best);
+        let t = std::time::Instant::now();
         miner.assimilate_spread(&spread).expect("assimilation");
+        report_assimilation("spread", t.elapsed(), miner.last_refit_stats());
         println!("spread   : {}", spread.summary(&data));
         let nz: Vec<(usize, f64)> = spread
             .w

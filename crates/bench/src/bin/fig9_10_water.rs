@@ -6,7 +6,7 @@
 //! spread direction has *larger* variance than expected, with the weight
 //! concentrated on BOD and KMnO₄ without any sparsity being enforced.
 
-use sisd_bench::{f2, f3, print_table, section, shards_arg, threads_arg};
+use sisd_bench::{f2, f3, print_table, report_assimilation, section, shards_arg, threads_arg};
 use sisd_data::datasets::water_quality_synthetic;
 use sisd_search::{BeamConfig, EvalConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
 
@@ -81,7 +81,9 @@ fn main() {
         &rows,
     );
 
+    let t = std::time::Instant::now();
     miner.assimilate_location(&best).expect("assimilation");
+    report_assimilation("location", t.elapsed(), miner.last_refit_stats());
 
     // Per-axis spread surprise (paper Fig. 9c interpretation): the single
     // most surprising axes must be the oxygen-demand parameters.

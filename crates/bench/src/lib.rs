@@ -128,6 +128,25 @@ pub fn f4(x: f64) -> String {
     format!("{x:.4}")
 }
 
+/// One-line assimilation report for the case-study binaries: what kind of
+/// pattern entered the belief state, how long assimilate+refit took, and
+/// how hard the refit worked (cycles and re-projections — the observable
+/// cost of the warm-started incremental path).
+pub fn report_assimilation(
+    kind: &str,
+    elapsed: std::time::Duration,
+    stats: Option<sisd_model::RefitStats>,
+) {
+    match stats {
+        Some(s) => println!(
+            "assimilated {kind} pattern in {elapsed:.2?} \
+             (refit: {} cycle(s), {} re-projection(s))",
+            s.cycles, s.constraints_updated
+        ),
+        None => println!("assimilated {kind} pattern in {elapsed:.2?}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

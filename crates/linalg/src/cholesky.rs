@@ -120,35 +120,156 @@ impl Cholesky {
 
     /// Solves `L z = b` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let mut z = b.to_vec();
+        self.solve_lower_in_place(&mut z);
+        z
+    }
+
+    /// Forward substitution without allocating: overwrites `b` with `L⁻¹ b`.
+    pub fn solve_lower_in_place(&self, b: &mut [f64]) {
         let n = self.dim();
         assert_eq!(b.len(), n, "solve_lower: dimension mismatch");
-        let mut z = b.to_vec();
         for i in 0..n {
             for k in 0..i {
-                z[i] -= self.l[(i, k)] * z[k];
+                b[i] -= self.l[(i, k)] * b[k];
             }
-            z[i] /= self.l[(i, i)];
+            b[i] /= self.l[(i, i)];
         }
-        z
     }
 
     /// Solves `Lᵀ x = z` (backward substitution).
     pub fn solve_lower_transpose(&self, z: &[f64]) -> Vec<f64> {
+        let mut x = z.to_vec();
+        self.solve_lower_transpose_in_place(&mut x);
+        x
+    }
+
+    /// Backward substitution without allocating: overwrites `z` with `L⁻ᵀ z`.
+    pub fn solve_lower_transpose_in_place(&self, z: &mut [f64]) {
         let n = self.dim();
         assert_eq!(z.len(), n, "solve_lower_transpose: dimension mismatch");
-        let mut x = z.to_vec();
         for i in (0..n).rev() {
             for k in (i + 1)..n {
-                x[i] -= self.l[(k, i)] * x[k];
+                z[i] -= self.l[(k, i)] * z[k];
             }
-            x[i] /= self.l[(i, i)];
+            z[i] /= self.l[(i, i)];
         }
-        x
     }
 
     /// Solves `A x = b`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        self.solve_lower_transpose(&self.solve_lower(b))
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A x = b` without allocating: overwrites `b` with `A⁻¹ b`.
+    /// This is the triangular-solve path that pairs with the in-place
+    /// update/downdate methods below — an updated factor is reused directly
+    /// instead of being refactorized before the next solve.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        self.solve_lower_in_place(b);
+        self.solve_lower_transpose_in_place(b);
+    }
+
+    /// Rank-one update `A ← A + x xᵀ` applied directly to the factor in
+    /// O(n²) (LINPACK `dchud`-style Givens sweep). The update of an SPD
+    /// matrix is always SPD, so this cannot fail for finite `x`.
+    pub fn rank_one_update(&mut self, x: &[f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "rank_one_update: dimension mismatch");
+        let mut w = x.to_vec();
+        self.rank_one_update_impl(&mut w);
+    }
+
+    fn rank_one_update_impl(&mut self, w: &mut [f64]) {
+        let n = self.dim();
+        for k in 0..n {
+            let l = self.l[(k, k)];
+            let r = l.hypot(w[k]);
+            let c = r / l;
+            let s = w[k] / l;
+            self.l[(k, k)] = r;
+            for (i, wi) in w.iter_mut().enumerate().skip(k + 1) {
+                let lik = (self.l[(i, k)] + s * *wi) / c;
+                *wi = c * *wi - s * lik;
+                self.l[(i, k)] = lik;
+            }
+        }
+    }
+
+    /// Rank-one downdate `A ← A − x xᵀ` applied directly to the factor in
+    /// O(n²) (hyperbolic-rotation sweep). Fails with the offending pivot when
+    /// the downdated matrix is not numerically positive definite.
+    ///
+    /// **On `Err` the factor is left in an unspecified, partially-mutated
+    /// state** — callers must discard it and refactorize from the matrix
+    /// (the model layer falls back to a fresh jittered factorization).
+    pub fn rank_one_downdate(&mut self, x: &[f64]) -> Result<(), CholeskyError> {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "rank_one_downdate: dimension mismatch");
+        let mut w = x.to_vec();
+        self.rank_one_downdate_impl(&mut w)
+    }
+
+    fn rank_one_downdate_impl(&mut self, w: &mut [f64]) -> Result<(), CholeskyError> {
+        let n = self.dim();
+        for k in 0..n {
+            let l = self.l[(k, k)];
+            let d = l * l - w[k] * w[k];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(CholeskyError { pivot: k });
+            }
+            let r = d.sqrt();
+            let c = r / l;
+            let s = w[k] / l;
+            self.l[(k, k)] = r;
+            for (i, wi) in w.iter_mut().enumerate().skip(k + 1) {
+                let lik = (self.l[(i, k)] - s * *wi) / c;
+                *wi = c * *wi - s * lik;
+                self.l[(i, k)] = lik;
+            }
+        }
+        Ok(())
+    }
+
+    /// Signed rank-one modification `A ← A + α x xᵀ` in O(n²): an update for
+    /// `α > 0`, a guarded downdate for `α < 0`, a no-op for `α = 0`. The same
+    /// `Err` contract as [`Self::rank_one_downdate`] applies: on failure the
+    /// factor is unspecified and must be rebuilt.
+    pub fn update_scaled(&mut self, alpha: f64, x: &[f64]) -> Result<(), CholeskyError> {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "update_scaled: dimension mismatch");
+        if alpha == 0.0 {
+            return Ok(());
+        }
+        let s = alpha.abs().sqrt();
+        let mut w: Vec<f64> = x.iter().map(|v| v * s).collect();
+        if alpha > 0.0 {
+            self.rank_one_update_impl(&mut w);
+            Ok(())
+        } else {
+            self.rank_one_downdate_impl(&mut w)
+        }
+    }
+
+    /// Rank-k update `A ← A + Σ xⱼ xⱼᵀ` as k sequential rank-one sweeps:
+    /// O(k·n²) total, versus O(n³) for refactorizing the modified matrix.
+    pub fn rank_k_update<X: AsRef<[f64]>>(&mut self, xs: &[X]) {
+        for x in xs {
+            self.rank_one_update(x.as_ref());
+        }
+    }
+
+    /// Rank-k downdate `A ← A − Σ xⱼ xⱼᵀ` as k sequential guarded rank-one
+    /// sweeps. Stops at the first sweep that would lose positive
+    /// definiteness; **on `Err` the factor is unspecified** (some sweeps have
+    /// been applied) and the caller must refactorize from scratch.
+    pub fn rank_k_downdate<X: AsRef<[f64]>>(&mut self, xs: &[X]) -> Result<(), CholeskyError> {
+        for x in xs {
+            self.rank_one_downdate(x.as_ref())?;
+        }
+        Ok(())
     }
 
     /// Mahalanobis-style quadratic form `bᵀ A⁻¹ b`, computed stably as
@@ -275,6 +396,114 @@ mod tests {
         let (ch, jitter) = Cholesky::new_with_jitter(&a, 8).unwrap();
         assert!(jitter > 0.0);
         assert_eq!(ch.dim(), 2);
+    }
+
+    fn assert_factors_close(ch: &Cholesky, fresh: &Cholesky, tol: f64) {
+        let n = ch.dim();
+        assert_eq!(fresh.dim(), n);
+        for i in 0..n {
+            for j in 0..=i {
+                assert!(
+                    (ch.factor()[(i, j)] - fresh.factor()[(i, j)]).abs() < tol,
+                    "factor mismatch at ({i},{j}): {} vs {}",
+                    ch.factor()[(i, j)],
+                    fresh.factor()[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_update_matches_fresh_factorization() {
+        let mut a = spd3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let x = [0.7, -1.3, 0.4];
+        ch.rank_one_update(&x);
+        a.rank_one_update(1.0, &x, &x);
+        assert_factors_close(&ch, &Cholesky::new(&a).unwrap(), 1e-12);
+    }
+
+    #[test]
+    fn rank_one_downdate_matches_fresh_factorization() {
+        let mut a = spd3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let x = [0.5, 0.2, -0.9];
+        ch.rank_one_downdate(&x).unwrap();
+        a.rank_one_update(-1.0, &x, &x);
+        assert_factors_close(&ch, &Cholesky::new(&a).unwrap(), 1e-12);
+    }
+
+    #[test]
+    fn downdate_to_indefinite_is_rejected() {
+        // A − x xᵀ with x too large along e₀ loses positive definiteness;
+        // A[(0,0)] = 4, so x₀ = 2.5 drives the first pivot negative.
+        let a = spd3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let err = ch.rank_one_downdate(&[2.5, 0.0, 0.0]).unwrap_err();
+        assert_eq!(err.pivot, 0);
+    }
+
+    #[test]
+    fn update_scaled_signs_and_noop() {
+        let mut a = spd3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let x = [1.0, 0.5, -0.25];
+        ch.update_scaled(0.0, &x).unwrap();
+        assert_factors_close(&ch, &Cholesky::new(&a).unwrap(), 1e-15);
+        ch.update_scaled(0.3, &x).unwrap();
+        a.rank_one_update(0.3, &x, &x);
+        assert_factors_close(&ch, &Cholesky::new(&a).unwrap(), 1e-12);
+        ch.update_scaled(-0.2, &x).unwrap();
+        a.rank_one_update(-0.2, &x, &x);
+        assert_factors_close(&ch, &Cholesky::new(&a).unwrap(), 1e-12);
+    }
+
+    #[test]
+    fn rank_k_roundtrip_matches_fresh() {
+        let mut a = spd3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let xs = [[0.4, -0.1, 0.9], [0.2, 0.8, -0.3]];
+        ch.rank_k_update(&xs);
+        for x in &xs {
+            a.rank_one_update(1.0, x, x);
+        }
+        assert_factors_close(&ch, &Cholesky::new(&a).unwrap(), 1e-12);
+        ch.rank_k_downdate(&xs).unwrap();
+        assert_factors_close(&ch, &Cholesky::new(&spd3()).unwrap(), 1e-10);
+    }
+
+    #[test]
+    fn in_place_solves_match_allocating_solves() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let mut x = b.to_vec();
+        ch.solve_in_place(&mut x);
+        assert_eq!(x, ch.solve(&b));
+        let mut z = b.to_vec();
+        ch.solve_lower_in_place(&mut z);
+        assert_eq!(z, ch.solve_lower(&b));
+        let mut y = b.to_vec();
+        ch.solve_lower_transpose_in_place(&mut y);
+        assert_eq!(y, ch.solve_lower_transpose(&b));
+    }
+
+    #[test]
+    fn updated_factor_solves_updated_system() {
+        // The point of the in-place path: after an update/downdate the same
+        // factor object keeps solving the *modified* system.
+        let mut a = spd3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let x = [0.3, 1.1, -0.7];
+        ch.rank_one_update(&x);
+        a.rank_one_update(1.0, &x, &x);
+        let b = [2.0, 0.0, -1.0];
+        let mut sol = b.to_vec();
+        ch.solve_in_place(&mut sol);
+        let ax = a.mul_vec(&sol);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-10);
+        }
     }
 
     #[test]

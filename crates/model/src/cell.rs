@@ -8,7 +8,7 @@
 
 use sisd_data::BitSet;
 use sisd_linalg::{Cholesky, Matrix};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One cell of the parameter partition.
 #[derive(Debug, Clone)]
@@ -29,7 +29,9 @@ pub struct Cell {
     /// Lazily-initialized factor of `sigma`. `None` inside the lock means
     /// the factorization failed (numerically indefinite covariance), which
     /// callers surface as an error rather than retrying or panicking.
-    chol: OnceLock<Option<Cholesky>>,
+    /// `Arc`-shared so that cell splits and model clones alias the factor
+    /// instead of deep-copying it; in-place factor updates copy-on-write.
+    chol: OnceLock<Option<Arc<Cholesky>>>,
 }
 
 impl Cell {
@@ -65,14 +67,37 @@ impl Cell {
             .get_or_init(|| {
                 Cholesky::new_with_jitter(&self.sigma, 8)
                     .ok()
-                    .map(|(c, _)| c)
+                    .map(|(c, _)| Arc::new(c))
             })
-            .as_ref()
+            .as_deref()
     }
 
     /// Invalidates the cached factor (call after mutating `sigma`).
     pub fn invalidate_chol(&mut self) {
         self.chol = OnceLock::new();
+    }
+
+    /// Applies the rank-one modification `Σ ← Σ + α u uᵀ` to the *cached
+    /// factor* in O(dy²), instead of invalidating it and paying a fresh
+    /// O(dy³) factorization on next use. Call after applying the same
+    /// modification to `sigma` itself.
+    ///
+    /// If no factor has been computed yet, nothing happens (it stays lazy).
+    /// If the guarded downdate detects loss of positive definiteness — or a
+    /// previous factorization attempt had failed — the cache is reset, so
+    /// the next access falls back to the jittered refactorization.
+    pub fn update_factor_scaled(&mut self, alpha: f64, u: &[f64]) {
+        let reset = match self.chol.get_mut() {
+            None => false,
+            // Copy-on-write: splits/clones may still alias this factor.
+            Some(Some(chol)) => Arc::make_mut(chol).update_scaled(alpha, u).is_err(),
+            // A previously failed factorization may succeed now that Σ
+            // changed; allow the retry.
+            Some(None) => true,
+        };
+        if reset {
+            self.chol = OnceLock::new();
+        }
     }
 
     /// `wᵀ Σ w` for a direction `w`.
@@ -165,6 +190,27 @@ mod tests {
                 assert!((h.join().expect("worker") - 0.0).abs() < 1e-12);
             }
         });
+    }
+
+    #[test]
+    fn factor_update_tracks_sigma_modification() {
+        let mut c = cell(&[0, 1]);
+        c.sigma = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        c.invalidate_chol();
+        let ld_before = c.chol().expect("factorable").log_det();
+        // Apply Σ ← Σ + 0.4·uuᵀ to the matrix and the factor in lockstep.
+        let u = [0.6, -0.3];
+        c.sigma.rank_one_update(0.4, &u, &u);
+        c.update_factor_scaled(0.4, &u);
+        let fresh = Cholesky::new(&c.sigma).unwrap();
+        let ld_after = c.chol().expect("still factorable").log_det();
+        assert!(ld_after != ld_before);
+        assert!((ld_after - fresh.log_det()).abs() < 1e-12);
+        // A downdate that destroys positive definiteness resets the cache
+        // instead of keeping a corrupt factor.
+        let big = [10.0, 0.0];
+        c.update_factor_scaled(-1.0, &big);
+        assert!(c.chol().is_some(), "lazy refactorization takes over");
     }
 
     #[test]

@@ -29,7 +29,8 @@ mod constraint;
 mod solver;
 
 pub use background::{
-    BackgroundModel, FactorCache, LocationStats, ModelError, RefitStats, SpreadStats,
+    BackgroundModel, CovSignature, FactorCache, LocationStats, ModelError, RefitStats, SpreadStats,
+    WARM_COLD_SCORE_TOL,
 };
 pub use binary::{BinaryBackgroundModel, BinaryLocationStats};
 pub use cell::Cell;

@@ -125,6 +125,30 @@ impl BeamSearch {
             degraded: outcome.degraded,
         }
     }
+
+    /// [`BeamSearch::run`] with an externally-owned factor cache, so
+    /// mixed-covariance factorizations memoized in earlier searches over
+    /// the same model lineage are reused instead of recomputed. Scores are
+    /// bit-identical to [`BeamSearch::run`] (the cache memoizes pure
+    /// functions of canonical covariance-value signatures).
+    pub fn run_with_cache(
+        &self,
+        data: &Dataset,
+        model: &BackgroundModel,
+        cache: std::sync::Arc<sisd_model::FactorCache>,
+    ) -> BeamResult {
+        let start = Instant::now();
+        let ev =
+            Evaluator::gaussian_with_cache(data, model, self.config.dl, self.config.eval, cache);
+        let outcome = run_beam_levels(&ev, &self.config, start);
+        BeamResult {
+            top: outcome.top,
+            evaluated: outcome.evaluated,
+            elapsed: start.elapsed(),
+            timed_out: outcome.timed_out,
+            degraded: outcome.degraded,
+        }
+    }
 }
 
 #[cfg(test)]

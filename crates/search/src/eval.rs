@@ -38,7 +38,7 @@ use sisd_frontier::{FrontierConfig, MaskStore, ParentSpec};
 use sisd_model::{BackgroundModel, BinaryBackgroundModel, FactorCache, ModelError};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Engine configuration, threaded from the application surface
@@ -124,9 +124,12 @@ enum Backend<'a> {
     /// The paper's Gaussian background distribution.
     Gaussian {
         model: &'a BackgroundModel,
-        /// Mixed-covariance factorizations memoized by cell-count
-        /// signature; valid exactly as long as the model borrow.
-        cache: FactorCache,
+        /// Mixed-covariance factorizations memoized by covariance-value
+        /// signature. Shared (`Arc`) so a long-lived cache — e.g. the
+        /// [`crate::Miner`]'s, surviving across searches and assimilations
+        /// of one model lineage — can be plugged in; the default is a
+        /// private cache that lives and dies with the evaluator.
+        cache: Arc<FactorCache>,
         /// Per-cell sums of the dataset's target rows, aligned with
         /// `model.cells()`; built on first use.
         cell_sums: OnceLock<Vec<Vec<f64>>>,
@@ -162,6 +165,21 @@ impl<'a> Evaluator<'a> {
         dl: sisd_core::DlParams,
         cfg: EvalConfig,
     ) -> Self {
+        Self::gaussian_with_cache(data, model, dl, cfg, Arc::new(FactorCache::new()))
+    }
+
+    /// Engine over the Gaussian background model with an externally-owned
+    /// factor cache. Entries are keyed by covariance-value signature and
+    /// pinned to one model lineage, so the same cache stays valid across
+    /// repeated searches and assimilations of one evolving model; a cache
+    /// pinned to a different lineage is bypassed, never corrupted.
+    pub fn gaussian_with_cache(
+        data: &'a Dataset,
+        model: &'a BackgroundModel,
+        dl: sisd_core::DlParams,
+        cfg: EvalConfig,
+        cache: Arc<FactorCache>,
+    ) -> Self {
         Self {
             data,
             dl,
@@ -169,7 +187,7 @@ impl<'a> Evaluator<'a> {
             plan: (cfg.shards > 1).then(|| ShardPlan::new(data.n(), cfg.shards)),
             backend: Backend::Gaussian {
                 model,
-                cache: FactorCache::new(),
+                cache,
                 cell_sums: OnceLock::new(),
             },
             numeric_failures: AtomicUsize::new(0),
@@ -297,7 +315,8 @@ impl<'a> Evaluator<'a> {
                     None => model.cell_counts(ext),
                 };
                 let observed = self.observed_mean(ext, &counts);
-                let stats = model.location_stats_for_counts(&counts, &observed, Some(cache))?;
+                let stats =
+                    model.location_stats_for_counts(&counts, &observed, Some(cache.as_ref()))?;
                 let ic = location_ic_of_stats(&stats, model.dy());
                 (observed, ic)
             }

@@ -10,7 +10,8 @@ use crate::eval::EvalConfig;
 use crate::sphere::{mine_spread_pattern, SphereConfig};
 use sisd_core::{DlParams, LocationPattern, SpreadPattern};
 use sisd_data::Dataset;
-use sisd_model::{BackgroundModel, ModelError, RefitStats};
+use sisd_model::{BackgroundModel, FactorCache, ModelError, RefitStats};
+use std::sync::Arc;
 
 /// Miner configuration.
 #[derive(Debug, Clone, Default)]
@@ -72,13 +73,34 @@ pub struct Iteration {
 }
 
 /// The iterative subgroup miner.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Miner {
     data: Dataset,
     model: BackgroundModel,
     config: MinerConfig,
     iterations_done: usize,
     last_refit: Option<RefitStats>,
+    /// Mixed-covariance factorizations shared across every search this
+    /// miner runs. Entries are keyed by covariance-value signature and
+    /// pinned to the model's lineage, and a `cov_id` never changes meaning
+    /// within a lineage — so assimilating a pattern extends the cache
+    /// instead of invalidating it.
+    factor_cache: Arc<FactorCache>,
+}
+
+impl Clone for Miner {
+    fn clone(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+            // The cloned model mints a fresh lineage, so the clone gets its
+            // own empty cache rather than uselessly bypassing ours.
+            model: self.model.clone(),
+            config: self.config.clone(),
+            iterations_done: self.iterations_done,
+            last_refit: self.last_refit,
+            factor_cache: Arc::new(FactorCache::new()),
+        }
+    }
 }
 
 impl Miner {
@@ -93,6 +115,7 @@ impl Miner {
             config,
             iterations_done: 0,
             last_refit: None,
+            factor_cache: Arc::new(FactorCache::new()),
         })
     }
 
@@ -110,6 +133,7 @@ impl Miner {
             config,
             iterations_done: 0,
             last_refit: None,
+            factor_cache: Arc::new(FactorCache::new()),
         })
     }
 
@@ -145,9 +169,22 @@ impl Miner {
 
     /// Runs a beam search against the current model and returns the full
     /// result log without updating anything. Candidate evaluation runs on
-    /// `config.beam.eval.threads` workers through the shared engine.
+    /// `config.beam.eval.threads` workers through the shared engine, and
+    /// mixed-covariance factorizations are memoized in the miner's
+    /// persistent [`FactorCache`] — shared across all searches of this
+    /// miner's model lineage, surviving assimilations unchanged.
     pub fn search_locations(&self) -> BeamResult {
-        BeamSearch::new(self.config.beam.clone()).run(&self.data, &self.model)
+        BeamSearch::new(self.config.beam.clone()).run_with_cache(
+            &self.data,
+            &self.model,
+            Arc::clone(&self.factor_cache),
+        )
+    }
+
+    /// The miner's persistent factor cache (observability: entry count
+    /// growth shows cross-search reuse).
+    pub fn factor_cache(&self) -> &Arc<FactorCache> {
+        &self.factor_cache
     }
 
     /// Assimilates a location pattern (its subgroup mean becomes part of
@@ -309,6 +346,35 @@ mod tests {
         assert_ne!(a.location.extension, b.location.extension);
         assert_ne!(b.location.extension, c.location.extension);
         assert_ne!(a.location.extension, c.location.extension);
+    }
+
+    #[test]
+    fn factor_cache_is_shared_across_searches_and_survives_assimilation() {
+        let (data, _) = synthetic_paper(42);
+        let mut miner = Miner::from_empirical(data, quick_config()).unwrap();
+        // A spread assimilation tilts member-cell covariances, so later
+        // searches hit the mixed-covariance (dense, cached) scoring path.
+        miner.step_with_spread().unwrap().unwrap();
+        // The next iteration's search runs against the tilted model and
+        // memoizes its mixed-covariance factorizations.
+        let second = miner.step_location().unwrap().unwrap();
+        let filled = miner.factor_cache().len();
+        assert!(filled > 0, "dense scoring must memoize factorizations");
+        // The location assimilation that followed refined the partition
+        // but minted no covariance values; re-searching reuses the cache
+        // (it may grow — new signatures — but never needs a flush).
+        // The cloned miner diverges on its own lineage with its own empty
+        // cache, and both score identically from scratch.
+        let clone = miner.clone();
+        assert_eq!(clone.factor_cache().len(), 0);
+        let a = miner.search_locations();
+        let b = clone.search_locations();
+        assert_eq!(
+            a.best().map(|p| p.score.si),
+            b.best().map(|p| p.score.si),
+            "cached and fresh-cache searches must agree bit-for-bit"
+        );
+        assert!(second.location.score.si.is_finite());
     }
 
     #[test]

@@ -133,6 +133,67 @@ fn owned_scoring_saves_one_extension_allocation_per_candidate() {
 // exact-equality assertions on global allocation counts, which jitter
 // with randomized hash-map resize timing.)
 
+#[test]
+fn warm_refit_reuses_projection_workspace_without_allocating() {
+    // The model's projection hot path (residual scans, Thm. 1 location
+    // re-projections) runs entirely out of a reusable workspace living on
+    // the model: per-update vectors, the covariance-sum accumulator, the
+    // membership marks, and the per-cycle violation/dirty arrays. Pin it
+    // two ways with the counting allocator.
+    let (data, _) = synthetic_paper(42);
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let mut model = BackgroundModel::from_empirical(&data).unwrap();
+    let exts: Vec<BitSet> = (0..6)
+        .map(|_| BitSet::from_indices(data.n(), rng.sample_indices(data.n(), 40)))
+        .collect();
+    for ext in &exts {
+        model
+            .assimilate_location(ext, data.target_mean(ext))
+            .unwrap();
+        model.refit(1e-9, 200).unwrap();
+    }
+
+    // (1) A converged refit — a full residual scan over every stored
+    // constraint — allocates nothing at all.
+    let mut converged_allocs = usize::MAX;
+    for _ in 0..3 {
+        let (stats, a, _) = counted(|| model.refit(1e-9, 200).unwrap());
+        assert_eq!(
+            stats.constraints_updated, 0,
+            "model must already be converged"
+        );
+        converged_allocs = converged_allocs.min(a);
+    }
+    assert_eq!(
+        converged_allocs, 0,
+        "a converged refit must run entirely out of the reusable workspace"
+    );
+
+    // (2) A working refit: assimilate (outside the counted region) a
+    // pattern over the union of two existing extensions — already a union
+    // of cells, so no cell splits — then count the full re-convergence.
+    // Dozens of re-projections and residual scans run; the only permitted
+    // allocations are the one-time growth of the per-constraint violation
+    // and dirty arrays (now one entry longer), NOT per-projection or
+    // per-cycle buffers.
+    let union = exts[0].or(&exts[1]);
+    model
+        .assimilate_location(&union, data.target_mean(&union))
+        .unwrap();
+    let (stats, refit_allocs, _) = counted(|| model.refit(1e-9, 200).unwrap());
+    assert!(
+        stats.constraints_updated >= 5,
+        "the overlapping pattern must force real re-projection work, got {stats:?}"
+    );
+    assert!(
+        refit_allocs <= 4,
+        "refit must not allocate per projection or per cycle: \
+         {refit_allocs} allocations for {} re-projections over {} cycles",
+        stats.constraints_updated,
+        stats.cycles
+    );
+}
+
 use sisd::data::{Column, Dataset};
 use sisd::linalg::Matrix;
 use sisd::search::{BeamConfig, BeamSearch};

@@ -34,6 +34,11 @@ prop_compose! {
 }
 
 prop_compose! {
+    /// Bounded mean shift for warm/cold parity sessions.
+    fn delta_vec()(v in prop::collection::vec(-0.75f64..0.75, DY)) -> Vec<f64> { v }
+}
+
+prop_compose! {
     fn direction()(v in prop::collection::vec(-1.0f64..1.0, DY)) -> Vec<f64> {
         let mut w = v;
         if sisd::linalg::normalize(&mut w) == 0.0 {
@@ -132,6 +137,62 @@ proptest! {
         }
         prop_assert_eq!(total, N);
         prop_assert_eq!(seen.count(), N);
+    }
+
+    #[test]
+    fn warm_refit_agrees_with_cold_replay(
+        ext_a in extension(),
+        ext_b in extension(),
+        ext_c in extension(),
+        delta_a in delta_vec(),
+        delta_b in delta_vec(),
+        delta_c in delta_vec(),
+        probe in extension(),
+        observed in target_vec(),
+    ) {
+        // Warm path: the session as users run it — assimilate, re-converge
+        // incrementally (cached memberships, warm factors, accumulated
+        // duals). Targets are bounded perturbations of the current
+        // subgroup mean — the shape of real assimilations (empirical
+        // subgroup means), where cyclic I-projection converges; wildly
+        // conflicting targets on near-identical extensions can stall both
+        // paths short of tolerance, where no agreement is claimed.
+        let mut warm = base_model();
+        for (ext, delta) in [(&ext_a, &delta_a), (&ext_b, &delta_b), (&ext_c, &delta_c)] {
+            let mf = ext.count() as f64;
+            let mut target = vec![0.0; DY];
+            for i in ext.iter() {
+                sisd::linalg::add_assign(&mut target, warm.row_mean(i));
+            }
+            sisd::linalg::scale(1.0 / mf, &mut target);
+            sisd::linalg::add_assign(&mut target, delta);
+            warm.assimilate_location(ext, target).unwrap();
+            warm.refit(1e-10, 400).unwrap();
+        }
+        if warm.max_violation() > 1e-10 {
+            return Ok(()); // stalled short of tolerance: claim out of scope
+        }
+        // Cold oracle: replay the same constraint history from the prior
+        // with every bit of warm-start state zeroed.
+        let mut cold = warm.clone();
+        cold.refit_cold(1e-10, 400).unwrap();
+        if cold.max_violation() > 1e-10 {
+            return Ok(());
+        }
+        // Both converge to the unique I-projection: row parameters and
+        // candidate scores agree within the documented tolerance.
+        let tol = sisd::model::WARM_COLD_SCORE_TOL;
+        for i in 0..N {
+            for (a, b) in warm.row_mean(i).iter().zip(cold.row_mean(i)) {
+                prop_assert!((a - b).abs() <= tol, "row {} mean: {} vs {}", i, a, b);
+            }
+        }
+        let sw = warm.location_stats(&probe, &observed).unwrap();
+        let sc = cold.location_stats(&probe, &observed).unwrap();
+        prop_assert!((sw.mahalanobis - sc.mahalanobis).abs() <= tol,
+            "probe mahalanobis: {} vs {}", sw.mahalanobis, sc.mahalanobis);
+        prop_assert!((sw.log_det_cov - sc.log_det_cov).abs() <= tol,
+            "probe log|Cov|: {} vs {}", sw.log_det_cov, sc.log_det_cov);
     }
 
     #[test]
