@@ -113,6 +113,18 @@ pub fn shards_arg(default: usize) -> usize {
     positive_flag_arg("shards", default)
 }
 
+/// Parses a `--pool-reuse R` flag from the process arguments (also accepts
+/// `--pool-reuse=R`), defaulting to `default`. The value is the number of
+/// back-to-back parallel searches timed against the *same* warm worker
+/// pool; the reported per-search time isolates what persistent workers
+/// save over the first (pool-spawning) run.
+///
+/// # Panics
+/// Panics when the value is missing, non-numeric, or zero.
+pub fn pool_reuse_arg(default: usize) -> usize {
+    positive_flag_arg("pool-reuse", default)
+}
+
 /// Two-decimal formatting shorthand.
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")

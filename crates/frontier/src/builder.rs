@@ -34,6 +34,7 @@
 
 use crate::matrix::MaskMatrix;
 use sisd_data::{kernels, BitSet};
+use sisd_par::PoolHandle;
 use std::collections::HashSet;
 use std::hash::Hash;
 
@@ -46,6 +47,10 @@ pub struct FrontierConfig {
     /// Worker threads for refinement. `1` keeps everything on the calling
     /// thread; results are identical either way.
     pub threads: usize,
+    /// The persistent worker pool parallel refinement runs on (the
+    /// process-global pool by default). Serial refinement never touches
+    /// it; results are identical for any pool.
+    pub pool: PoolHandle,
 }
 
 impl Default for FrontierConfig {
@@ -53,6 +58,7 @@ impl Default for FrontierConfig {
         Self {
             min_support: 1,
             threads: 1,
+            pool: PoolHandle::global(),
         }
     }
 }
@@ -176,10 +182,29 @@ impl ChildBatch {
 /// languages, large enough that an item amortizes its scheduling.
 pub(crate) const BLOCK_ROWS: usize = 32;
 
-/// Smallest number of work items worth a worker thread: spawning and
-/// joining a scoped thread costs tens of microseconds, so small frontiers
-/// run inline regardless of the configured thread count.
+/// Smallest number of work items worth a worker thread: even with the
+/// persistent pool, handing an item to a worker costs a queue round-trip,
+/// so small frontiers run inline regardless of the configured thread
+/// count.
 pub(crate) const MIN_ITEMS_PER_WORKER: usize = 2;
+
+/// Parents per grid-kernel tile in the count pass: each cache-resident
+/// row block is ANDed against up to this many parents in one pass
+/// ([`kernels::and_count_grid_select`]), instead of re-streaming the
+/// block once per parent. Eight parents × a typical 128-word stride is
+/// ~8 KiB of parent words — comfortably L1-resident next to the block —
+/// while still splitting a wide beam into enough tiles to parallelize.
+pub(crate) const PARENT_TILE: usize = 8;
+
+/// Matrix size (words) above which *serial* multi-parent refinement takes
+/// the two-pass grid route instead of the fused per-parent loop. The grid
+/// kernels cut matrix traffic by up to [`PARENT_TILE`]×, but that only
+/// buys wall-clock once the matrix no longer sits in cache between
+/// parents; below this bound (≲ 1 MiB of mask words, roughly an L2) the
+/// fused loop's single cache-resident pass per parent is faster than the
+/// two-pass split's extra count buffer walk. Both routes are bit-identical
+/// by the determinism contract, so this is a pure speed knob.
+pub(crate) const GRID_MIN_MATRIX_WORDS: usize = 1 << 17;
 
 /// Smallest kernel workload (words ANDed) worth a worker thread. The
 /// fused kernels stream several words per nanosecond, so a worker must
@@ -197,40 +222,27 @@ pub(crate) const MIN_WORDS_PER_WORKER: usize = 1 << 15;
 pub(crate) const SKIPPED: usize = usize::MAX;
 
 /// Splits `len` work units into at most `workers` contiguous chunks and
-/// runs `run(chunk_index, lo..hi)` on scoped threads, returning the
+/// runs `run(chunk_index, lo..hi)` on the pool's workers, returning the
 /// outputs in chunk order. The shared deterministic fan-out of both
 /// refinement passes: outputs are merged in chunk (= serial) order, so
 /// scheduling never reorders anything.
 pub(crate) fn run_chunked<T: Send>(
+    pool: PoolHandle,
     len: usize,
     workers: usize,
     run: impl Fn(usize, std::ops::Range<usize>) -> T + Sync,
 ) -> Vec<T> {
-    let chunk_size = len.div_ceil(workers.max(1));
-    let chunks: Vec<std::ops::Range<usize>> = (0..workers.max(1))
-        .map(|w| (w * chunk_size).min(len)..((w + 1) * chunk_size).min(len))
-        .collect();
-    let run = &run;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| scope.spawn(move || run(i, r)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("frontier worker panicked"))
-            .collect()
-    })
+    pool.run_chunked(len, workers, run)
 }
 
 /// Pass-2 fan-out shared by the unsharded and sharded builders: writes
 /// each survivor's `stride`-word arena slot via `write(meta, out)` — a
-/// pure function of the child's metadata — chunking survivors over scoped
-/// threads when the workload clears the worker thresholds. Disjoint
-/// output slices and pure per-child writes keep the arena bit-identical
-/// at any thread count.
+/// pure function of the child's metadata — chunking survivors over the
+/// pool's workers when the workload clears the worker thresholds.
+/// Disjoint output slices and pure per-child writes keep the arena
+/// bit-identical at any thread count.
 pub(crate) fn materialize_survivors(
+    pool: PoolHandle,
     threads: usize,
     stride: usize,
     meta: &[ChildMeta],
@@ -241,27 +253,15 @@ pub(crate) fn materialize_survivors(
         return;
     }
     debug_assert_eq!(words.len(), meta.len() * stride);
-    let run = |meta: &[ChildMeta], words: &mut [u64]| {
-        for (m, out) in meta.iter().zip(words.chunks_exact_mut(stride)) {
-            write(m, out);
-        }
-    };
     let workers = threads
         .min(meta.len() / MIN_ITEMS_PER_WORKER)
         .min(words.len() / MIN_WORDS_PER_WORKER)
         .max(1);
-    if workers <= 1 {
-        run(meta, words);
-        return;
-    }
     let chunk_size = meta.len().div_ceil(workers);
-    let run = &run;
-    std::thread::scope(|scope| {
-        for (mc, wc) in meta
-            .chunks(chunk_size)
-            .zip(words.chunks_mut(chunk_size * stride))
-        {
-            scope.spawn(move || run(mc, wc));
+    pool.run_mut_chunks(words, chunk_size * stride, workers, |c, wc| {
+        let mc = &meta[c * chunk_size..meta.len().min((c + 1) * chunk_size)];
+        for (m, out) in mc.iter().zip(wc.chunks_exact_mut(stride)) {
+            write(m, out);
         }
     });
 }
@@ -338,7 +338,8 @@ impl<'m> FrontierBuilder<'m> {
         }
 
         let blocks = rows.div_ceil(BLOCK_ROWS);
-        let n_items = parents.len() * blocks;
+        let tiles = parents.len().div_ceil(PARENT_TILE);
+        let n_items = tiles * blocks;
         let total_words = parents.len() * rows * stride;
         let workers = self
             .config
@@ -349,44 +350,74 @@ impl<'m> FrontierBuilder<'m> {
         // On the calling thread the keep predicate can run inline, so the
         // two passes fuse per block: count a cache-resident block, filter
         // on the counts, and materialize its survivors while the rows are
-        // still hot — one streaming read of the matrix and one arena write
-        // per survivor, with no scratch buffer at all. (The two-pass split
-        // below exists for parallel runs, where the serial keep contract
-        // forces counting and filtering to finish before materialization.)
-        if workers <= 1 {
+        // still hot — one streaming read of the matrix per parent and one
+        // arena write per survivor, with no scratch buffer at all. Serial
+        // multi-parent refinement over a matrix too big to stay cached
+        // between parents is the exception: it takes the two-pass grid
+        // route below, where one block pass serves a whole parent tile
+        // instead of re-streaming the matrix once per parent.
+        if workers <= 1 && (parents.len() == 1 || rows * stride < GRID_MIN_MATRIX_WORDS) {
             return self.refine_fused_serial(parents, allowed, keep);
         }
 
         // Pass 1 — count-only: dense per-(parent, row) supports, SKIPPED
-        // where `allowed` rejects. Work items are contiguous row blocks
-        // per parent in (parent, row) order; each worker chunk emits its
-        // counts contiguously, so concatenating chunk outputs in chunk
-        // order yields the parent-major dense vector directly.
+        // where `allowed` rejects. Work items are (parent tile × row
+        // block) cells of the refinement grid in tile-major order; each
+        // item's counts are emitted parent-major within the item, and a
+        // cursor walk below scatters them into the parent-major dense
+        // vector. Every count is a pure function of its (parent, row)
+        // pair, so the tiling never changes a value — only how many times
+        // each block streams through the cache.
+        let parent_words: Vec<&[u64]> = parents.iter().map(|s| s.ext.words()).collect();
+        let item_cell = |item: usize| {
+            let (t, b) = (item / blocks, item % blocks);
+            let p0 = t * PARENT_TILE;
+            let p1 = parents.len().min(p0 + PARENT_TILE);
+            let lo = b * BLOCK_ROWS;
+            let hi = rows.min(lo + BLOCK_ROWS);
+            (p0, p1, lo, hi)
+        };
         let count_items = |items: std::ops::Range<usize>| -> Vec<usize> {
             let mut out = Vec::new();
-            let mut select = [false; BLOCK_ROWS];
+            let mut select = [false; PARENT_TILE * BLOCK_ROWS];
             for item in items {
-                let p = item / blocks;
-                let lo = (item % blocks) * BLOCK_ROWS;
-                let hi = rows.min(lo + BLOCK_ROWS);
-                for (j, row) in (lo..hi).enumerate() {
-                    select[j] = allowed(p, row);
+                let (p0, p1, lo, hi) = item_cell(item);
+                let w = hi - lo;
+                for (pi, p) in (p0..p1).enumerate() {
+                    for (j, row) in (lo..hi).enumerate() {
+                        select[pi * w + j] = allowed(p, row);
+                    }
                 }
+                let cells = (p1 - p0) * w;
                 let base = out.len();
-                out.resize(base + (hi - lo), SKIPPED);
-                kernels::and_count_many_select(
-                    parents[p].ext.words(),
+                out.resize(base + cells, SKIPPED);
+                kernels::and_count_grid_select(
+                    &parent_words[p0..p1],
                     self.matrix.block_words(lo, hi),
-                    &select[..hi - lo],
+                    &select[..cells],
                     &mut out[base..],
                 );
             }
             out
         };
-        let counts: Vec<usize> = run_chunked(n_items, workers, |_, items| count_items(items))
-            .into_iter()
-            .flatten()
-            .collect();
+        let gathered: Vec<Vec<usize>> =
+            run_chunked(self.config.pool, n_items, workers, |_, items| {
+                count_items(items)
+            });
+        let mut counts = vec![SKIPPED; parents.len() * rows];
+        let mut item = 0usize;
+        for part in &gathered {
+            let mut cursor = 0usize;
+            while cursor < part.len() {
+                let (p0, p1, lo, hi) = item_cell(item);
+                let w = hi - lo;
+                for p in p0..p1 {
+                    counts[p * rows + lo..p * rows + hi].copy_from_slice(&part[cursor..cursor + w]);
+                    cursor += w;
+                }
+                item += 1;
+            }
+        }
 
         // Serial filter in (parent, row) order: support floor/ceiling on
         // the counts, then the caller's keep predicate.
@@ -413,13 +444,20 @@ impl<'m> FrontierBuilder<'m> {
         // slot (a pure function of its parent and row, so parallel chunks
         // over disjoint slices stay bit-identical).
         let mut words = vec![0u64; meta.len() * stride];
-        materialize_survivors(self.config.threads, stride, &meta, &mut words, |m, out| {
-            kernels::and_into(
-                parents[m.parent].ext.words(),
-                self.matrix.row_words(m.row),
-                out,
-            )
-        });
+        materialize_survivors(
+            self.config.pool,
+            self.config.threads,
+            stride,
+            &meta,
+            &mut words,
+            |m, out| {
+                kernels::and_into(
+                    parents[m.parent].ext.words(),
+                    self.matrix.row_words(m.row),
+                    out,
+                )
+            },
+        );
         ChildBatch::from_parts(n, stride, meta, words)
     }
 
@@ -549,25 +587,18 @@ impl<'m> FrontierBuilder<'m> {
         if workers <= 1 {
             return run_items(&items);
         }
-        let chunk_size = items.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk_size)
-                .map(|chunk| scope.spawn(|| run_items(chunk)))
-                .collect();
-            let parts: Vec<ChildBatch> = handles
-                .into_iter()
-                .map(|h| h.join().expect("frontier worker panicked"))
-                .collect();
-            // Merge in chunk (= item = serial) order.
-            let mut out = ChildBatch::with_shape(self.matrix.n(), stride);
-            out.meta.reserve(parts.iter().map(ChildBatch::len).sum());
-            out.words.reserve(parts.iter().map(|p| p.words.len()).sum());
-            for part in &parts {
-                out.append(part);
-            }
-            out
-        })
+        let parts: Vec<ChildBatch> =
+            run_chunked(self.config.pool, items.len(), workers, |_, chunk| {
+                run_items(&items[chunk])
+            });
+        // Merge in chunk (= item = serial) order.
+        let mut out = ChildBatch::with_shape(self.matrix.n(), stride);
+        out.meta.reserve(parts.iter().map(ChildBatch::len).sum());
+        out.words.reserve(parts.iter().map(|p| p.words.len()).sum());
+        for part in &parts {
+            out.append(part);
+        }
+        out
     }
 }
 
@@ -700,6 +731,7 @@ mod tests {
                     FrontierConfig {
                         min_support,
                         threads,
+                        pool: PoolHandle::global(),
                     },
                 );
                 let got = builder.refine_parents(&parents, allowed);
@@ -731,6 +763,7 @@ mod tests {
             FrontierConfig {
                 min_support,
                 threads: 1,
+                pool: PoolHandle::global(),
             },
         )
         .refine_parents(&parents, |_, _| true);
@@ -741,6 +774,7 @@ mod tests {
                 FrontierConfig {
                     min_support,
                     threads,
+                    pool: PoolHandle::global(),
                 },
             )
             .refine_parents(&parents, |_, _| true);
@@ -770,6 +804,7 @@ mod tests {
             FrontierConfig {
                 min_support: 10,
                 threads: 1,
+                pool: PoolHandle::global(),
             },
         );
         let children = builder.refine_parents(&parents, |_, _| true);
@@ -810,6 +845,7 @@ mod tests {
             FrontierConfig {
                 min_support: 0,
                 threads: 3,
+                pool: PoolHandle::global(),
             },
         );
         let children = builder.refine_parents(&parents, |_, _| true);

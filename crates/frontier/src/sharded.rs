@@ -280,10 +280,12 @@ impl<'m> ShardedFrontierBuilder<'m> {
             }
             out
         };
-        let partials: Vec<usize> = run_chunked(n_items, workers, |_, items| count_items(items))
-            .into_iter()
-            .flatten()
-            .collect();
+        let partials: Vec<usize> = run_chunked(self.config.pool, n_items, workers, |_, items| {
+            count_items(items)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let lane = |p: usize, b: usize, s: usize| -> &[usize] {
             &partials[((p * blocks + b) * nshards + s) * BLOCK_ROWS..][..BLOCK_ROWS]
         };
@@ -325,6 +327,7 @@ impl<'m> ShardedFrontierBuilder<'m> {
         // invariant).
         let mut words = vec![0u64; meta.len() * total_stride];
         materialize_survivors(
+            self.config.pool,
             self.config.threads,
             total_stride,
             &meta,
@@ -495,7 +498,7 @@ impl<'m> ShardedFrontierBuilder<'m> {
         let partials: Vec<ShardPartial> = if workers <= 1 {
             (0..n_items).map(run_item).collect()
         } else {
-            run_chunked(n_items, workers, |_, items| {
+            run_chunked(self.config.pool, n_items, workers, |_, items| {
                 items.map(run_item).collect::<Vec<_>>()
             })
             .into_iter()
@@ -645,6 +648,7 @@ impl MaskStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sisd_par::PoolHandle;
     use sisd_stats::Xoshiro256pp;
 
     fn random_mask(rng: &mut Xoshiro256pp, n: usize, density: f64) -> BitSet {
@@ -706,6 +710,7 @@ mod tests {
             let config = FrontierConfig {
                 min_support: 2,
                 threads: 1,
+                pool: PoolHandle::global(),
             };
             let expect = FrontierBuilder::new(&dense, config).refine_parents(&parents, allowed);
             for s in [1usize, 2, 3, 7] {
@@ -718,6 +723,7 @@ mod tests {
                         FrontierConfig {
                             min_support: 2,
                             threads,
+                            pool: PoolHandle::global(),
                         },
                     )
                     .refine_parents(&parents, allowed);
@@ -774,6 +780,7 @@ mod tests {
         let config = FrontierConfig {
             min_support: 1,
             threads: 2,
+            pool: PoolHandle::global(),
         };
         let expect = MaskStore::Dense(dense).refine_parents(config, &parents, |_, _| true);
         let plan = ShardPlan::new(200, 3);

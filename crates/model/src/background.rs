@@ -1767,13 +1767,9 @@ mod tests {
             .collect();
         let shared = &model;
         let obs = observed.as_slice();
-        let concurrent: Vec<_> = std::thread::scope(|s| {
-            let handles: Vec<_> = candidates
-                .iter()
-                .map(|c| s.spawn(move || shared.location_stats(c, obs).unwrap()))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+        let pool = sisd_par::PoolHandle::global();
+        let concurrent: Vec<_> =
+            pool.run_items(&candidates, 4, |c| shared.location_stats(c, obs).unwrap());
         for (a, b) in serial.iter().zip(&concurrent) {
             assert_eq!(a.log_det_cov, b.log_det_cov);
             assert_eq!(a.mahalanobis, b.mahalanobis);

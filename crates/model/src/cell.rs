@@ -182,14 +182,11 @@ mod tests {
     #[test]
     fn chol_works_from_shared_references_across_threads() {
         let c = cell(&[0, 1, 2]);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..4)
-                .map(|_| s.spawn(|| c.chol().expect("factorable").log_det()))
-                .collect();
-            for h in handles {
-                assert!((h.join().expect("worker") - 0.0).abs() < 1e-12);
-            }
-        });
+        let pool = sisd_par::PoolHandle::global();
+        let dets = pool.run_map(4, 4, |_| c.chol().expect("factorable").log_det());
+        for ld in dets {
+            assert!((ld - 0.0).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -202,6 +202,7 @@ impl<'a> Searcher<'a> {
         let frontier_cfg = FrontierConfig {
             min_support: self.cfg.min_coverage.max(1),
             threads: self.cfg.eval.threads,
+            pool: self.cfg.eval.pool,
         };
         // A child covering as many rows as its (non-root) parent is the
         // same extension with a strictly longer description: dominated,

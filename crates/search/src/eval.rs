@@ -36,6 +36,7 @@ use sisd_core::{
 use sisd_data::{BitSet, Dataset, ShardPlan};
 use sisd_frontier::{FrontierConfig, MaskStore, ParentSpec};
 use sisd_model::{BackgroundModel, BinaryBackgroundModel, FactorCache, ModelError};
+use sisd_par::PoolHandle;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -55,6 +56,12 @@ pub struct EvalConfig {
     /// shard order, with results **bit-identical** to the unsharded path
     /// at any shard count.
     pub shards: usize,
+    /// The persistent worker pool every parallel stage runs on (the
+    /// process-global pool by default), so one engine — and one
+    /// [`crate::Miner`] — reuses the same workers across levels, searches,
+    /// and assimilations instead of spawning threads per call. Serial
+    /// engines never touch it; results are identical for any pool.
+    pub pool: PoolHandle,
 }
 
 impl Default for EvalConfig {
@@ -62,6 +69,7 @@ impl Default for EvalConfig {
         Self {
             threads: 1,
             shards: 1,
+            pool: PoolHandle::global(),
         }
     }
 }
@@ -71,7 +79,7 @@ impl EvalConfig {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
-            shards: 1,
+            ..Self::default()
         }
     }
 
@@ -80,6 +88,14 @@ impl EvalConfig {
     /// path end to end.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the worker pool (e.g. a dedicated [`sisd_par::WorkerPool`]
+    /// for a benchmark that must not share the global one). Results are
+    /// identical for any pool.
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = pool;
         self
     }
 }
@@ -145,6 +161,7 @@ pub struct Evaluator<'a> {
     data: &'a Dataset,
     dl: sisd_core::DlParams,
     threads: usize,
+    pool: PoolHandle,
     /// `Some` when the engine aggregates statistics per row-range shard
     /// (`EvalConfig::shards > 1`): cell counts sum exact per-shard word
     /// slices, and float accumulators fold shard by shard in shard order,
@@ -184,6 +201,7 @@ impl<'a> Evaluator<'a> {
             data,
             dl,
             threads: cfg.threads.max(1),
+            pool: cfg.pool,
             plan: (cfg.shards > 1).then(|| ShardPlan::new(data.n(), cfg.shards)),
             backend: Backend::Gaussian {
                 model,
@@ -205,6 +223,7 @@ impl<'a> Evaluator<'a> {
             data,
             dl,
             threads: cfg.threads.max(1),
+            pool: cfg.pool,
             plan: (cfg.shards > 1).then(|| ShardPlan::new(data.n(), cfg.shards)),
             backend: Backend::Bernoulli { model },
             numeric_failures: AtomicUsize::new(0),
@@ -224,6 +243,11 @@ impl<'a> Evaluator<'a> {
     /// Worker threads used by [`Evaluator::score_all`].
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The worker pool parallel stages run on.
+    pub fn pool(&self) -> PoolHandle {
+        self.pool
     }
 
     /// Row-range shard count of the statistics aggregation (1 when
@@ -430,17 +454,13 @@ impl<'a> Evaluator<'a> {
         if workers <= 1 {
             return score_chunk(candidates);
         }
-        let chunk_size = candidates.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || score_chunk(chunk)))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                .collect()
-        })
+        self.pool
+            .run_chunked(candidates.len(), workers, |_, chunk| {
+                score_chunk(&candidates[chunk])
+            })
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// [`Evaluator::try_score_all`] with failed candidates dropped (order
@@ -468,8 +488,9 @@ impl<'a> Evaluator<'a> {
                 .collect();
         }
         // Split the owned batch into contiguous per-worker chunks (struct
-        // moves, no deep copies), score on scoped threads, merge in chunk
-        // order — the exact plan of the borrowing path.
+        // moves, no deep copies), score on the pool's workers — each
+        // chunk is consumed by exactly one task — and merge in chunk
+        // order: the exact plan of the borrowing path.
         let chunk_size = candidates.len().div_ceil(workers);
         let mut parts: Vec<Vec<Candidate>> = Vec::with_capacity(workers);
         let mut rest = candidates;
@@ -479,22 +500,15 @@ impl<'a> Evaluator<'a> {
             rest = tail;
         }
         parts.push(rest);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .into_iter()
-                .map(|part| {
-                    scope.spawn(move || {
-                        part.into_iter()
-                            .map(|c| self.score_owned(c))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                .collect()
-        })
+        self.pool
+            .run_consume(parts, workers, |part| {
+                part.into_iter()
+                    .map(|c| self.score_owned(c))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// [`Evaluator::try_score_all_owned`] with failed candidates dropped
@@ -635,6 +649,7 @@ pub(crate) fn run_beam_levels(
     let frontier_cfg = FrontierConfig {
         min_support: cfg.min_coverage,
         threads: ev.threads(),
+        pool: ev.pool(),
     };
     let max_cov =
         ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);

@@ -47,7 +47,7 @@ impl MinerConfig {
     /// evaluates candidates on that many threads, with results identical
     /// to the single-threaded search.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.beam.eval = EvalConfig::with_threads(threads).with_shards(self.beam.eval.shards);
+        self.beam.eval.threads = threads.max(1);
         self
     }
 
@@ -56,6 +56,15 @@ impl MinerConfig {
     /// shard, with results bit-identical to the unsharded search.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.beam.eval = self.beam.eval.with_shards(shards);
+        self
+    }
+
+    /// Pins every search this miner runs to one worker pool, so the same
+    /// threads are reused across beam levels, searches, and model
+    /// assimilations instead of being respawned. Results are identical on
+    /// any pool.
+    pub fn with_pool(mut self, pool: sisd_par::PoolHandle) -> Self {
+        self.beam.eval = self.beam.eval.with_pool(pool);
         self
     }
 }

@@ -271,3 +271,93 @@ fn beam_levels_do_not_clone_next_frontier_parents() {
          old-style extension clone (width1={width1}, width8={width8})"
     );
 }
+
+/// Like [`one_attribute_dataset`] but with 32 labels — the most the
+/// condition language enumerates — so a depth-1 beam scores 32 children — enough (≥ 2 × the evaluator's min chunk) for the
+/// scoring pass to actually fan out to the worker pool.
+fn many_group_dataset(n: usize) -> Dataset {
+    let mut rng = Xoshiro256pp::seed_from_u64(23);
+    let labels: Vec<String> = (0..n).map(|i| format!("g{:02}", i % 32)).collect();
+    let mut targets = Matrix::zeros(n, 1);
+    for i in 0..n {
+        targets[(i, 0)] = rng.normal() + (i % 32) as f64 * 0.05;
+    }
+    Dataset::new(
+        "wide32",
+        vec!["group".into()],
+        vec![Column::categorical_from_strs(
+            &labels.iter().map(String::as_str).collect::<Vec<_>>(),
+        )],
+        vec!["y".into()],
+        targets,
+    )
+}
+
+#[test]
+fn steady_state_pooled_beam_levels_spawn_no_threads() {
+    // Before the persistent pool, every parallel beam level paid a
+    // `thread::scope` spawn/join round: thread handles, name strings, and
+    // join packets allocated per level, per search, forever. The pool
+    // spawns its workers once — on the first parallel level — and every
+    // later level reuses them. Pin both halves: the worker count is
+    // frozen after warmup while jobs keep flowing through the pool, and a
+    // steady-state parallel search allocates only fixed per-job
+    // bookkeeping over the identical serial search.
+    const N: usize = 16_384;
+    let data = many_group_dataset(N);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let cfg = BeamConfig {
+        width: 8,
+        max_depth: 1,
+        top_k: 20,
+        eval: EvalConfig::with_threads(4),
+        ..BeamConfig::default()
+    };
+    // Cold run: first parallel level spawns the pool's workers.
+    let warm = BeamSearch::new(cfg.clone()).run(&data, &model);
+    assert_eq!(warm.top.len(), 20);
+    let pool = sisd::par::PoolHandle::global().get();
+    let workers = pool.workers();
+    assert!(
+        workers >= 1,
+        "the 32-candidate scoring level must have reached the pool"
+    );
+    let jobs_before = pool.jobs_run();
+
+    let mut steady = usize::MAX;
+    for _ in 0..3 {
+        let (res, a, _) = counted(|| BeamSearch::new(cfg.clone()).run(&data, &model));
+        assert_eq!(res.top.len(), 20);
+        steady = steady.min(a);
+    }
+    assert_eq!(
+        pool.workers(),
+        workers,
+        "steady-state levels must reuse the persistent workers, not spawn"
+    );
+    assert!(
+        pool.jobs_run() > jobs_before,
+        "the measured searches must actually run through the pool"
+    );
+
+    // The same search serially: identical generation, scoring, and
+    // logging, no pool. The pooled run may add a handful of fixed-size
+    // job-bookkeeping allocations per level (job handle, output slots,
+    // per-chunk result buffers) but nothing proportional to threads ×
+    // levels × searches the way per-level spawning was.
+    let serial_cfg = BeamConfig {
+        eval: EvalConfig::default(),
+        ..cfg.clone()
+    };
+    let mut serial = usize::MAX;
+    for _ in 0..3 {
+        let (res, a, _) = counted(|| BeamSearch::new(serial_cfg.clone()).run(&data, &model));
+        assert_eq!(res.top.len(), 20);
+        serial = serial.min(a);
+    }
+    assert!(
+        steady <= serial + 64,
+        "a warm-pool parallel level must cost only fixed job bookkeeping: \
+         parallel={steady} allocations vs serial={serial}"
+    );
+}

@@ -16,6 +16,7 @@ use sisd::search::{
     EvalConfig, Evaluator,
 };
 use sisd::stats::Xoshiro256pp;
+use sisd_par::PoolHandle;
 use std::collections::HashSet;
 
 fn random_mask(rng: &mut Xoshiro256pp, n: usize, density: f64) -> BitSet {
@@ -100,7 +101,7 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let builder = FrontierBuilder::new(
                 &matrix,
-                FrontierConfig { min_support, threads },
+                FrontierConfig { min_support, threads, pool: PoolHandle::global() },
             );
             let got = builder.refine_parents(&parents, allowed);
             prop_assert_eq!(got.len(), expect.len(), "threads={}", threads);
@@ -152,7 +153,7 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let builder = FrontierBuilder::new(
                 &matrix,
-                FrontierConfig { min_support, threads },
+                FrontierConfig { min_support, threads, pool: PoolHandle::global() },
             );
             let single = builder.refine_parents_single_pass(&parents, allowed);
 
@@ -189,6 +190,58 @@ proptest! {
         }
     }
 
+    /// The multi-parent grid kernels — one pass over a mask block serving
+    /// a whole parent tile — equal the per-parent `and_count_many` /
+    /// `and_count_many_select` loop they batch, for every parent count,
+    /// row count, and stride (including word-boundary straddles), with
+    /// and without a selection mask.
+    #[test]
+    fn grid_kernels_match_per_parent_loop(seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03);
+        let n = 1 + (seed as usize * 29) % 320;
+        let rows = 1 + (seed as usize) % 24;
+        let np = 1 + (seed as usize / 24) % 9;
+        let masks: Vec<BitSet> = (0..rows).map(|_| random_mask(&mut rng, n, 0.4)).collect();
+        let matrix = MaskMatrix::from_bitsets(n, masks.iter().cloned());
+        let block = matrix.block_words(0, rows);
+        let parent_sets: Vec<BitSet> =
+            (0..np).map(|_| random_mask(&mut rng, n, 0.6)).collect();
+        let parents: Vec<&[u64]> = parent_sets.iter().map(|p| p.words()).collect();
+
+        let mut grid = vec![0usize; np * rows];
+        kernels::and_count_grid(&parents, block, &mut grid);
+        let mut reference = vec![0usize; rows];
+        for (p, parent) in parents.iter().enumerate() {
+            kernels::and_count_many(parent, block, &mut reference);
+            prop_assert_eq!(
+                &grid[p * rows..(p + 1) * rows],
+                reference.as_slice(),
+                "parent {} of {}", p, np
+            );
+        }
+
+        let select: Vec<bool> = (0..np * rows)
+            .map(|c| !(c * 11 + seed as usize).is_multiple_of(3))
+            .collect();
+        let mut grid_sel = vec![usize::MAX; np * rows];
+        kernels::and_count_grid_select(&parents, block, &select, &mut grid_sel);
+        let mut ref_sel = vec![usize::MAX; rows];
+        for (p, parent) in parents.iter().enumerate() {
+            ref_sel.fill(usize::MAX);
+            kernels::and_count_many_select(
+                parent,
+                block,
+                &select[p * rows..(p + 1) * rows],
+                &mut ref_sel,
+            );
+            prop_assert_eq!(
+                &grid_sel[p * rows..(p + 1) * rows],
+                ref_sel.as_slice(),
+                "select parent {} of {}", p, np
+            );
+        }
+    }
+
     /// Extension-hash dedup after (possibly parallel) refinement keeps
     /// exactly the children a serial generate-and-dedup loop keeps.
     #[test]
@@ -210,7 +263,7 @@ proptest! {
         let deduped = |threads: usize| {
             let builder = FrontierBuilder::new(
                 &matrix,
-                FrontierConfig { min_support: 0, threads },
+                FrontierConfig { min_support: 0, threads, pool: PoolHandle::global() },
             );
             let children = builder.refine_parents(&parents, |_, _| true);
             let mut seen = HashSet::new();
@@ -230,6 +283,84 @@ proptest! {
             for ((am, ae), (bm, be)) in got.iter().zip(&serial) {
                 prop_assert_eq!((am.parent, am.row), (bm.parent, bm.row));
                 prop_assert_eq!(ae, be);
+            }
+        }
+    }
+}
+
+/// One dedicated (non-global) pool shared by every case of the pooled
+/// parity proptest below, so the test exercises a second pool identity
+/// without leaking a fresh pool per proptest case.
+fn dedicated_pool() -> PoolHandle {
+    static POOL: std::sync::OnceLock<PoolHandle> = std::sync::OnceLock::new();
+    *POOL.get_or_init(sisd::par::WorkerPool::leaked)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batch scoring and count-first refinement through the persistent
+    /// worker pool are bit-identical to the serial oracle at every
+    /// threads ∈ {1, 2, 4} × shards ∈ {1, 3, 7} combination, on the
+    /// global pool and on a dedicated pool alike — the "no output bit may
+    /// change" contract of the pool migration, including pool *reuse*:
+    /// every case after the first runs against already-warm workers.
+    #[test]
+    fn pooled_scoring_and_refinement_match_the_serial_oracle(seed in 0u64..10_000) {
+        let data = bb_data(seed ^ 0x517c_c1b7_2722_0a95, 200 + (seed as usize) % 90);
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let cands: Vec<Candidate> = (0..48)
+            .map(|_| Candidate {
+                intention: Intention::empty(),
+                ext: random_mask(&mut rng, data.n(), 0.5),
+            })
+            .collect();
+        let oracle = Evaluator::gaussian(&data, &model, Default::default(), EvalConfig::default())
+            .score_all(&cands);
+
+        let n = data.n();
+        let masks: Vec<BitSet> = (0..40).map(|_| random_mask(&mut rng, n, 0.4)).collect();
+        let matrix = MaskMatrix::from_bitsets(n, masks.iter().cloned());
+        let parent_sets: Vec<BitSet> = (0..12).map(|_| random_mask(&mut rng, n, 0.7)).collect();
+        let parents: Vec<ParentSpec<'_>> = parent_sets
+            .iter()
+            .map(|ext| ParentSpec { ext, max_support: ext.count().saturating_sub(1) })
+            .collect();
+        let serial_builder = FrontierBuilder::new(
+            &matrix,
+            FrontierConfig { min_support: 2, threads: 1, pool: PoolHandle::global() },
+        );
+        let expect = serial_builder.refine_with_prune(&parents, |_, _| true, |_, _, s| s % 5 != 0);
+
+        for pool in [PoolHandle::global(), dedicated_pool()] {
+            for threads in [1usize, 2, 4] {
+                for shards in [1usize, 3, 7] {
+                    let cfg = EvalConfig::with_threads(threads)
+                        .with_shards(shards)
+                        .with_pool(pool);
+                    let ev = Evaluator::gaussian(&data, &model, Default::default(), cfg);
+                    let got = ev.score_all(&cands);
+                    prop_assert_eq!(got.len(), oracle.len());
+                    for (a, b) in got.iter().zip(&oracle) {
+                        prop_assert_eq!(&a.ext, &b.ext, "threads={} shards={}", threads, shards);
+                        prop_assert_eq!(
+                            a.score.si.to_bits(),
+                            b.score.si.to_bits(),
+                            "threads={} shards={} global={}", threads, shards, pool.is_global()
+                        );
+                    }
+                }
+                let builder = FrontierBuilder::new(
+                    &matrix,
+                    FrontierConfig { min_support: 2, threads, pool },
+                );
+                let got = builder.refine_with_prune(&parents, |_, _| true, |_, _, s| s % 5 != 0);
+                prop_assert_eq!(got.len(), expect.len(), "threads={}", threads);
+                for i in 0..expect.len() {
+                    prop_assert_eq!(got.meta(i), expect.meta(i), "threads={}", threads);
+                    prop_assert_eq!(got.child_words(i), expect.child_words(i), "threads={}", threads);
+                }
             }
         }
     }
