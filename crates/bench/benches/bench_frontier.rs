@@ -21,7 +21,6 @@ use sisd_frontier::{
     ChildBatch, ChildMeta, FrontierBuilder, FrontierConfig, MaskMatrix, ParentSpec,
     ShardedFrontierBuilder, ShardedMaskMatrix,
 };
-use sisd_par::PoolHandle;
 use sisd_stats::Xoshiro256pp;
 use std::hint::black_box;
 
@@ -95,9 +94,9 @@ fn batched(w: &Workload, threads: usize) -> ChildBatch {
     FrontierBuilder::new(
         &w.matrix,
         FrontierConfig {
-            pool: PoolHandle::global(),
             min_support: MIN_SUPPORT,
             threads,
+            ..FrontierConfig::default()
         },
     )
     .refine_parents(&parents, |_, _| true)
@@ -118,9 +117,9 @@ fn batched_single_pass(w: &Workload, threads: usize) -> ChildBatch {
     FrontierBuilder::new(
         &w.matrix,
         FrontierConfig {
-            pool: PoolHandle::global(),
             min_support: MIN_SUPPORT,
             threads,
+            ..FrontierConfig::default()
         },
     )
     .refine_parents_single_pass(&parents, |_, _| true)
@@ -192,9 +191,9 @@ fn batched_sharded(w: &Workload, matrix: &ShardedMaskMatrix, threads: usize) -> 
     ShardedFrontierBuilder::new(
         matrix,
         FrontierConfig {
-            pool: PoolHandle::global(),
             min_support: MIN_SUPPORT,
             threads,
+            ..FrontierConfig::default()
         },
     )
     .refine_parents(&parents, |_, _| true)
@@ -219,9 +218,9 @@ fn batched_sharded_single_pass(
     ShardedFrontierBuilder::new(
         matrix,
         FrontierConfig {
-            pool: PoolHandle::global(),
             min_support: MIN_SUPPORT,
             threads,
+            ..FrontierConfig::default()
         },
     )
     .refine_parents_single_pass(&parents, |_, _| true)
@@ -430,9 +429,9 @@ fn bench_kernels_grid_big(c: &mut Criterion) {
         let builder = FrontierBuilder::new(
             &matrix,
             FrontierConfig {
-                pool: PoolHandle::global(),
                 min_support,
                 threads: 1,
+                ..FrontierConfig::default()
             },
         );
         if single_pass {

@@ -26,7 +26,7 @@ fn model_with_constraints(data: &Dataset, exts: &[BitSet], k: usize) -> Backgrou
     for ext in exts.iter().take(k) {
         let mean = data.target_mean(ext);
         model.assimilate_location(ext, mean).expect("update");
-        model.refit(1e-7, 100).expect("refit");
+        let _ = model.refit(1e-7, 100).expect("refit");
     }
     model
 }
@@ -45,7 +45,7 @@ fn bench_location_update_scaling(c: &mut Criterion) {
                 let mut m = base.clone();
                 m.assimilate_location(black_box(new_ext), new_mean.clone())
                     .unwrap();
-                m.refit(1e-7, 100).unwrap();
+                let _ = m.refit(1e-7, 100).unwrap();
                 m.n_cells()
             })
         });
@@ -70,14 +70,14 @@ fn bench_deep_session_sweep(c: &mut Criterion) {
             b.iter(|| {
                 let mut m = base.clone();
                 m.assimilate_location(black_box(ext), mean.clone()).unwrap();
-                m.refit(1e-7, 100).unwrap();
+                let _ = m.refit(1e-7, 100).unwrap();
                 m.n_cells()
             })
         });
         // Advance the session so step k+1 starts from k assimilated
         // patterns.
         session.assimilate_location(ext, mean).expect("advance");
-        session.refit(1e-7, 100).expect("refit");
+        let _ = session.refit(1e-7, 100).expect("refit");
     }
     group.finish();
 }
@@ -95,10 +95,10 @@ fn bench_smoke_warm_vs_cold(c: &mut Criterion) {
     for ext in exts.iter().take(6) {
         warm.assimilate_location(ext, data.target_mean(ext))
             .unwrap();
-        warm.refit(1e-9, 200).unwrap();
+        let _ = warm.refit(1e-9, 200).unwrap();
     }
     let mut cold = warm.clone();
-    cold.refit_cold(1e-9, 200).expect("cold refit");
+    let _ = cold.refit_cold(1e-9, 200).expect("cold refit");
     for i in 0..data.n() {
         for (a, b) in warm.row_mean(i).iter().zip(cold.row_mean(i)) {
             assert!(
@@ -128,7 +128,7 @@ fn bench_smoke_warm_vs_cold(c: &mut Criterion) {
         b.iter(|| {
             let mut m = warm.clone();
             m.assimilate_location(black_box(ext), mean.clone()).unwrap();
-            m.refit(1e-7, 100).unwrap();
+            let _ = m.refit(1e-7, 100).unwrap();
             m.n_cells()
         })
     });
@@ -136,7 +136,7 @@ fn bench_smoke_warm_vs_cold(c: &mut Criterion) {
         b.iter(|| {
             let mut m = warm.clone();
             m.assimilate_location(black_box(ext), mean.clone()).unwrap();
-            m.refit_cold(1e-7, 100).unwrap();
+            let _ = m.refit_cold(1e-7, 100).unwrap();
             m.n_cells()
         })
     });

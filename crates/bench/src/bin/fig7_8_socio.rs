@@ -8,13 +8,17 @@
 //! w ≈ (0.5704, 0.8214) on (CDU, SPD) with much *smaller* variance than
 //! expected — the parties battle for the same voters.
 
-use sisd_bench::{f2, f3, print_table, report_assimilation, section, shards_arg, threads_arg};
+use sisd_bench::{
+    f2, f3, obs_from_args, print_search_report, print_table, report_assimilation, section,
+    shards_arg, threads_arg,
+};
 use sisd_data::datasets::german_socio_synthetic;
 use sisd_search::{BeamConfig, EvalConfig, Miner, MinerConfig, SphereConfig};
 
 fn main() {
     let threads = threads_arg(1);
     let shards = shards_arg(1);
+    let obs = obs_from_args();
     let (data, truth) = german_socio_synthetic(2018);
     section("Figs. 7–8 — socio-economics simulacrum, 3 iterations (2-sparse spread)");
     println!(
@@ -35,7 +39,9 @@ fn main() {
             max_depth: 4,
             top_k: 150,
             min_coverage: 10,
-            eval: EvalConfig::with_threads(threads).with_shards(shards),
+            eval: EvalConfig::with_threads(threads)
+                .with_shards(shards)
+                .with_obs(obs),
             ..BeamConfig::default()
         },
         sphere: SphereConfig::default(),
@@ -112,4 +118,6 @@ fn main() {
          the 2-sparse spread direction concentrates on (CDU, SPD) ≈ (0.57, 0.82)\n\
          with a variance ratio well below 1."
     );
+    print_search_report(&miner.search_report());
+    obs.flush();
 }

@@ -6,13 +6,17 @@
 //! spread direction has *larger* variance than expected, with the weight
 //! concentrated on BOD and KMnO₄ without any sparsity being enforced.
 
-use sisd_bench::{f2, f3, print_table, report_assimilation, section, shards_arg, threads_arg};
+use sisd_bench::{
+    f2, f3, obs_from_args, print_search_report, print_table, report_assimilation, section,
+    shards_arg, threads_arg,
+};
 use sisd_data::datasets::water_quality_synthetic;
 use sisd_search::{BeamConfig, EvalConfig, Miner, MinerConfig, RefineConfig, SphereConfig};
 
 fn main() {
     let threads = threads_arg(1);
     let shards = shards_arg(1);
+    let obs = obs_from_args();
     let data = water_quality_synthetic(2018);
     section("Figs. 9–10 — water-quality simulacrum: location + full-sphere spread");
     println!(
@@ -33,7 +37,9 @@ fn main() {
             top_k: 150,
             min_coverage: 30,
             refine: RefineConfig::default(),
-            eval: EvalConfig::with_threads(threads).with_shards(shards),
+            eval: EvalConfig::with_threads(threads)
+                .with_shards(shards)
+                .with_obs(obs),
             ..BeamConfig::default()
         },
         sphere: SphereConfig {
@@ -136,4 +142,6 @@ fn main() {
          elevated; the learned w concentrates on the oxygen-demand axes and the\n\
          variance ratio is ABOVE 1 — a surprising high-variance direction."
     );
+    print_search_report(&miner.search_report());
+    obs.flush();
 }

@@ -7,14 +7,23 @@
 //! per search, plus the speedup of the engine's multi-threaded candidate
 //! evaluator. `--threads N` (default 4) sets the parallel worker count;
 //! `--shards S` (default 1) runs every search through the row-range
-//! sharded pipeline (results are bit-identical at any setting).
+//! sharded pipeline (results are bit-identical at any setting);
+//! `--trace-out PATH` additionally writes a JSONL trace of every metric
+//! event. All searches report into one metrics registry — the parallel
+//! ones through a *dedicated* (non-global) worker pool, whose utilization
+//! lands in the report's pool gauges — and the run ends with the full
+//! [`sisd_obs::SearchReport`].
 
-use sisd_bench::{pool_reuse_arg, print_table, section, shards_arg, threads_arg};
+use sisd_bench::{
+    obs_from_args, pool_reuse_arg, print_search_report, print_table, section, shards_arg,
+    threads_arg,
+};
 use sisd_data::datasets::crime_synthetic;
 use sisd_data::{BitSet, Column, Dataset};
 use sisd_linalg::Matrix;
 use sisd_model::BackgroundModel;
-use sisd_par::PoolHandle;
+use sisd_obs::Metric;
+use sisd_par::WorkerPool;
 use sisd_search::{BeamConfig, BeamSearch, EvalConfig};
 use std::time::Instant;
 
@@ -51,30 +60,39 @@ fn main() {
     let threads = threads_arg(4);
     let shards = shards_arg(1);
     let reuse = pool_reuse_arg(3);
+    let obs = obs_from_args();
     let full = crime_synthetic(2018);
     section("Scalability — beam runtime vs n (crime simulacrum, width 40, depth 2)");
 
+    // Parallel searches run on a dedicated (leaked) pool rather than the
+    // process-global one: its per-pool job/task/queue-wait counters land
+    // in the metrics registry, so the footer and the search report both
+    // describe exactly the workers this sweep used.
+    let pool = WorkerPool::leaked();
     let cfg = BeamConfig {
         width: 40,
         max_depth: 2,
         top_k: 50,
         min_coverage: 10,
-        eval: EvalConfig::default().with_shards(shards),
+        eval: EvalConfig::default().with_shards(shards).with_obs(obs),
         ..BeamConfig::default()
     };
     let cfg_parallel = BeamConfig {
-        eval: EvalConfig::with_threads(threads).with_shards(shards),
+        eval: EvalConfig::with_threads(threads)
+            .with_shards(shards)
+            .with_pool(pool)
+            .with_obs(obs),
         ..cfg.clone()
     };
 
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
-    let pool = PoolHandle::global().get();
     println!(
-        "available parallelism: {cores} core(s); pool workers: {} (grows on demand, \
-         capped by --threads); --threads {threads}; --shards {shards}; --pool-reuse {reuse}",
-        pool.workers()
+        "available parallelism: {cores} core(s); dedicated pool workers: {} (grows on \
+         demand, capped by --threads); --threads {threads}; --shards {shards}; \
+         --pool-reuse {reuse}",
+        pool.get().workers()
     );
 
     let mut rows = Vec::new();
@@ -135,10 +153,16 @@ fn main() {
         &rows,
     );
     println!();
+    // The pool gauges were published into the registry by the searches
+    // themselves (a dedicated pool reports exactly like the global one) —
+    // the footer reads them back rather than poking the pool directly.
+    let report = obs.report().expect("obs handle is always enabled here");
     println!(
-        "pool workers spawned: {}; pooled runs: {}",
-        pool.workers(),
-        pool.jobs_run()
+        "pool workers spawned: {}; pooled runs: {} ({} tasks, {} queue-wait ns)",
+        report.get(Metric::PoolWorkers),
+        report.get(Metric::PoolJobs),
+        report.get(Metric::PoolTasks),
+        report.get(Metric::PoolQueueWaitNs),
     );
     println!(
         "Expected shape (paper §III-E): per-candidate cost is linear in n, so total\n\
@@ -149,4 +173,6 @@ fn main() {
          same search against the warm persistent pool: no thread is spawned\n\
          after the first parallel level, so it is the steady-state number."
     );
+    print_search_report(&report);
+    obs.flush();
 }

@@ -69,7 +69,7 @@ fn time_location_updates(data: &Dataset, patterns: &[LocationPattern]) -> Timing
         model
             .assimilate_location(&p.extension, p.observed_mean.clone())
             .expect("update");
-        model.refit(1e-7, 200).expect("refit");
+        let _ = model.refit(1e-7, 200).expect("refit");
         per_iter_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
     Timing {
@@ -100,7 +100,7 @@ fn time_spread_updates(data: &Dataset, patterns: &[LocationPattern]) -> Timing {
         model
             .assimilate_spread(&p.extension, w, center, observed)
             .expect("update");
-        model.refit(1e-7, 200).expect("refit");
+        let _ = model.refit(1e-7, 200).expect("refit");
         per_iter_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
     Timing {

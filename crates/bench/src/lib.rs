@@ -125,6 +125,66 @@ pub fn pool_reuse_arg(default: usize) -> usize {
     positive_flag_arg("pool-reuse", default)
 }
 
+/// Parses a `--trace-out PATH` flag from the process arguments (also
+/// accepts `--trace-out=PATH`). When present, the binary writes a JSONL
+/// trace of every metric event to `PATH` (see [`sisd_obs::JsonlSink`]) in
+/// addition to printing the [`sisd_obs::SearchReport`]; tracing never
+/// changes the experiment's numbers.
+///
+/// # Panics
+/// Panics when the flag is given without a path.
+pub fn trace_out_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut value = None;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--trace-out" {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--trace-out needs a file path"));
+            value = Some(v.clone());
+            i += 2;
+            continue;
+        }
+        if let Some(v) = args[i].strip_prefix("--trace-out=") {
+            value = Some(v.to_string());
+        }
+        i += 1;
+    }
+    value
+}
+
+/// Resolves the experiment's metrics handle: a JSONL-sink registry when
+/// `--trace-out` was given, a counters-only registry otherwise — always
+/// enabled, so every binary can print a [`sisd_obs::SearchReport`].
+///
+/// # Panics
+/// Panics when the trace file cannot be created.
+pub fn obs_from_args() -> sisd_obs::ObsHandle {
+    match trace_out_arg() {
+        Some(path) => {
+            let sink = sisd_obs::JsonlSink::create(std::path::Path::new(&path))
+                .unwrap_or_else(|e| panic!("--trace-out {path}: {e}"));
+            sisd_obs::Obs::leaked(Box::new(sink))
+        }
+        None => sisd_obs::Obs::leaked(Box::new(sisd_obs::NullSink)),
+    }
+}
+
+/// Prints the search report: the human-readable block, then a
+/// machine-readable `#tsv metrics` section with one `(metric, value)` row
+/// per registry slot — the block `scripts/validate_trace.py` reconciles
+/// against the JSONL trace.
+pub fn print_search_report(report: &sisd_obs::SearchReport) {
+    section("search report");
+    println!("{report}");
+    let rows: Vec<Vec<String>> = sisd_obs::Metric::ALL
+        .iter()
+        .map(|&m| vec![m.name().to_string(), report.get(m).to_string()])
+        .collect();
+    print_tsv("metrics", &["metric", "value"], &rows);
+}
+
 /// Two-decimal formatting shorthand.
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")
@@ -150,11 +210,7 @@ pub fn report_assimilation(
     stats: Option<sisd_model::RefitStats>,
 ) {
     match stats {
-        Some(s) => println!(
-            "assimilated {kind} pattern in {elapsed:.2?} \
-             (refit: {} cycle(s), {} re-projection(s))",
-            s.cycles, s.constraints_updated
-        ),
+        Some(s) => println!("assimilated {kind} pattern in {elapsed:.2?} (refit: {s})"),
         None => println!("assimilated {kind} pattern in {elapsed:.2?}"),
     }
 }

@@ -34,6 +34,7 @@
 
 use crate::matrix::MaskMatrix;
 use sisd_data::{kernels, BitSet};
+use sisd_obs::{Metric, ObsHandle};
 use sisd_par::PoolHandle;
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -51,6 +52,9 @@ pub struct FrontierConfig {
     /// process-global pool by default). Serial refinement never touches
     /// it; results are identical for any pool.
     pub pool: PoolHandle,
+    /// Observability handle refinement counters and spans report into.
+    /// Disabled by default; never changes refinement output.
+    pub obs: ObsHandle,
 }
 
 impl Default for FrontierConfig {
@@ -59,6 +63,7 @@ impl Default for FrontierConfig {
             min_support: 1,
             threads: 1,
             pool: PoolHandle::global(),
+            obs: ObsHandle::disabled(),
         }
     }
 }
@@ -266,6 +271,31 @@ pub(crate) fn materialize_survivors(
     });
 }
 
+/// Per-refinement tallies of the serial filter, accumulated in locals and
+/// reported into the obs registry in one batch — the disabled path pays
+/// only dead local increments.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct RefineTally {
+    /// (parent, row) pairs whose support was actually counted.
+    pub counted: u64,
+    /// Pairs rejected by the support floor/ceiling.
+    pub count_pruned: u64,
+    /// Pairs rejected by the caller's keep predicate.
+    pub dedup_dropped: u64,
+    /// Survivors materialized into the batch.
+    pub materialized: u64,
+}
+
+pub(crate) fn record_refine(obs: ObsHandle, tally: RefineTally) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.add(Metric::FrontierCandidates, tally.counted);
+    obs.add(Metric::FrontierCountPruned, tally.count_pruned);
+    obs.add(Metric::FrontierDedupDropped, tally.dedup_dropped);
+    obs.add(Metric::FrontierMaterialized, tally.materialized);
+}
+
 /// The batched refinement engine over one [`MaskMatrix`]. Cheap to
 /// construct (three words); build one wherever a search holds a matrix.
 #[derive(Debug, Clone, Copy)]
@@ -336,6 +366,8 @@ impl<'m> FrontierBuilder<'m> {
         if parents.is_empty() || rows == 0 {
             return ChildBatch::with_shape(n, stride);
         }
+        let obs = self.config.obs;
+        obs.incr(Metric::FrontierRefineCalls);
 
         let blocks = rows.div_ceil(BLOCK_ROWS);
         let tiles = parents.len().div_ceil(PARENT_TILE);
@@ -357,8 +389,11 @@ impl<'m> FrontierBuilder<'m> {
         // route below, where one block pass serves a whole parent tile
         // instead of re-streaming the matrix once per parent.
         if workers <= 1 && (parents.len() == 1 || rows * stride < GRID_MIN_MATRIX_WORDS) {
+            obs.incr(Metric::FrontierFusedDispatch);
+            let _fused_span = obs.span(Metric::FrontierFusedNs);
             return self.refine_fused_serial(parents, allowed, keep);
         }
+        obs.incr(Metric::FrontierGridDispatch);
 
         // Pass 1 — count-only: dense per-(parent, row) supports, SKIPPED
         // where `allowed` rejects. Work items are (parent tile × row
@@ -368,6 +403,7 @@ impl<'m> FrontierBuilder<'m> {
         // vector. Every count is a pure function of its (parent, row)
         // pair, so the tiling never changes a value — only how many times
         // each block streams through the cache.
+        let count_span = obs.span(Metric::FrontierCountNs);
         let parent_words: Vec<&[u64]> = parents.iter().map(|s| s.ext.words()).collect();
         let item_cell = |item: usize| {
             let (t, b) = (item / blocks, item % blocks);
@@ -418,18 +454,25 @@ impl<'m> FrontierBuilder<'m> {
                 item += 1;
             }
         }
+        drop(count_span);
 
         // Serial filter in (parent, row) order: support floor/ceiling on
         // the counts, then the caller's keep predicate.
+        let mut tally = RefineTally::default();
         let mut meta: Vec<ChildMeta> = Vec::new();
         for (p, spec) in parents.iter().enumerate() {
             for row in 0..rows {
                 let support = counts[p * rows + row];
-                if support == SKIPPED
-                    || support < self.config.min_support
-                    || support > spec.max_support
-                    || !keep(p, row, support)
-                {
+                if support == SKIPPED {
+                    continue;
+                }
+                tally.counted += 1;
+                if support < self.config.min_support || support > spec.max_support {
+                    tally.count_pruned += 1;
+                    continue;
+                }
+                if !keep(p, row, support) {
+                    tally.dedup_dropped += 1;
                     continue;
                 }
                 meta.push(ChildMeta {
@@ -439,10 +482,13 @@ impl<'m> FrontierBuilder<'m> {
                 });
             }
         }
+        tally.materialized = meta.len() as u64;
+        record_refine(obs, tally);
 
         // Pass 2 — materialize only the survivors, each into its arena
         // slot (a pure function of its parent and row, so parallel chunks
         // over disjoint slices stay bit-identical).
+        let materialize_span = obs.span(Metric::FrontierMaterializeNs);
         let mut words = vec![0u64; meta.len() * stride];
         materialize_survivors(
             self.config.pool,
@@ -458,6 +504,7 @@ impl<'m> FrontierBuilder<'m> {
                 )
             },
         );
+        drop(materialize_span);
         ChildBatch::from_parts(n, stride, meta, words)
     }
 
@@ -479,6 +526,7 @@ impl<'m> FrontierBuilder<'m> {
     {
         let rows = self.matrix.rows();
         let stride = self.matrix.stride();
+        let mut tally = RefineTally::default();
         let mut meta: Vec<ChildMeta> = Vec::new();
         let mut words: Vec<u64> = Vec::new();
         let mut select = [false; BLOCK_ROWS];
@@ -500,11 +548,16 @@ impl<'m> FrontierBuilder<'m> {
                 );
                 for (j, row) in (lo..hi).enumerate() {
                     let support = counts[j];
-                    if support == SKIPPED
-                        || support < self.config.min_support
-                        || support > spec.max_support
-                        || !keep(p, row, support)
-                    {
+                    if support == SKIPPED {
+                        continue;
+                    }
+                    tally.counted += 1;
+                    if support < self.config.min_support || support > spec.max_support {
+                        tally.count_pruned += 1;
+                        continue;
+                    }
+                    if !keep(p, row, support) {
+                        tally.dedup_dropped += 1;
                         continue;
                     }
                     meta.push(ChildMeta {
@@ -519,6 +572,8 @@ impl<'m> FrontierBuilder<'m> {
                 lo = hi;
             }
         }
+        tally.materialized = meta.len() as u64;
+        record_refine(self.config.obs, tally);
         ChildBatch::from_parts(self.matrix.n(), stride, meta, words)
     }
 
@@ -731,7 +786,7 @@ mod tests {
                     FrontierConfig {
                         min_support,
                         threads,
-                        pool: PoolHandle::global(),
+                        ..FrontierConfig::default()
                     },
                 );
                 let got = builder.refine_parents(&parents, allowed);
@@ -763,7 +818,7 @@ mod tests {
             FrontierConfig {
                 min_support,
                 threads: 1,
-                pool: PoolHandle::global(),
+                ..FrontierConfig::default()
             },
         )
         .refine_parents(&parents, |_, _| true);
@@ -774,7 +829,7 @@ mod tests {
                 FrontierConfig {
                     min_support,
                     threads,
-                    pool: PoolHandle::global(),
+                    ..FrontierConfig::default()
                 },
             )
             .refine_parents(&parents, |_, _| true);
@@ -804,7 +859,7 @@ mod tests {
             FrontierConfig {
                 min_support: 10,
                 threads: 1,
-                pool: PoolHandle::global(),
+                ..FrontierConfig::default()
             },
         );
         let children = builder.refine_parents(&parents, |_, _| true);
@@ -845,7 +900,7 @@ mod tests {
             FrontierConfig {
                 min_support: 0,
                 threads: 3,
-                pool: PoolHandle::global(),
+                ..FrontierConfig::default()
             },
         );
         let children = builder.refine_parents(&parents, |_, _| true);

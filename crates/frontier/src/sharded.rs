@@ -35,14 +35,15 @@
 //! cross-node.
 
 use crate::builder::{
-    materialize_survivors, run_chunked, BLOCK_ROWS, MIN_ITEMS_PER_WORKER, MIN_WORDS_PER_WORKER,
-    SKIPPED,
+    materialize_survivors, record_refine, run_chunked, RefineTally, BLOCK_ROWS,
+    MIN_ITEMS_PER_WORKER, MIN_WORDS_PER_WORKER, SKIPPED,
 };
 use crate::matrix::MaskMatrix;
 use crate::{ChildBatch, ChildMeta, FrontierBuilder, FrontierConfig, ParentSpec};
 use sisd_core::Condition;
 use sisd_data::shard::ShardPlan;
 use sisd_data::{kernels, BitSet, Dataset, ShardedDataset};
+use sisd_obs::Metric;
 
 /// One condition bit-matrix per row-range shard.
 ///
@@ -228,6 +229,8 @@ impl<'m> ShardedFrontierBuilder<'m> {
         if parents.is_empty() || rows == 0 {
             return ChildBatch::with_shape(plan.n(), total_stride);
         }
+        let obs = self.config.obs;
+        obs.incr(Metric::FrontierRefineCalls);
 
         let blocks = rows.div_ceil(BLOCK_ROWS);
         let n_items = parents.len() * blocks * nshards;
@@ -243,8 +246,11 @@ impl<'m> ShardedFrontierBuilder<'m> {
         // sum, filter, and materialize its survivors while the shard rows
         // are cache-resident (see the unsharded fused path).
         if workers <= 1 {
+            obs.incr(Metric::FrontierFusedDispatch);
+            let _fused_span = obs.span(Metric::FrontierFusedNs);
             return self.refine_fused_serial(parents, allowed, keep);
         }
+        obs.incr(Metric::FrontierGridDispatch);
 
         // Pass 1 — count-only per-shard kernels over (parent, shard,
         // row-block) items, indexed ((p·blocks + b)·S + s) so the merge
@@ -255,6 +261,7 @@ impl<'m> ShardedFrontierBuilder<'m> {
         // not S word rows. Worker chunks append lanes to one flat vector
         // each, concatenated in item order, so the merged layout is dense
         // and scheduling never reorders anything.
+        let count_span = obs.span(Metric::FrontierCountNs);
         let count_items = |items: std::ops::Range<usize>| -> Vec<usize> {
             let mut out = Vec::with_capacity(items.len() * BLOCK_ROWS);
             let mut select = [false; BLOCK_ROWS];
@@ -286,6 +293,7 @@ impl<'m> ShardedFrontierBuilder<'m> {
         .into_iter()
         .flatten()
         .collect();
+        drop(count_span);
         let lane = |p: usize, b: usize, s: usize| -> &[usize] {
             &partials[((p * blocks + b) * nshards + s) * BLOCK_ROWS..][..BLOCK_ROWS]
         };
@@ -294,6 +302,7 @@ impl<'m> ShardedFrontierBuilder<'m> {
         // (exact integers, so the total equals the unsharded popcount),
         // apply the support filters on the total, then the caller's keep
         // predicate. No child words exist yet.
+        let mut tally = RefineTally::default();
         let mut meta: Vec<ChildMeta> = Vec::new();
         for (p, spec) in parents.iter().enumerate() {
             for b in 0..blocks {
@@ -305,11 +314,14 @@ impl<'m> ShardedFrontierBuilder<'m> {
                     if lane(p, b, 0)[j] == SKIPPED {
                         continue;
                     }
+                    tally.counted += 1;
                     let support: usize = (0..nshards).map(|s| lane(p, b, s)[j]).sum();
-                    if support < self.config.min_support
-                        || support > spec.max_support
-                        || !keep(p, row, support)
-                    {
+                    if support < self.config.min_support || support > spec.max_support {
+                        tally.count_pruned += 1;
+                        continue;
+                    }
+                    if !keep(p, row, support) {
+                        tally.dedup_dropped += 1;
                         continue;
                     }
                     meta.push(ChildMeta {
@@ -320,11 +332,14 @@ impl<'m> ShardedFrontierBuilder<'m> {
                 }
             }
         }
+        tally.materialized = meta.len() as u64;
+        record_refine(obs, tally);
 
         // Pass 2 — materialize only the survivors: each child's words are
         // computed shard by shard directly into its arena slot, in shard
         // order (word concatenation is exact by the plan's alignment
         // invariant).
+        let materialize_span = obs.span(Metric::FrontierMaterializeNs);
         let mut words = vec![0u64; meta.len() * total_stride];
         materialize_survivors(
             self.config.pool,
@@ -343,6 +358,7 @@ impl<'m> ShardedFrontierBuilder<'m> {
                 }
             },
         );
+        drop(materialize_span);
         ChildBatch::from_parts(plan.n(), total_stride, meta, words)
     }
 
@@ -366,6 +382,7 @@ impl<'m> ShardedFrontierBuilder<'m> {
         let rows = self.matrix.rows();
         let nshards = plan.shards();
         let total_stride = plan.n().div_ceil(sisd_data::bitset::WORD_BITS);
+        let mut tally = RefineTally::default();
         let mut meta: Vec<ChildMeta> = Vec::new();
         let mut words: Vec<u64> = Vec::new();
         let mut select = [false; BLOCK_ROWS];
@@ -394,12 +411,15 @@ impl<'m> ShardedFrontierBuilder<'m> {
                     if !select[j] {
                         continue;
                     }
+                    tally.counted += 1;
                     let support: usize =
                         (0..nshards).map(|s| shard_counts[s * BLOCK_ROWS + j]).sum();
-                    if support < self.config.min_support
-                        || support > spec.max_support
-                        || !keep(p, row, support)
-                    {
+                    if support < self.config.min_support || support > spec.max_support {
+                        tally.count_pruned += 1;
+                        continue;
+                    }
+                    if !keep(p, row, support) {
+                        tally.dedup_dropped += 1;
                         continue;
                     }
                     meta.push(ChildMeta {
@@ -422,6 +442,8 @@ impl<'m> ShardedFrontierBuilder<'m> {
                 lo = hi;
             }
         }
+        tally.materialized = meta.len() as u64;
+        record_refine(self.config.obs, tally);
         ChildBatch::from_parts(plan.n(), total_stride, meta, words)
     }
 
@@ -648,7 +670,6 @@ impl MaskStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sisd_par::PoolHandle;
     use sisd_stats::Xoshiro256pp;
 
     fn random_mask(rng: &mut Xoshiro256pp, n: usize, density: f64) -> BitSet {
@@ -710,7 +731,7 @@ mod tests {
             let config = FrontierConfig {
                 min_support: 2,
                 threads: 1,
-                pool: PoolHandle::global(),
+                ..FrontierConfig::default()
             };
             let expect = FrontierBuilder::new(&dense, config).refine_parents(&parents, allowed);
             for s in [1usize, 2, 3, 7] {
@@ -723,7 +744,7 @@ mod tests {
                         FrontierConfig {
                             min_support: 2,
                             threads,
-                            pool: PoolHandle::global(),
+                            ..FrontierConfig::default()
                         },
                     )
                     .refine_parents(&parents, allowed);
@@ -780,7 +801,7 @@ mod tests {
         let config = FrontierConfig {
             min_support: 1,
             threads: 2,
-            pool: PoolHandle::global(),
+            ..FrontierConfig::default()
         };
         let expect = MaskStore::Dense(dense).refine_parents(config, &parents, |_, _| true);
         let plan = ShardPlan::new(200, 3);

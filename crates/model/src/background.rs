@@ -5,6 +5,7 @@ use crate::constraint::Constraint;
 use crate::solver::{solve_spread_lambda, SpreadCellStat};
 use sisd_data::{BitSet, Dataset};
 use sisd_linalg::{Cholesky, Matrix};
+use sisd_obs::{Metric, ObsHandle};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -102,6 +103,11 @@ impl std::error::Error for ModelError {}
 #[derive(Debug, Default)]
 pub struct FactorCache {
     inner: Mutex<CacheInner>,
+    /// Calls answered from the memo (first-lock lookup). Misses are every
+    /// other call — lineage bypasses and builds, including builds that lose
+    /// the double-check race — so `hits + misses` equals total calls.
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 /// Covariance-value signature of a candidate extension: `(cov_id, rows)`
@@ -129,6 +135,17 @@ impl FactorCache {
     /// Whether the cache has memoized anything yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Calls served from the memo without building a factor.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Calls that paid for a fresh factorization (lineage bypasses and
+    /// budget-evicted signatures included).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
@@ -162,15 +179,20 @@ impl FactorCache {
                 None => inner.lineage = Some(lineage),
                 Some(pinned) if pinned != lineage => {
                     drop(inner);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
                     return Ok(Arc::new(build()?));
                 }
                 Some(_) => {
                     if let Some(hit) = inner.map.get(sig) {
-                        return Ok(Arc::clone(hit));
+                        let hit = Arc::clone(hit);
+                        drop(inner);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(hit);
                     }
                 }
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build()?);
         let bytes_per_entry = 8 * built.dim() * built.dim();
         let max_entries = (Self::MAX_BYTES / bytes_per_entry.max(1)).max(16);
@@ -207,6 +229,7 @@ pub struct LocationStats {
 /// counters let callers observe how much re-projection work each
 /// assimilation triggers instead of guessing from wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use = "refit statistics should be inspected or explicitly discarded"]
 pub struct RefitStats {
     /// Full passes over the stored constraints (0 when the model was
     /// already within tolerance).
@@ -215,6 +238,23 @@ pub struct RefitStats {
     /// (numerically-unimprovable spread constraints that were skipped are
     /// not counted).
     pub constraints_updated: usize,
+}
+
+impl std::fmt::Display for RefitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cycle{}, {} re-projection{}",
+            self.cycles,
+            if self.cycles == 1 { "" } else { "s" },
+            self.constraints_updated,
+            if self.constraints_updated == 1 {
+                ""
+            } else {
+                "s"
+            },
+        )
+    }
 }
 
 /// Sufficient statistics for the spread information content (Eqs. 17–19).
@@ -369,6 +409,9 @@ pub struct BackgroundModel {
     base_mu: Vec<f64>,
     base_sigma: Matrix,
     scratch: ProjectionScratch,
+    /// Metrics destination for refit/projection work. Disabled by default;
+    /// never affects the numbers the model produces.
+    obs: ObsHandle,
 }
 
 impl Clone for BackgroundModel {
@@ -391,6 +434,7 @@ impl Clone for BackgroundModel {
             base_mu: self.base_mu.clone(),
             base_sigma: self.base_sigma.clone(),
             scratch: self.scratch.clone(),
+            obs: self.obs,
         }
     }
 }
@@ -422,7 +466,20 @@ impl BackgroundModel {
             base_mu: mu,
             base_sigma: sigma,
             scratch: ProjectionScratch::default(),
+            obs: ObsHandle::disabled(),
         })
+    }
+
+    /// Routes the model's refit/projection counters to `obs`. Observability
+    /// is purely additive: the model's outputs are bit-identical with any
+    /// handle, enabled or not.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// The metrics handle the model reports to (disabled by default).
+    pub fn obs(&self) -> ObsHandle {
+        self.obs
     }
 
     /// Initial model with prior mean/covariance set to the dataset's
@@ -895,6 +952,7 @@ impl BackgroundModel {
         sisd_linalg::sub_assign(&mut scratch.rhs, &scratch.mu_bar);
         sisd_linalg::scale(mf, &mut scratch.rhs);
         if proj.chol.is_none() {
+            self.obs.incr(Metric::ModelFactorRebuilds);
             proj.chol = Some(Self::build_member_factor(
                 cells,
                 &proj.members,
@@ -902,6 +960,8 @@ impl BackgroundModel {
                 &mut scratch.s_sum,
                 dy,
             )?);
+        } else {
+            self.obs.incr(Metric::ModelFactorReuses);
         }
         let chol = proj.chol.as_ref().expect("factor just ensured");
         chol.solve_in_place(&mut scratch.rhs); // rhs now holds λ
@@ -1004,7 +1064,9 @@ impl BackgroundModel {
         if lambda.abs() < 1e-14 {
             return Ok(());
         }
+        let obs = self.obs;
         self.proj[i].spread_dual += lambda;
+        obs.add(Metric::ModelCellRankUpdates, scratch.live.len() as u64);
 
         scratch.alphas.clear();
         scratch.us.clear();
@@ -1057,6 +1119,7 @@ impl BackgroundModel {
             }
             if affected > k_max {
                 proj_j.chol = None;
+                obs.incr(Metric::RefitDowndateFallbacks);
                 continue;
             }
             for (k, &g) in scratch.live.iter().enumerate() {
@@ -1074,6 +1137,7 @@ impl BackgroundModel {
                     .is_ok();
                 if !ok {
                     proj_j.chol = None;
+                    obs.incr(Metric::RefitDowndateFallbacks);
                     break;
                 }
             }
@@ -1224,6 +1288,10 @@ impl BackgroundModel {
     /// linear families); with little overlap between extensions it takes
     /// one or two passes, matching the paper's observation.
     pub fn refit(&mut self, tol: f64, max_cycles: usize) -> Result<RefitStats, ModelError> {
+        let obs = self.obs;
+        obs.incr(Metric::RefitRuns);
+        let _refit_span = obs.span(Metric::RefitNs);
+        let mut residuals_recomputed = 0u64;
         let t = self.constraints.len();
         debug_assert_eq!(self.adj.len(), t, "adjacency out of sync");
         let mut violations = std::mem::take(&mut self.scratch.violations);
@@ -1245,6 +1313,7 @@ impl BackgroundModel {
                 if dirty[i] {
                     violations[i] = self.violation_at(i);
                     dirty[i] = false;
+                    residuals_recomputed += 1;
                 }
                 max_v = max_v.max(violations[i]);
             }
@@ -1310,6 +1379,14 @@ impl BackgroundModel {
         }
         self.scratch.violations = violations;
         self.scratch.dirty = dirty;
+        obs.add(Metric::RefitCycles, cycles as u64);
+        obs.add(Metric::RefitConstraintsUpdated, constraints_updated as u64);
+        obs.add(Metric::RefitResidualsRecomputed, residuals_recomputed);
+        obs.set(Metric::RefitLastCycles, cycles as u64);
+        obs.set(
+            Metric::RefitLastConstraintsUpdated,
+            constraints_updated as u64,
+        );
         result.map(|()| RefitStats {
             cycles,
             constraints_updated,
@@ -1325,6 +1402,7 @@ impl BackgroundModel {
     /// tests and the bench gate. Returns the stats of the final cyclic
     /// phase (the replay projections are not counted).
     pub fn refit_cold(&mut self, tol: f64, max_cycles: usize) -> Result<RefitStats, ModelError> {
+        self.obs.incr(Metric::RefitColdRuns);
         self.cells.clear();
         self.cells.push(Cell::new(
             BitSet::full(self.n),
@@ -1525,11 +1603,11 @@ mod tests {
         let ext_b = BitSet::from_indices(8, [2, 3, 4, 5]);
         let ext_c = BitSet::from_indices(8, [1, 2, 5, 6]);
         model.assimilate_location(&ext_a, vec![1.0, 0.0]).unwrap();
-        model.refit(1e-10, 500).unwrap();
+        let _ = model.refit(1e-10, 500).unwrap();
         model.assimilate_location(&ext_b, vec![-1.0, 0.5]).unwrap();
-        model.refit(1e-10, 500).unwrap();
+        let _ = model.refit(1e-10, 500).unwrap();
         model.assimilate_location(&ext_c, vec![0.3, -0.4]).unwrap();
-        model.refit(1e-10, 500).unwrap();
+        let _ = model.refit(1e-10, 500).unwrap();
 
         let mut cold = model.clone();
         let cold_stats = cold.refit_cold(1e-10, 500).unwrap();
@@ -1558,7 +1636,7 @@ mod tests {
         let ext_a = BitSet::from_indices(8, [0, 1, 2, 3]);
         let ext_b = BitSet::from_indices(8, [2, 3, 4, 5]);
         model.assimilate_location(&ext_a, vec![1.0, 0.0]).unwrap();
-        model.refit(1e-10, 500).unwrap();
+        let _ = model.refit(1e-10, 500).unwrap();
         let mut w = vec![1.0, 1.0];
         sisd_linalg::normalize(&mut w);
         model
@@ -1632,7 +1710,7 @@ mod tests {
         // cov_ids — so the candidate's cov-signature is unchanged.
         let loc_ext = BitSet::from_indices(8, [4]);
         model.assimilate_location(&loc_ext, vec![0.8, 0.8]).unwrap();
-        model.refit(1e-10, 200).unwrap();
+        let _ = model.refit(1e-10, 200).unwrap();
         let counts_after = model.cell_counts(&candidate);
         assert!(
             counts_after.len() > counts.len(),

@@ -1,0 +1,1114 @@
+//! Zero-dependency metrics + tracing for the SISD engine.
+//!
+//! The engine's hot seams (evaluator, frontier refinement, model refit,
+//! worker pool) report into a fixed-size [`MetricsRegistry`] of lock-free
+//! atomic counters and gauges, optionally mirroring every update into a
+//! [`TraceSink`] as a structured event stream. The whole layer is threaded
+//! through configs as an [`ObsHandle`] — a `Copy` reference like
+//! `sisd_par::PoolHandle` — so instrumented code pays:
+//!
+//! - **disabled** (`ObsHandle::disabled()`, the default): one branch per
+//!   call site, zero allocations, no clock reads;
+//! - **enabled + [`NullSink`]**: relaxed atomic adds and monotonic clock
+//!   reads for spans, still zero allocations;
+//! - **enabled + real sink** ([`RingSink`], [`JsonlSink`]): the above plus
+//!   one event record per update.
+//!
+//! Hard contract, pinned by tests in the workspace: observability never
+//! changes search output bits, and the disabled path adds zero allocations
+//! on steady-state beam levels.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Whether a metric accumulates (`Counter`) or holds a last-written value
+/// (`Gauge`). Span-duration metrics are counters: each finished span adds
+/// its nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone accumulator; JSONL events for it sum to the registry value.
+    Counter,
+    /// Last-write-wins sample; the final JSONL event equals the registry value.
+    Gauge,
+}
+
+/// Every metric the engine reports, with a stable dotted name.
+///
+/// The enum doubles as the registry index, so the registry is a flat
+/// array of atomics with no hashing on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Beam-level searches started (`run_beam_levels` entries).
+    SearchRuns,
+    /// Beam levels executed across all searches.
+    SearchLevels,
+    /// Nanoseconds spent inside beam levels (span).
+    SearchLevelNs,
+    /// Scoring batches submitted to the evaluator.
+    EvalBatches,
+    /// Candidates scored (non-degenerate scores produced).
+    EvalScored,
+    /// Nanoseconds spent scoring batches (span).
+    EvalScoreNs,
+    /// Frontier refinement calls (one per beam level per store).
+    FrontierRefineCalls,
+    /// Candidate (parent × condition) pairs counted in refinement.
+    FrontierCandidates,
+    /// Candidates rejected by the support floor/ceiling popcount filters.
+    FrontierCountPruned,
+    /// Candidates rejected by the caller's keep predicate (beam dedup,
+    /// branch-and-bound optimistic bound).
+    FrontierDedupDropped,
+    /// Survivors whose mask words were actually materialized.
+    FrontierMaterialized,
+    /// Refinements routed through the parallel two-pass (grid-kernel) path.
+    FrontierGridDispatch,
+    /// Refinements routed through the fused serial path.
+    FrontierFusedDispatch,
+    /// Nanoseconds in the count-only pass of two-pass refinement (span).
+    FrontierCountNs,
+    /// Nanoseconds materializing survivors in two-pass refinement (span).
+    FrontierMaterializeNs,
+    /// Nanoseconds in fused serial refinement (span).
+    FrontierFusedNs,
+    /// Warm-capable refit entries (includes the replay half of cold runs).
+    RefitRuns,
+    /// Cold refits (full constraint-history replays).
+    RefitColdRuns,
+    /// Cyclic-descent cycles executed across refits.
+    RefitCycles,
+    /// Constraint projections applied across refits.
+    RefitConstraintsUpdated,
+    /// Dirty residuals recomputed across refits (sum of dirty-set sizes).
+    RefitResidualsRecomputed,
+    /// Rank-k factor updates abandoned for a fresh factorization.
+    RefitDowndateFallbacks,
+    /// Nanoseconds inside refit (span).
+    RefitNs,
+    /// Rank-one scaled updates applied to cell factors during spread tilts.
+    ModelCellRankUpdates,
+    /// Projection `S`-factors rebuilt from scratch.
+    ModelFactorRebuilds,
+    /// Projection `S`-factors reused via warm-started updates.
+    ModelFactorReuses,
+    /// FactorCache hits (gauge, sampled from the cache's own counters).
+    CacheHits,
+    /// FactorCache misses (gauge, sampled).
+    CacheMisses,
+    /// FactorCache resident entries (gauge, sampled).
+    CacheEntries,
+    /// Worker threads in the pool that ran the search (gauge, sampled).
+    PoolWorkers,
+    /// Jobs the pool has run since creation (gauge, sampled).
+    PoolJobs,
+    /// Task chunks claimed by pool workers since creation (gauge, sampled).
+    PoolTasks,
+    /// Nanoseconds jobs waited before their first chunk was claimed
+    /// (gauge, sampled).
+    PoolQueueWaitNs,
+    /// Cycles used by the most recent refit (gauge).
+    RefitLastCycles,
+    /// Constraints updated by the most recent refit (gauge).
+    RefitLastConstraintsUpdated,
+}
+
+impl Metric {
+    /// Number of metrics; the registry array length.
+    pub const COUNT: usize = 35;
+
+    /// Every metric, in registry order.
+    pub const ALL: [Metric; Metric::COUNT] = [
+        Metric::SearchRuns,
+        Metric::SearchLevels,
+        Metric::SearchLevelNs,
+        Metric::EvalBatches,
+        Metric::EvalScored,
+        Metric::EvalScoreNs,
+        Metric::FrontierRefineCalls,
+        Metric::FrontierCandidates,
+        Metric::FrontierCountPruned,
+        Metric::FrontierDedupDropped,
+        Metric::FrontierMaterialized,
+        Metric::FrontierGridDispatch,
+        Metric::FrontierFusedDispatch,
+        Metric::FrontierCountNs,
+        Metric::FrontierMaterializeNs,
+        Metric::FrontierFusedNs,
+        Metric::RefitRuns,
+        Metric::RefitColdRuns,
+        Metric::RefitCycles,
+        Metric::RefitConstraintsUpdated,
+        Metric::RefitResidualsRecomputed,
+        Metric::RefitDowndateFallbacks,
+        Metric::RefitNs,
+        Metric::ModelCellRankUpdates,
+        Metric::ModelFactorRebuilds,
+        Metric::ModelFactorReuses,
+        Metric::CacheHits,
+        Metric::CacheMisses,
+        Metric::CacheEntries,
+        Metric::PoolWorkers,
+        Metric::PoolJobs,
+        Metric::PoolTasks,
+        Metric::PoolQueueWaitNs,
+        Metric::RefitLastCycles,
+        Metric::RefitLastConstraintsUpdated,
+    ];
+
+    /// Registry slot of this metric.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable dotted name used in trace events and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::SearchRuns => "search.runs",
+            Metric::SearchLevels => "search.levels",
+            Metric::SearchLevelNs => "search.level_ns",
+            Metric::EvalBatches => "eval.batches",
+            Metric::EvalScored => "eval.scored",
+            Metric::EvalScoreNs => "eval.score_ns",
+            Metric::FrontierRefineCalls => "frontier.refine_calls",
+            Metric::FrontierCandidates => "frontier.candidates",
+            Metric::FrontierCountPruned => "frontier.count_pruned",
+            Metric::FrontierDedupDropped => "frontier.dedup_dropped",
+            Metric::FrontierMaterialized => "frontier.materialized",
+            Metric::FrontierGridDispatch => "frontier.grid_dispatch",
+            Metric::FrontierFusedDispatch => "frontier.fused_dispatch",
+            Metric::FrontierCountNs => "frontier.count_ns",
+            Metric::FrontierMaterializeNs => "frontier.materialize_ns",
+            Metric::FrontierFusedNs => "frontier.fused_ns",
+            Metric::RefitRuns => "refit.runs",
+            Metric::RefitColdRuns => "refit.cold_runs",
+            Metric::RefitCycles => "refit.cycles",
+            Metric::RefitConstraintsUpdated => "refit.constraints_updated",
+            Metric::RefitResidualsRecomputed => "refit.residuals_recomputed",
+            Metric::RefitDowndateFallbacks => "refit.downdate_fallbacks",
+            Metric::RefitNs => "refit.ns",
+            Metric::ModelCellRankUpdates => "model.cell_rank_updates",
+            Metric::ModelFactorRebuilds => "model.factor_rebuilds",
+            Metric::ModelFactorReuses => "model.factor_reuses",
+            Metric::CacheHits => "cache.hits",
+            Metric::CacheMisses => "cache.misses",
+            Metric::CacheEntries => "cache.entries",
+            Metric::PoolWorkers => "pool.workers",
+            Metric::PoolJobs => "pool.jobs",
+            Metric::PoolTasks => "pool.tasks",
+            Metric::PoolQueueWaitNs => "pool.queue_wait_ns",
+            Metric::RefitLastCycles => "refit.last_cycles",
+            Metric::RefitLastConstraintsUpdated => "refit.last_constraints_updated",
+        }
+    }
+
+    /// Counter or gauge.
+    pub const fn kind(self) -> MetricKind {
+        match self {
+            Metric::CacheHits
+            | Metric::CacheMisses
+            | Metric::CacheEntries
+            | Metric::PoolWorkers
+            | Metric::PoolJobs
+            | Metric::PoolTasks
+            | Metric::PoolQueueWaitNs
+            | Metric::RefitLastCycles
+            | Metric::RefitLastConstraintsUpdated => MetricKind::Gauge,
+            _ => MetricKind::Counter,
+        }
+    }
+
+    /// Inverse of [`Metric::name`].
+    pub fn from_name(name: &str) -> Option<Metric> {
+        Metric::ALL.iter().copied().find(|m| m.name() == name)
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Flat array of lock-free metric slots. Counters accumulate with relaxed
+/// `fetch_add`; gauges overwrite with relaxed `store`. All operations are
+/// allocation-free.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    slots: [AtomicU64; Metric::COUNT],
+}
+
+impl MetricsRegistry {
+    /// A registry with every slot at zero.
+    pub const fn new() -> Self {
+        MetricsRegistry {
+            slots: [const { AtomicU64::new(0) }; Metric::COUNT],
+        }
+    }
+
+    /// Add `v` to a counter slot.
+    #[inline]
+    pub fn add(&self, metric: Metric, v: u64) {
+        self.slots[metric.index()].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Overwrite a gauge slot.
+    #[inline]
+    pub fn set(&self, metric: Metric, v: u64) {
+        self.slots[metric.index()].store(v, Ordering::Relaxed);
+    }
+
+    /// Current value of one slot.
+    #[inline]
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.slots[metric.index()].load(Ordering::Relaxed)
+    }
+
+    /// Copy every slot into a plain snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut values = [0u64; Metric::COUNT];
+        for (slot, out) in self.slots.iter().zip(values.iter_mut()) {
+            *out = slot.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot { values }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    values: [u64; Metric::COUNT],
+}
+
+impl MetricsSnapshot {
+    /// Value of one metric at snapshot time.
+    #[inline]
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.values[metric.index()]
+    }
+
+    /// `(metric, value)` pairs in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = (Metric, u64)> + '_ {
+        Metric::ALL.iter().map(move |&m| (m, self.get(m)))
+    }
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            values: [0u64; Metric::COUNT],
+        }
+    }
+}
+
+/// One structured trace record. Timestamps are nanoseconds since the
+/// owning [`Obs`] was created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A counter was incremented by `value`.
+    Counter {
+        /// Nanoseconds since the obs epoch.
+        t_ns: u64,
+        /// Which counter.
+        metric: Metric,
+        /// The increment (not the running total).
+        value: u64,
+    },
+    /// A gauge was overwritten with `value`.
+    Gauge {
+        /// Nanoseconds since the obs epoch.
+        t_ns: u64,
+        /// Which gauge.
+        metric: Metric,
+        /// The new value.
+        value: u64,
+    },
+    /// A span finished after `dur_ns`, at `depth` on its thread's stack.
+    Span {
+        /// Nanoseconds since the obs epoch, at span end.
+        t_ns: u64,
+        /// The span's duration counter.
+        metric: Metric,
+        /// Duration in nanoseconds (also added to the counter).
+        dur_ns: u64,
+        /// Nesting depth on the recording thread (0 = outermost).
+        depth: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The metric this event touches.
+    pub fn metric(&self) -> Metric {
+        match *self {
+            TraceEvent::Counter { metric, .. }
+            | TraceEvent::Gauge { metric, .. }
+            | TraceEvent::Span { metric, .. } => metric,
+        }
+    }
+
+    /// The value delta this event contributes: counter increments and span
+    /// durations sum to the registry value; gauge events overwrite it.
+    pub fn value(&self) -> u64 {
+        match *self {
+            TraceEvent::Counter { value, .. } | TraceEvent::Gauge { value, .. } => value,
+            TraceEvent::Span { dur_ns, .. } => dur_ns,
+        }
+    }
+
+    /// Serialize as one JSON object (no trailing newline). Metric names are
+    /// static identifiers, so no string escaping is needed.
+    pub fn to_json(&self) -> String {
+        match *self {
+            TraceEvent::Counter { t_ns, metric, value } => format!(
+                "{{\"t\":{t_ns},\"kind\":\"counter\",\"metric\":\"{}\",\"v\":{value}}}",
+                metric.name()
+            ),
+            TraceEvent::Gauge { t_ns, metric, value } => format!(
+                "{{\"t\":{t_ns},\"kind\":\"gauge\",\"metric\":\"{}\",\"v\":{value}}}",
+                metric.name()
+            ),
+            TraceEvent::Span {
+                t_ns,
+                metric,
+                dur_ns,
+                depth,
+            } => format!(
+                "{{\"t\":{t_ns},\"kind\":\"span\",\"metric\":\"{}\",\"v\":{dur_ns},\"depth\":{depth}}}",
+                metric.name()
+            ),
+        }
+    }
+
+    /// Parse a line produced by [`TraceEvent::to_json`]. Returns `None` for
+    /// anything that is not a well-formed event with a known metric.
+    pub fn parse_json(line: &str) -> Option<TraceEvent> {
+        fn field_u64(line: &str, key: &str) -> Option<u64> {
+            let pat = format!("\"{key}\":");
+            let start = line.find(&pat)? + pat.len();
+            let rest = &line[start..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        }
+        fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+            let pat = format!("\"{key}\":\"");
+            let start = line.find(&pat)? + pat.len();
+            let rest = &line[start..];
+            let end = rest.find('"')?;
+            Some(&rest[..end])
+        }
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        let t_ns = field_u64(line, "t")?;
+        let metric = Metric::from_name(field_str(line, "metric")?)?;
+        let value = field_u64(line, "v")?;
+        match field_str(line, "kind")? {
+            "counter" => Some(TraceEvent::Counter {
+                t_ns,
+                metric,
+                value,
+            }),
+            "gauge" => Some(TraceEvent::Gauge {
+                t_ns,
+                metric,
+                value,
+            }),
+            "span" => Some(TraceEvent::Span {
+                t_ns,
+                metric,
+                dur_ns: value,
+                depth: field_u64(line, "depth")? as u32,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Destination for trace events. Implementations must be cheap to call
+/// concurrently; the engine only records events when a non-null sink is
+/// attached.
+pub trait TraceSink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: &TraceEvent);
+    /// Flush buffered output (no-op by default).
+    fn flush(&self) {}
+    /// `true` only for [`NullSink`]; lets [`Obs`] skip event construction.
+    fn is_null(&self) -> bool {
+        false
+    }
+}
+
+/// Discards every event. The default sink: with it attached, enabled
+/// observability is just atomic adds and clock reads.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: &TraceEvent) {}
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Keeps the most recent `capacity` events in memory; older events are
+/// dropped (and counted).
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().unwrap();
+        inner.events.iter().copied().collect()
+    }
+
+    /// Number of events evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(*event);
+    }
+}
+
+/// Appends one JSON object per event to a file. Write errors are silently
+/// dropped after creation — tracing must never fail the search.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and return a sink writing to it.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut writer = self.writer.lock().unwrap();
+        let _ = writeln!(writer, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Owns a registry, a sink, and the trace epoch. Instrumented code never
+/// holds an `Obs` directly — it copies an [`ObsHandle`] out of its config.
+pub struct Obs {
+    registry: MetricsRegistry,
+    sink: Box<dyn TraceSink>,
+    /// `false` when the sink is a [`NullSink`]; lets the hot path skip
+    /// event construction entirely.
+    has_sink: bool,
+    epoch: Instant,
+}
+
+impl Obs {
+    /// An obs with the given sink.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        let has_sink = !sink.is_null();
+        Obs {
+            registry: MetricsRegistry::new(),
+            sink,
+            has_sink,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// An obs that counts into the registry but records no events.
+    pub fn null() -> Self {
+        Obs::new(Box::new(NullSink))
+    }
+
+    /// Leak an obs with the given sink and return its handle. Mirrors
+    /// `WorkerPool::leaked`: the allocation is small, intentional, and
+    /// lives for the rest of the process.
+    pub fn leaked(sink: Box<dyn TraceSink>) -> ObsHandle {
+        ObsHandle(Some(Box::leak(Box::new(Obs::new(sink)))))
+    }
+
+    /// The registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The sink.
+    pub fn sink(&self) -> &dyn TraceSink {
+        &*self.sink
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("has_sink", &self.has_sink)
+            .finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    /// Per-thread span nesting depth. Const-initialized: no lazy-init
+    /// allocation on first use.
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Copyable reference to an [`Obs`], or disabled. Mirrors
+/// `sisd_par::PoolHandle`: configs embed it by value, equality is
+/// identity, and the default is disabled.
+#[derive(Clone, Copy)]
+pub struct ObsHandle(Option<&'static Obs>);
+
+impl ObsHandle {
+    /// The disabled handle: every operation is a single branch.
+    pub const fn disabled() -> Self {
+        ObsHandle(None)
+    }
+
+    /// A handle to a leaked or otherwise `'static` obs.
+    pub fn to(obs: &'static Obs) -> Self {
+        ObsHandle(Some(obs))
+    }
+
+    /// Whether a registry is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The underlying obs, if enabled.
+    #[inline]
+    pub fn get(&self) -> Option<&'static Obs> {
+        self.0
+    }
+
+    /// Add `v` to a counter (and record an event if a real sink is attached).
+    #[inline]
+    pub fn add(&self, metric: Metric, v: u64) {
+        if let Some(obs) = self.0 {
+            obs.registry.add(metric, v);
+            if obs.has_sink {
+                obs.sink.record(&TraceEvent::Counter {
+                    t_ns: obs.now_ns(),
+                    metric,
+                    value: v,
+                });
+            }
+        }
+    }
+
+    /// Add 1 to a counter.
+    #[inline]
+    pub fn incr(&self, metric: Metric) {
+        self.add(metric, 1);
+    }
+
+    /// Overwrite a gauge (and record an event if a real sink is attached).
+    #[inline]
+    pub fn set(&self, metric: Metric, v: u64) {
+        if let Some(obs) = self.0 {
+            obs.registry.set(metric, v);
+            if obs.has_sink {
+                obs.sink.record(&TraceEvent::Gauge {
+                    t_ns: obs.now_ns(),
+                    metric,
+                    value: v,
+                });
+            }
+        }
+    }
+
+    /// Start a span whose duration accumulates into `metric` when the
+    /// returned guard drops. Disabled handles return an inert guard
+    /// without reading the clock.
+    #[inline]
+    pub fn span(&self, metric: Metric) -> SpanGuard {
+        match self.0 {
+            None => SpanGuard {
+                obs: None,
+                metric,
+                start: None,
+                depth: 0,
+            },
+            Some(obs) => {
+                let depth = SPAN_DEPTH.with(|d| {
+                    let depth = d.get();
+                    d.set(depth + 1);
+                    depth
+                });
+                SpanGuard {
+                    obs: Some(obs),
+                    metric,
+                    start: Some(Instant::now()),
+                    depth,
+                }
+            }
+        }
+    }
+
+    /// Snapshot the registry, if enabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.0.map(|obs| obs.registry.snapshot())
+    }
+
+    /// Snapshot the registry as a [`SearchReport`], if enabled.
+    pub fn report(&self) -> Option<SearchReport> {
+        self.snapshot().map(SearchReport::from_snapshot)
+    }
+
+    /// Flush the sink, if enabled.
+    pub fn flush(&self) {
+        if let Some(obs) = self.0 {
+            obs.sink.flush();
+        }
+    }
+}
+
+impl Default for ObsHandle {
+    fn default() -> Self {
+        ObsHandle::disabled()
+    }
+}
+
+impl PartialEq for ObsHandle {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => std::ptr::eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ObsHandle {}
+
+impl fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            None => f.write_str("ObsHandle(disabled)"),
+            Some(obs) => write!(f, "ObsHandle({obs:p})"),
+        }
+    }
+}
+
+/// RAII span timer from [`ObsHandle::span`]. On drop, adds the elapsed
+/// nanoseconds to its metric and records a span event when a real sink is
+/// attached.
+#[must_use = "a span measures nothing unless it is held until the timed region ends"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    obs: Option<&'static Obs>,
+    metric: Metric,
+    start: Option<Instant>,
+    depth: u32,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let (Some(obs), Some(start)) = (self.obs, self.start) {
+            let dur_ns = start.elapsed().as_nanos() as u64;
+            SPAN_DEPTH.with(|d| d.set(self.depth));
+            obs.registry.add(self.metric, dur_ns);
+            if obs.has_sink {
+                obs.sink.record(&TraceEvent::Span {
+                    t_ns: obs.now_ns(),
+                    metric: self.metric,
+                    dur_ns,
+                    depth: self.depth,
+                });
+            }
+        }
+    }
+}
+
+/// Human-readable summary of one registry snapshot, grouped by subsystem.
+/// Produced per `Miner` run (or from any [`ObsHandle`]).
+#[must_use]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchReport {
+    snapshot: MetricsSnapshot,
+}
+
+impl SearchReport {
+    /// Wrap a snapshot.
+    pub fn from_snapshot(snapshot: MetricsSnapshot) -> Self {
+        SearchReport { snapshot }
+    }
+
+    /// The underlying snapshot.
+    pub fn snapshot(&self) -> &MetricsSnapshot {
+        &self.snapshot
+    }
+
+    /// Value of one metric.
+    #[inline]
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.snapshot.get(metric)
+    }
+}
+
+/// Format nanoseconds as a compact human duration.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for SearchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = |m: Metric| self.snapshot.get(m);
+        writeln!(f, "search report:")?;
+        writeln!(
+            f,
+            "  search  : {} run(s), {} level(s), {} in levels",
+            g(Metric::SearchRuns),
+            g(Metric::SearchLevels),
+            fmt_ns(g(Metric::SearchLevelNs)),
+        )?;
+        writeln!(
+            f,
+            "  eval    : {} scored in {} batch(es), {}; cache {} hit(s) / {} miss(es), {} entries",
+            g(Metric::EvalScored),
+            g(Metric::EvalBatches),
+            fmt_ns(g(Metric::EvalScoreNs)),
+            g(Metric::CacheHits),
+            g(Metric::CacheMisses),
+            g(Metric::CacheEntries),
+        )?;
+        writeln!(
+            f,
+            "  frontier: {} refine call(s) [{} two-pass / {} fused]: {} counted, {} count-pruned, \
+             {} dedup-dropped, {} materialized",
+            g(Metric::FrontierRefineCalls),
+            g(Metric::FrontierGridDispatch),
+            g(Metric::FrontierFusedDispatch),
+            g(Metric::FrontierCandidates),
+            g(Metric::FrontierCountPruned),
+            g(Metric::FrontierDedupDropped),
+            g(Metric::FrontierMaterialized),
+        )?;
+        writeln!(
+            f,
+            "            count {}, materialize {}, fused {}",
+            fmt_ns(g(Metric::FrontierCountNs)),
+            fmt_ns(g(Metric::FrontierMaterializeNs)),
+            fmt_ns(g(Metric::FrontierFusedNs)),
+        )?;
+        let runs = g(Metric::RefitRuns);
+        let cold = g(Metric::RefitColdRuns);
+        writeln!(
+            f,
+            "  refit   : {} run(s) ({} warm / {} cold): {} cycle(s), {} re-projection(s), \
+             {} residual(s) recomputed, {} downdate fallback(s), {}",
+            runs,
+            runs.saturating_sub(cold),
+            cold,
+            g(Metric::RefitCycles),
+            g(Metric::RefitConstraintsUpdated),
+            g(Metric::RefitResidualsRecomputed),
+            g(Metric::RefitDowndateFallbacks),
+            fmt_ns(g(Metric::RefitNs)),
+        )?;
+        writeln!(
+            f,
+            "            last refit: {} cycle(s), {} re-projection(s)",
+            g(Metric::RefitLastCycles),
+            g(Metric::RefitLastConstraintsUpdated),
+        )?;
+        writeln!(
+            f,
+            "  model   : {} rank-k cell update(s), {} factor rebuild(s) / {} reuse(s)",
+            g(Metric::ModelCellRankUpdates),
+            g(Metric::ModelFactorRebuilds),
+            g(Metric::ModelFactorReuses),
+        )?;
+        write!(
+            f,
+            "  pool    : {} worker(s), {} job(s), {} task(s) claimed, queue wait {}",
+            g(Metric::PoolWorkers),
+            g(Metric::PoolJobs),
+            g(Metric::PoolTasks),
+            fmt_ns(g(Metric::PoolQueueWaitNs)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_unique_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i, "ALL must be in registry order");
+            assert!(seen.insert(m.name()), "duplicate metric name {}", m.name());
+            assert_eq!(Metric::from_name(m.name()), Some(*m));
+        }
+        assert_eq!(seen.len(), Metric::COUNT);
+        assert_eq!(Metric::from_name("no.such.metric"), None);
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::EvalScored, 5);
+        reg.add(Metric::EvalScored, 7);
+        reg.set(Metric::PoolWorkers, 3);
+        reg.set(Metric::PoolWorkers, 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get(Metric::EvalScored), 12);
+        assert_eq!(snap.get(Metric::PoolWorkers), 4);
+        assert_eq!(snap.get(Metric::SearchRuns), 0);
+        assert_eq!(snap.iter().count(), Metric::COUNT);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = ObsHandle::disabled();
+        assert!(!h.enabled());
+        h.incr(Metric::SearchRuns);
+        h.set(Metric::PoolWorkers, 9);
+        drop(h.span(Metric::SearchLevelNs));
+        assert_eq!(h.snapshot(), None);
+        assert_eq!(h.report(), None);
+        assert_eq!(h, ObsHandle::default());
+    }
+
+    #[test]
+    fn handle_equality_is_identity() {
+        let a = Obs::leaked(Box::new(NullSink));
+        let b = Obs::leaked(Box::new(NullSink));
+        assert_eq!(a, a);
+        assert_ne!(a, b);
+        assert_ne!(a, ObsHandle::disabled());
+    }
+
+    #[test]
+    fn spans_accumulate_and_nest() {
+        let ring: &'static RingSink = Box::leak(Box::new(RingSink::new(16)));
+        let h = Obs::leaked(Box::new(SharedRing(ring)));
+        {
+            let _outer = h.span(Metric::SearchLevelNs);
+            let _inner = h.span(Metric::FrontierCountNs);
+        }
+        let snap = h.snapshot().unwrap();
+        // Durations are tiny but the counters must have been touched; the
+        // ring records exact depths.
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        match events[0] {
+            TraceEvent::Span { metric, depth, .. } => {
+                assert_eq!(metric, Metric::FrontierCountNs);
+                assert_eq!(depth, 1);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match events[1] {
+            TraceEvent::Span { metric, depth, .. } => {
+                assert_eq!(metric, Metric::SearchLevelNs);
+                assert_eq!(depth, 0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        let inner_ns = match events[0] {
+            TraceEvent::Span { dur_ns, .. } => dur_ns,
+            _ => unreachable!(),
+        };
+        assert_eq!(snap.get(Metric::FrontierCountNs), inner_ns);
+    }
+
+    /// Forwards to a leaked ring so the test can inspect events while the
+    /// obs owns the sink box.
+    struct SharedRing(&'static RingSink);
+    impl TraceSink for SharedRing {
+        fn record(&self, event: &TraceEvent) {
+            self.0.record(event);
+        }
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let ring = RingSink::new(2);
+        for v in 0..5u64 {
+            ring.record(&TraceEvent::Counter {
+                t_ns: v,
+                metric: Metric::EvalScored,
+                value: v,
+            });
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].value(), 3);
+        assert_eq!(events[1].value(), 4);
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
+    fn trace_event_json_roundtrips() {
+        let events = [
+            TraceEvent::Counter {
+                t_ns: 123,
+                metric: Metric::EvalScored,
+                value: 42,
+            },
+            TraceEvent::Gauge {
+                t_ns: 456,
+                metric: Metric::PoolWorkers,
+                value: 4,
+            },
+            TraceEvent::Span {
+                t_ns: 789,
+                metric: Metric::SearchLevelNs,
+                dur_ns: 1001,
+                depth: 2,
+            },
+        ];
+        for e in events {
+            let line = e.to_json();
+            assert_eq!(TraceEvent::parse_json(&line), Some(e), "line: {line}");
+        }
+        assert_eq!(TraceEvent::parse_json("not json"), None);
+        assert_eq!(
+            TraceEvent::parse_json("{\"t\":1,\"kind\":\"counter\",\"metric\":\"nope\",\"v\":1}"),
+            None
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_lines_reconcile_with_registry() {
+        let path = std::env::temp_dir().join(format!(
+            "sisd_obs_jsonl_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let h = Obs::leaked(Box::new(JsonlSink::create(&path).unwrap()));
+        h.add(Metric::EvalScored, 10);
+        h.add(Metric::EvalScored, 32);
+        h.incr(Metric::SearchRuns);
+        h.set(Metric::PoolWorkers, 2);
+        h.set(Metric::PoolWorkers, 8);
+        {
+            let _s = h.span(Metric::SearchLevelNs);
+        }
+        h.flush();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::parse_json(l).expect("every line parses"))
+            .collect();
+        assert!(!events.is_empty());
+
+        // Replay the event stream into totals and compare with the registry.
+        let mut totals = [0u64; Metric::COUNT];
+        for e in &events {
+            match e {
+                TraceEvent::Counter { metric, value, .. } => totals[metric.index()] += value,
+                TraceEvent::Span { metric, dur_ns, .. } => totals[metric.index()] += dur_ns,
+                TraceEvent::Gauge { metric, value, .. } => totals[metric.index()] = *value,
+            }
+        }
+        let snap = h.snapshot().unwrap();
+        for m in Metric::ALL {
+            assert_eq!(
+                totals[m.index()],
+                snap.get(m),
+                "metric {} out of sync with trace",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn report_displays_every_section() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::SearchRuns, 2);
+        reg.add(Metric::RefitRuns, 3);
+        reg.add(Metric::RefitColdRuns, 1);
+        reg.set(Metric::PoolWorkers, 4);
+        let report = SearchReport::from_snapshot(reg.snapshot());
+        let text = report.to_string();
+        for needle in ["search", "eval", "frontier", "refit", "model", "pool"] {
+            assert!(text.contains(needle), "missing section {needle}:\n{text}");
+        }
+        assert!(text.contains("2 warm / 1 cold"), "{text}");
+        assert_eq!(report.get(Metric::PoolWorkers), 4);
+    }
+}

@@ -38,8 +38,9 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// The lifetime-erased shape of one submitted run: a pure-per-index task.
 type Task = dyn Fn(usize) + Sync;
@@ -64,6 +65,18 @@ struct Job {
     next: AtomicUsize,
     state: Mutex<JobState>,
     done: Condvar,
+    /// When the job was enqueued; first-claim latency is measured from
+    /// here into `wait_ns`.
+    submitted: Instant,
+    /// Whether any thread has claimed a task yet (gates `wait_ns`).
+    claimed_once: AtomicBool,
+    /// Nanoseconds between submission and the first claimed task — the
+    /// job's queue wait.
+    wait_ns: AtomicU64,
+    /// Tasks claimed so far (equals `total` once drained). Incremented at
+    /// claim time, so every increment happens-before the completion latch
+    /// releases the submitting caller.
+    tasks_run: AtomicU64,
 }
 
 // SAFETY: `task` is only dereferenced under the protocol documented on
@@ -89,6 +102,13 @@ impl Job {
             if i >= self.total {
                 return;
             }
+            if !self.claimed_once.swap(true, Ordering::Relaxed) {
+                self.wait_ns.store(
+                    self.submitted.elapsed().as_nanos() as u64,
+                    Ordering::Relaxed,
+                );
+            }
+            self.tasks_run.fetch_add(1, Ordering::Relaxed);
             // SAFETY: i < total, so the caller is still blocked in
             // `wait_done` and the closure behind `task` is alive.
             let task = unsafe { &*self.task };
@@ -132,6 +152,11 @@ struct Shared {
     work: Condvar,
     /// Runs that actually went through the pool (serial runs excluded).
     jobs_run: AtomicU64,
+    /// Task chunks claimed across all jobs (each job folds its per-job
+    /// count in when it completes).
+    tasks_run: AtomicU64,
+    /// Summed first-claim queue wait (ns) across all jobs.
+    queue_wait_ns: AtomicU64,
 }
 
 fn worker_loop(shared: Arc<Shared>) {
@@ -210,6 +235,8 @@ impl WorkerPool {
                 }),
                 work: Condvar::new(),
                 jobs_run: AtomicU64::new(0),
+                tasks_run: AtomicU64::new(0),
+                queue_wait_ns: AtomicU64::new(0),
             }),
         }
     }
@@ -235,6 +262,17 @@ impl WorkerPool {
     /// Runs that went through the pool (serial short-circuits excluded).
     pub fn jobs_run(&self) -> u64 {
         self.shared.jobs_run.load(Ordering::Relaxed)
+    }
+
+    /// Task chunks claimed across all completed pooled runs.
+    pub fn tasks_run(&self) -> u64 {
+        self.shared.tasks_run.load(Ordering::Relaxed)
+    }
+
+    /// Summed queue wait (nanoseconds between a job's submission and its
+    /// first claimed task) across all completed pooled runs.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.shared.queue_wait_ns.load(Ordering::Relaxed)
     }
 
     fn ensure_workers(&self, want: usize) {
@@ -279,6 +317,10 @@ impl WorkerPool {
                 panicked: false,
             }),
             done: Condvar::new(),
+            submitted: Instant::now(),
+            claimed_once: AtomicBool::new(false),
+            wait_ns: AtomicU64::new(0),
+            tasks_run: AtomicU64::new(0),
         });
         self.shared
             .state
@@ -289,6 +331,16 @@ impl WorkerPool {
         self.shared.work.notify_all();
         job.drain();
         job.wait_done();
+        // Fold the job's tallies into the pool once it is complete. Every
+        // claim's increment is sequenced before that task's completion
+        // latch decrement, and `wait_done` observes `remaining == 0` under
+        // the same mutex, so the loads below see every claim.
+        self.shared
+            .tasks_run
+            .fetch_add(job.tasks_run.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.shared
+            .queue_wait_ns
+            .fetch_add(job.wait_ns.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Ordered scatter/gather: `f(i)` for `i in 0..total`, outputs merged
@@ -654,5 +706,26 @@ mod tests {
         assert_eq!(TOUCHED.load(Ordering::Relaxed), 20 * 128);
         assert!(h.get().workers() <= 3);
         assert_eq!(h.get().jobs_run(), 20);
+    }
+
+    #[test]
+    fn pooled_runs_account_tasks_and_queue_wait() {
+        let h = WorkerPool::leaked();
+        assert_eq!(h.get().tasks_run(), 0);
+        h.run_map(4, 128, |i| i);
+        h.run_map(4, 72, |i| i);
+        assert_eq!(h.get().jobs_run(), 2);
+        assert_eq!(
+            h.get().tasks_run(),
+            200,
+            "every task is claimed exactly once"
+        );
+        // The first claim happens strictly after submission, so some
+        // nonzero wait accumulates (clock resolution permitting); serial
+        // runs must not add to it.
+        let wait = h.get().queue_wait_ns();
+        h.run_map(1, 500, |i| i);
+        assert_eq!(h.get().tasks_run(), 200, "serial runs bypass the pool");
+        assert_eq!(h.get().queue_wait_ns(), wait);
     }
 }

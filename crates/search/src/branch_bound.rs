@@ -203,6 +203,7 @@ impl<'a> Searcher<'a> {
             min_support: self.cfg.min_coverage.max(1),
             threads: self.cfg.eval.threads,
             pool: self.cfg.eval.pool,
+            obs: self.cfg.eval.obs,
         };
         // A child covering as many rows as its (non-root) parent is the
         // same extension with a strictly longer description: dominated,

@@ -36,6 +36,7 @@ use sisd_core::{
 use sisd_data::{BitSet, Dataset, ShardPlan};
 use sisd_frontier::{FrontierConfig, MaskStore, ParentSpec};
 use sisd_model::{BackgroundModel, BinaryBackgroundModel, FactorCache, ModelError};
+use sisd_obs::{Metric, ObsHandle};
 use sisd_par::PoolHandle;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,6 +63,10 @@ pub struct EvalConfig {
     /// and assimilations instead of spawning threads per call. Serial
     /// engines never touch it; results are identical for any pool.
     pub pool: PoolHandle,
+    /// Metrics/tracing destination for the engine and every subsystem it
+    /// drives (frontier, model, pool gauges). Disabled by default; an
+    /// enabled handle **never changes any result bit** — it only counts.
+    pub obs: ObsHandle,
 }
 
 impl Default for EvalConfig {
@@ -70,6 +75,7 @@ impl Default for EvalConfig {
             threads: 1,
             shards: 1,
             pool: PoolHandle::global(),
+            obs: ObsHandle::disabled(),
         }
     }
 }
@@ -96,6 +102,13 @@ impl EvalConfig {
     /// identical for any pool.
     pub fn with_pool(mut self, pool: PoolHandle) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Sets the metrics/tracing destination. Results are bit-identical
+    /// with any handle; the counters are purely additive.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -168,6 +181,9 @@ pub struct Evaluator<'a> {
     /// so every score is bit-identical to the unsharded path.
     plan: Option<ShardPlan>,
     backend: Backend<'a>,
+    /// Metrics destination for batch scoring (and, via
+    /// [`Evaluator::publish_stats`], the cache/pool gauges).
+    obs: ObsHandle,
     /// Batch-scored candidates dropped for a reason *other* than an empty
     /// extension — i.e. numeric model breakdown (`BadPrior`). Zero in
     /// healthy runs; see [`Evaluator::numeric_failures`].
@@ -208,6 +224,7 @@ impl<'a> Evaluator<'a> {
                 cache,
                 cell_sums: OnceLock::new(),
             },
+            obs: cfg.obs,
             numeric_failures: AtomicUsize::new(0),
         }
     }
@@ -226,6 +243,7 @@ impl<'a> Evaluator<'a> {
             pool: cfg.pool,
             plan: (cfg.shards > 1).then(|| ShardPlan::new(data.n(), cfg.shards)),
             backend: Backend::Bernoulli { model },
+            obs: cfg.obs,
             numeric_failures: AtomicUsize::new(0),
         }
     }
@@ -248,6 +266,37 @@ impl<'a> Evaluator<'a> {
     /// The worker pool parallel stages run on.
     pub fn pool(&self) -> PoolHandle {
         self.pool
+    }
+
+    /// The metrics/tracing handle the engine reports to.
+    pub fn obs(&self) -> ObsHandle {
+        self.obs
+    }
+
+    /// Samples the point-in-time gauges — factor-cache hit/miss/occupancy
+    /// and worker-pool utilization — into the metrics registry. Cheap; a
+    /// disabled handle makes it a no-op. Called at the end of every beam
+    /// run and by [`crate::Miner::search_report`], so the gauges are fresh
+    /// whenever a report is read.
+    pub fn publish_stats(&self) {
+        let obs = self.obs;
+        if !obs.enabled() {
+            return;
+        }
+        if let Backend::Gaussian { cache, .. } = &self.backend {
+            obs.set(Metric::CacheHits, cache.hits());
+            obs.set(Metric::CacheMisses, cache.misses());
+            obs.set(Metric::CacheEntries, cache.len() as u64);
+        }
+        // Resolving a global handle would *create* the global pool; only
+        // report pools this engine could actually have touched.
+        if !self.pool.is_global() || self.threads > 1 {
+            let pool = self.pool.get();
+            obs.set(Metric::PoolWorkers, pool.workers() as u64);
+            obs.set(Metric::PoolJobs, pool.jobs_run());
+            obs.set(Metric::PoolTasks, pool.tasks_run());
+            obs.set(Metric::PoolQueueWaitNs, pool.queue_wait_ns());
+        }
     }
 
     /// Row-range shard count of the statistics aggregation (1 when
@@ -438,6 +487,9 @@ impl<'a> Evaluator<'a> {
     /// levels at high `dy`); per-node strategies over cheap scores (e.g.
     /// single-target branch-and-bound) see little benefit.
     pub fn try_score_all(&self, candidates: &[Candidate]) -> Vec<Option<Scored>> {
+        let obs = self.obs;
+        obs.incr(Metric::EvalBatches);
+        let _score_span = obs.span(Metric::EvalScoreNs);
         let score_chunk = |chunk: &[Candidate]| -> Vec<Option<Scored>> {
             chunk
                 .iter()
@@ -451,16 +503,24 @@ impl<'a> Evaluator<'a> {
                 .collect()
         };
         let workers = self.threads.min(candidates.len().div_ceil(Self::MIN_CHUNK));
-        if workers <= 1 {
-            return score_chunk(candidates);
+        let out: Vec<Option<Scored>> = if workers <= 1 {
+            score_chunk(candidates)
+        } else {
+            self.pool
+                .run_chunked(candidates.len(), workers, |_, chunk| {
+                    score_chunk(&candidates[chunk])
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        if obs.enabled() {
+            obs.add(
+                Metric::EvalScored,
+                out.iter().filter(|s| s.is_some()).count() as u64,
+            );
         }
-        self.pool
-            .run_chunked(candidates.len(), workers, |_, chunk| {
-                score_chunk(&candidates[chunk])
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+        out
     }
 
     /// [`Evaluator::try_score_all`] with failed candidates dropped (order
@@ -480,35 +540,46 @@ impl<'a> Evaluator<'a> {
     /// `ChildBatch` and that allocation is the one the final
     /// `LocationPattern` owns.
     pub fn try_score_all_owned(&self, candidates: Vec<Candidate>) -> Vec<Option<Scored>> {
+        let obs = self.obs;
+        obs.incr(Metric::EvalBatches);
+        let _score_span = obs.span(Metric::EvalScoreNs);
         let workers = self.threads.min(candidates.len().div_ceil(Self::MIN_CHUNK));
-        if workers <= 1 {
-            return candidates
+        let out: Vec<Option<Scored>> = if workers <= 1 {
+            candidates
                 .into_iter()
                 .map(|c| self.score_owned(c))
-                .collect();
-        }
-        // Split the owned batch into contiguous per-worker chunks (struct
-        // moves, no deep copies), score on the pool's workers — each
-        // chunk is consumed by exactly one task — and merge in chunk
-        // order: the exact plan of the borrowing path.
-        let chunk_size = candidates.len().div_ceil(workers);
-        let mut parts: Vec<Vec<Candidate>> = Vec::with_capacity(workers);
-        let mut rest = candidates;
-        while rest.len() > chunk_size {
-            let tail = rest.split_off(chunk_size);
+                .collect()
+        } else {
+            // Split the owned batch into contiguous per-worker chunks
+            // (struct moves, no deep copies), score on the pool's workers
+            // — each chunk is consumed by exactly one task — and merge in
+            // chunk order: the exact plan of the borrowing path.
+            let chunk_size = candidates.len().div_ceil(workers);
+            let mut parts: Vec<Vec<Candidate>> = Vec::with_capacity(workers);
+            let mut rest = candidates;
+            while rest.len() > chunk_size {
+                let tail = rest.split_off(chunk_size);
+                parts.push(rest);
+                rest = tail;
+            }
             parts.push(rest);
-            rest = tail;
+            self.pool
+                .run_consume(parts, workers, |part| {
+                    part.into_iter()
+                        .map(|c| self.score_owned(c))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        if obs.enabled() {
+            obs.add(
+                Metric::EvalScored,
+                out.iter().filter(|s| s.is_some()).count() as u64,
+            );
         }
-        parts.push(rest);
-        self.pool
-            .run_consume(parts, workers, |part| {
-                part.into_iter()
-                    .map(|c| self.score_owned(c))
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+        out
     }
 
     /// [`Evaluator::try_score_all_owned`] with failed candidates dropped
@@ -640,6 +711,8 @@ pub(crate) fn run_beam_levels(
     cfg: &BeamConfig,
     start: Instant,
 ) -> BeamLevelsOutcome {
+    let obs = ev.obs();
+    obs.incr(Metric::SearchRuns);
     let data = ev.data();
     let conditions = generate_conditions(data, &cfg.refine);
     // Every condition mask, evaluated once for the whole search — one
@@ -650,6 +723,7 @@ pub(crate) fn run_beam_levels(
         min_support: cfg.min_coverage,
         threads: ev.threads(),
         pool: ev.pool(),
+        obs: ev.obs(),
     };
     let max_cov =
         ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);
@@ -667,6 +741,8 @@ pub(crate) fn run_beam_levels(
     let mut frontier_idx: Vec<usize> = Vec::new();
 
     for depth in 1..=cfg.max_depth {
+        obs.incr(Metric::SearchLevels);
+        let _level_span = obs.span(Metric::SearchLevelNs);
         let level_parents: Vec<(&Intention, &BitSet)> = if depth == 1 {
             vec![(&root_intent, &root_ext)]
         } else {
@@ -791,6 +867,7 @@ pub(crate) fn run_beam_levels(
     for s in pending {
         top.push(s.into_pattern());
     }
+    ev.publish_stats();
 
     BeamLevelsOutcome {
         top: top.into_vec(),

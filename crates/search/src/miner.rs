@@ -11,6 +11,7 @@ use crate::sphere::{mine_spread_pattern, SphereConfig};
 use sisd_core::{DlParams, LocationPattern, SpreadPattern};
 use sisd_data::Dataset;
 use sisd_model::{BackgroundModel, FactorCache, ModelError, RefitStats};
+use sisd_obs::{Metric, NullSink, Obs, ObsHandle, SearchReport};
 use std::sync::Arc;
 
 /// Miner configuration.
@@ -67,6 +68,17 @@ impl MinerConfig {
         self.beam.eval = self.beam.eval.with_pool(pool);
         self
     }
+
+    /// Routes every search, refit, and frontier pass this miner runs to
+    /// the given metrics/tracing handle (e.g. one backed by a
+    /// [`sisd_obs::JsonlSink`]). Without this the miner still keeps full
+    /// counters — it mints a private registry with no event sink — so
+    /// [`Miner::search_report`] always works. Results are bit-identical
+    /// with any handle.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.beam.eval = self.beam.eval.with_obs(obs);
+        self
+    }
 }
 
 /// One mining iteration's output: the location pattern, and the spread
@@ -88,7 +100,16 @@ pub struct Miner {
     model: BackgroundModel,
     config: MinerConfig,
     iterations_done: usize,
-    last_refit: Option<RefitStats>,
+    /// The metrics registry every subsystem this miner drives reports to.
+    /// Always enabled: when the config carries no handle the constructor
+    /// mints a private one over a [`NullSink`] (counters only, no events),
+    /// so [`Miner::search_report`] and [`Miner::last_refit_stats`] work
+    /// unconditionally.
+    obs: ObsHandle,
+    /// Whether `obs` is miner-private (minted here) rather than supplied
+    /// through [`MinerConfig`]; clones of a private registry get their own
+    /// fresh one instead of blending counters into ours.
+    owns_obs: bool,
     /// Mixed-covariance factorizations shared across every search this
     /// miner runs. Entries are keyed by covariance-value signature and
     /// pinned to the model's lineage, and a `cov_id` never changes meaning
@@ -99,33 +120,61 @@ pub struct Miner {
 
 impl Clone for Miner {
     fn clone(&self) -> Self {
+        // The cloned model mints a fresh lineage, so the clone gets its
+        // own empty cache rather than uselessly bypassing ours; a
+        // miner-private registry is likewise cloned fresh so the two
+        // miners' counters stay independent.
+        let mut config = self.config.clone();
+        let mut model = self.model.clone();
+        let (obs, owns_obs) = if self.owns_obs {
+            (Obs::leaked(Box::new(NullSink)), true)
+        } else {
+            (self.obs, false)
+        };
+        config.beam.eval.obs = obs;
+        model.set_obs(obs);
         Self {
             data: self.data.clone(),
-            // The cloned model mints a fresh lineage, so the clone gets its
-            // own empty cache rather than uselessly bypassing ours.
-            model: self.model.clone(),
-            config: self.config.clone(),
+            model,
+            config,
             iterations_done: self.iterations_done,
-            last_refit: self.last_refit,
+            obs,
+            owns_obs,
             factor_cache: Arc::new(FactorCache::new()),
         }
     }
 }
 
 impl Miner {
+    /// Wires a fresh miner: resolves the effective obs handle (the
+    /// config's, or a private counters-only registry) and threads it into
+    /// the config and the model.
+    fn assemble(data: Dataset, mut model: BackgroundModel, mut config: MinerConfig) -> Self {
+        let user_obs = config.beam.eval.obs;
+        let (obs, owns_obs) = if user_obs.enabled() {
+            (user_obs, false)
+        } else {
+            (Obs::leaked(Box::new(NullSink)), true)
+        };
+        config.beam.eval.obs = obs;
+        model.set_obs(obs);
+        Self {
+            data,
+            model,
+            config,
+            iterations_done: 0,
+            obs,
+            owns_obs,
+            factor_cache: Arc::new(FactorCache::new()),
+        }
+    }
+
     /// Builds a miner whose initial background distribution matches the
     /// data's empirical mean and covariance (the setup of every experiment
     /// in the paper).
     pub fn from_empirical(data: Dataset, config: MinerConfig) -> Result<Self, ModelError> {
         let model = BackgroundModel::from_empirical(&data)?;
-        Ok(Self {
-            data,
-            model,
-            config,
-            iterations_done: 0,
-            last_refit: None,
-            factor_cache: Arc::new(FactorCache::new()),
-        })
+        Ok(Self::assemble(data, model, config))
     }
 
     /// Builds a miner with explicit prior beliefs.
@@ -136,14 +185,7 @@ impl Miner {
         config: MinerConfig,
     ) -> Result<Self, ModelError> {
         let model = BackgroundModel::new(data.n(), prior_mean, prior_cov)?;
-        Ok(Self {
-            data,
-            model,
-            config,
-            iterations_done: 0,
-            last_refit: None,
-            factor_cache: Arc::new(FactorCache::new()),
-        })
+        Ok(Self::assemble(data, model, config))
     }
 
     /// The dataset being mined.
@@ -172,8 +214,49 @@ impl Miner {
     /// watch `cycles`/`constraints_updated` grow as overlapping patterns
     /// accumulate — the observable cost of keeping the belief state
     /// converged.
+    ///
+    /// A thin view over the metrics registry (the `refit.last_*` gauges);
+    /// the same numbers appear in [`Miner::search_report`] alongside the
+    /// cumulative refit counters.
     pub fn last_refit_stats(&self) -> Option<RefitStats> {
-        self.last_refit
+        let snap = self.obs.snapshot()?;
+        if snap.get(Metric::RefitRuns) == 0 {
+            return None;
+        }
+        Some(RefitStats {
+            cycles: snap.get(Metric::RefitLastCycles) as usize,
+            constraints_updated: snap.get(Metric::RefitLastConstraintsUpdated) as usize,
+        })
+    }
+
+    /// The metrics/tracing handle this miner reports to (always enabled;
+    /// supply your own via [`MinerConfig::with_obs`] to add an event sink).
+    pub fn obs(&self) -> ObsHandle {
+        self.obs
+    }
+
+    /// Snapshot of every counter and gauge this miner's subsystems have
+    /// recorded — searches run, beam levels, candidates generated / pruned
+    /// / scored, factor-cache hit rate, refit convergence work, worker-
+    /// pool utilization. The point-in-time gauges (cache, pool) are
+    /// re-sampled on every call, so the report is current even between
+    /// searches. The `Display` impl renders a human-readable block.
+    pub fn search_report(&self) -> SearchReport {
+        let obs = self.obs;
+        obs.set(Metric::CacheHits, self.factor_cache.hits());
+        obs.set(Metric::CacheMisses, self.factor_cache.misses());
+        obs.set(Metric::CacheEntries, self.factor_cache.len() as u64);
+        let eval = self.config.beam.eval;
+        // Resolving a global handle would *create* the global pool; only
+        // report pools this miner's searches could actually have touched.
+        if !eval.pool.is_global() || eval.threads > 1 {
+            let pool = eval.pool.get();
+            obs.set(Metric::PoolWorkers, pool.workers() as u64);
+            obs.set(Metric::PoolJobs, pool.jobs_run());
+            obs.set(Metric::PoolTasks, pool.tasks_run());
+            obs.set(Metric::PoolQueueWaitNs, pool.queue_wait_ns());
+        }
+        obs.report().expect("miner obs handle is always enabled")
     }
 
     /// Runs a beam search against the current model and returns the full
@@ -201,10 +284,10 @@ impl Miner {
     pub fn assimilate_location(&mut self, pattern: &LocationPattern) -> Result<(), ModelError> {
         self.model
             .assimilate_location(&pattern.extension, pattern.observed_mean.clone())?;
-        self.last_refit = Some(self.model.refit(
+        let _ = self.model.refit(
             self.config.refit_tol.max(1e-12),
             self.config.refit_max_cycles.max(1),
-        )?);
+        )?;
         Ok(())
     }
 
@@ -217,10 +300,10 @@ impl Miner {
             center,
             pattern.observed_variance,
         )?;
-        self.last_refit = Some(self.model.refit(
+        let _ = self.model.refit(
             self.config.refit_tol.max(1e-12),
             self.config.refit_max_cycles.max(1),
-        )?);
+        )?;
         Ok(())
     }
 

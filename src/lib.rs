@@ -20,6 +20,7 @@ pub use sisd_data as data;
 pub use sisd_frontier as frontier;
 pub use sisd_linalg as linalg;
 pub use sisd_model as model;
+pub use sisd_obs as obs;
 pub use sisd_par as par;
 pub use sisd_search as search;
 pub use sisd_stats as stats;
@@ -36,6 +37,7 @@ pub mod prelude {
     pub use sisd_data::{datasets, BitSet, Column, Dataset, ShardPlan, ShardedDataset};
     pub use sisd_linalg::Matrix;
     pub use sisd_model::{BackgroundModel, BinaryBackgroundModel};
+    pub use sisd_obs::{JsonlSink, Metric, NullSink, Obs, ObsHandle, RingSink, SearchReport};
     pub use sisd_search::{
         generate_conditions, mine_spread_pattern, BeamConfig, BeamResult, BeamSearch, EvalConfig,
         Evaluator, Iteration, Miner, MinerConfig, RefineConfig, SphereConfig,

@@ -150,7 +150,7 @@ fn warm_refit_reuses_projection_workspace_without_allocating() {
         model
             .assimilate_location(ext, data.target_mean(ext))
             .unwrap();
-        model.refit(1e-9, 200).unwrap();
+        let _ = model.refit(1e-9, 200).unwrap();
     }
 
     // (1) A converged refit — a full residual scan over every stored
@@ -359,5 +359,49 @@ fn steady_state_pooled_beam_levels_spawn_no_threads() {
         steady <= serial + 64,
         "a warm-pool parallel level must cost only fixed job bookkeeping: \
          parallel={steady} allocations vs serial={serial}"
+    );
+}
+
+use sisd::obs::{NullSink, Obs, ObsHandle};
+
+#[test]
+fn obs_layer_adds_zero_allocations_to_steady_state_beam_levels() {
+    // The sisd-obs hard contract, allocation half: a disabled handle is a
+    // `None` branch, and even an *enabled* counters-only handle is nothing
+    // but relaxed atomic adds and monotonic clock reads — so steady-state
+    // beam levels must allocate identically with obs off, and with obs on
+    // over a `NullSink`. (The registry itself is leaked once, outside any
+    // measured region; bit-identity of the results is pinned separately in
+    // `obs_parity.rs`.)
+    const N: usize = 16_384;
+    let data = one_attribute_dataset(N);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let cfg = |obs: ObsHandle| BeamConfig {
+        width: 8,
+        max_depth: 1,
+        top_k: 20,
+        eval: EvalConfig::default().with_obs(obs),
+        ..BeamConfig::default()
+    };
+    let measure = |obs: ObsHandle| -> usize {
+        // Warm run absorbs lazy one-time state (per-cell factors, the
+        // span-depth thread-local) so the counted runs are steady-state.
+        let warm = BeamSearch::new(cfg(obs)).run(&data, &model);
+        assert_eq!(warm.top.len(), 8);
+        let mut best = usize::MAX;
+        for _ in 0..3 {
+            let (res, a, _) = counted(|| BeamSearch::new(cfg(obs)).run(&data, &model));
+            assert_eq!(res.top.len(), 8);
+            best = best.min(a);
+        }
+        best
+    };
+    let disabled = measure(ObsHandle::disabled());
+    let null_sink = measure(Obs::leaked(Box::new(NullSink)));
+    assert_eq!(
+        disabled, null_sink,
+        "an enabled counters-only obs handle must allocate exactly as much \
+         as a disabled one on steady-state beam levels \
+         (disabled={disabled}, null-sink={null_sink})"
     );
 }

@@ -101,7 +101,7 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let builder = FrontierBuilder::new(
                 &matrix,
-                FrontierConfig { min_support, threads, pool: PoolHandle::global() },
+                FrontierConfig { min_support, threads, ..FrontierConfig::default() },
             );
             let got = builder.refine_parents(&parents, allowed);
             prop_assert_eq!(got.len(), expect.len(), "threads={}", threads);
@@ -153,7 +153,7 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let builder = FrontierBuilder::new(
                 &matrix,
-                FrontierConfig { min_support, threads, pool: PoolHandle::global() },
+                FrontierConfig { min_support, threads, ..FrontierConfig::default() },
             );
             let single = builder.refine_parents_single_pass(&parents, allowed);
 
@@ -263,7 +263,7 @@ proptest! {
         let deduped = |threads: usize| {
             let builder = FrontierBuilder::new(
                 &matrix,
-                FrontierConfig { min_support: 0, threads, pool: PoolHandle::global() },
+                FrontierConfig { min_support: 0, threads, ..FrontierConfig::default() },
             );
             let children = builder.refine_parents(&parents, |_, _| true);
             let mut seen = HashSet::new();
@@ -329,7 +329,7 @@ proptest! {
             .collect();
         let serial_builder = FrontierBuilder::new(
             &matrix,
-            FrontierConfig { min_support: 2, threads: 1, pool: PoolHandle::global() },
+            FrontierConfig { min_support: 2, threads: 1, ..FrontierConfig::default() },
         );
         let expect = serial_builder.refine_with_prune(&parents, |_, _| true, |_, _, s| s % 5 != 0);
 
@@ -353,7 +353,7 @@ proptest! {
                 }
                 let builder = FrontierBuilder::new(
                     &matrix,
-                    FrontierConfig { min_support: 2, threads, pool },
+                    FrontierConfig { min_support: 2, threads, pool, ..FrontierConfig::default() },
                 );
                 let got = builder.refine_with_prune(&parents, |_, _| true, |_, _, s| s % 5 != 0);
                 prop_assert_eq!(got.len(), expect.len(), "threads={}", threads);

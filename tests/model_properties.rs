@@ -102,7 +102,7 @@ proptest! {
         let mut model = base_model();
         model.assimilate_location(&ext_a, ta).unwrap();
         model.assimilate_location(&ext_b, tb).unwrap();
-        model.refit(1e-9, 2000).unwrap();
+        let _ = model.refit(1e-9, 2000).unwrap();
         prop_assert!(
             model.max_violation() < 1e-7,
             "violation {} after refit", model.max_violation()
@@ -167,7 +167,7 @@ proptest! {
             sisd::linalg::scale(1.0 / mf, &mut target);
             sisd::linalg::add_assign(&mut target, delta);
             warm.assimilate_location(ext, target).unwrap();
-            warm.refit(1e-10, 400).unwrap();
+            let _ = warm.refit(1e-10, 400).unwrap();
         }
         if warm.max_violation() > 1e-10 {
             return Ok(()); // stalled short of tolerance: claim out of scope
@@ -175,7 +175,7 @@ proptest! {
         // Cold oracle: replay the same constraint history from the prior
         // with every bit of warm-start state zeroed.
         let mut cold = warm.clone();
-        cold.refit_cold(1e-10, 400).unwrap();
+        let _ = cold.refit_cold(1e-10, 400).unwrap();
         if cold.max_violation() > 1e-10 {
             return Ok(());
         }

@@ -153,7 +153,7 @@ fn repeated_assimilation_is_stable() {
     let mu_after_first: Vec<f64> = model.row_mean(0).to_vec();
     for _ in 0..5 {
         model.assimilate_location(&ext, mean.clone()).unwrap();
-        model.refit(1e-10, 50).unwrap();
+        let _ = model.refit(1e-10, 50).unwrap();
     }
     for (a, b) in model.row_mean(0).iter().zip(&mu_after_first) {
         assert!((a - b).abs() < 1e-9, "means drifted under re-assimilation");

@@ -22,7 +22,6 @@ use sisd::search::{
     BranchBoundConfig, EvalConfig, RefineConfig,
 };
 use sisd::stats::Xoshiro256pp;
-use sisd_par::PoolHandle;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
 
@@ -127,7 +126,7 @@ proptest! {
         let allowed = |p: usize, row: usize| !(p * 5 + row + seed as usize).is_multiple_of(4);
         let dense_builder = FrontierBuilder::new(
             &dense,
-            FrontierConfig { min_support, threads: 1, pool: PoolHandle::global() },
+            FrontierConfig { min_support, threads: 1, ..FrontierConfig::default() },
         );
         let expect = dense_builder.refine_parents_single_pass(&parents, allowed);
         // Unsharded count-first vs unsharded single-pass.
@@ -143,7 +142,7 @@ proptest! {
             for threads in [1usize, 4] {
                 let builder = ShardedFrontierBuilder::new(
                     &sharded,
-                    FrontierConfig { min_support, threads, pool: PoolHandle::global() },
+                    FrontierConfig { min_support, threads, ..FrontierConfig::default() },
                 );
                 let got = builder.refine_parents(&parents, allowed);
                 prop_assert_eq!(got.len(), expect.len(), "s={} t={}", s, threads);
@@ -189,7 +188,7 @@ proptest! {
         // The keep predicate combines both production shapes: a bound
         // check on the global support (monotone, like B&B's optimistic
         // bound against the incumbent) and stateful first-wins dedup.
-        let config = FrontierConfig { min_support, threads: 1, pool: PoolHandle::global() };
+        let config = FrontierConfig { min_support, threads: 1, ..FrontierConfig::default() };
         let single = FrontierBuilder::new(&dense, config)
             .refine_parents_single_pass(&parents, allowed);
         let mut seen_ref: std::collections::HashSet<(usize, usize)> = Default::default();
@@ -206,7 +205,7 @@ proptest! {
                 let mut seen: std::collections::HashSet<(usize, usize)> = Default::default();
                 let got = ShardedFrontierBuilder::new(
                     &sharded,
-                    FrontierConfig { min_support, threads, pool: PoolHandle::global() },
+                    FrontierConfig { min_support, threads, ..FrontierConfig::default() },
                 )
                 .refine_with_prune(&parents, allowed, |_, row, support| {
                     support >= bound_floor && seen.insert((row, support))
@@ -431,9 +430,9 @@ fn mask_store_handles_non_multiple_of_64_rows() {
         max_support: 129,
     }];
     let cfg = FrontierConfig {
-        pool: PoolHandle::global(),
         min_support: 1,
         threads: 1,
+        ..FrontierConfig::default()
     };
     let a = dense.refine_parents(cfg, &parents, |_, _| true);
     let b = sharded.refine_parents(cfg, &parents, |_, _| true);
