@@ -8,6 +8,9 @@
 //! evaluator. `--threads N` (default 4) sets the parallel worker count;
 //! `--shards S` (default 1) runs every search through the row-range
 //! sharded pipeline (results are bit-identical at any setting);
+//! `--executor {inprocess,procpool,socket}` (default `inprocess`) routes
+//! the sharded passes through a `sisd-exec` backend — again bit-identical,
+//! with the executor request/byte/fallback traffic in the final report;
 //! `--trace-out PATH` additionally writes a JSONL trace of every metric
 //! event. All searches report into one metrics registry — the parallel
 //! ones through a *dedicated* (non-global) worker pool, whose utilization
@@ -15,8 +18,8 @@
 //! [`sisd_obs::SearchReport`].
 
 use sisd_bench::{
-    obs_from_args, pool_reuse_arg, print_search_report, print_table, section, shards_arg,
-    threads_arg,
+    executor_arg, executor_handle, obs_from_args, pool_reuse_arg, print_search_report, print_table,
+    section, shards_arg, threads_arg,
 };
 use sisd_data::datasets::crime_synthetic;
 use sisd_data::{BitSet, Column, Dataset};
@@ -60,7 +63,9 @@ fn main() {
     let threads = threads_arg(4);
     let shards = shards_arg(1);
     let reuse = pool_reuse_arg(3);
+    let executor = executor_arg();
     let obs = obs_from_args();
+    let exec = executor_handle(executor, obs);
     let full = crime_synthetic(2018);
     section("Scalability — beam runtime vs n (crime simulacrum, width 40, depth 2)");
 
@@ -74,14 +79,18 @@ fn main() {
         max_depth: 2,
         top_k: 50,
         min_coverage: 10,
-        eval: EvalConfig::default().with_shards(shards).with_obs(obs),
+        eval: EvalConfig::default()
+            .with_shards(shards)
+            .with_obs(obs)
+            .with_executor(exec),
         ..BeamConfig::default()
     };
     let cfg_parallel = BeamConfig {
         eval: EvalConfig::with_threads(threads)
             .with_shards(shards)
             .with_pool(pool)
-            .with_obs(obs),
+            .with_obs(obs)
+            .with_executor(exec),
         ..cfg.clone()
     };
 
@@ -91,8 +100,9 @@ fn main() {
     println!(
         "available parallelism: {cores} core(s); dedicated pool workers: {} (grows on \
          demand, capped by --threads); --threads {threads}; --shards {shards}; \
-         --pool-reuse {reuse}",
-        pool.get().workers()
+         --pool-reuse {reuse}; --executor {}",
+        pool.get().workers(),
+        executor.name()
     );
 
     let mut rows = Vec::new();

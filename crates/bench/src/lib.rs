@@ -56,47 +56,72 @@ pub fn print_tsv(tag: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("#end {tag}");
 }
 
-/// Parses a `--<name> N` flag from the process arguments (also accepts
-/// `--<name>=N`), defaulting to `default`.
-///
-/// # Panics
-/// Panics when the value is missing, non-numeric, or zero — silently
-/// rewriting a requested count would misreport the measurement.
-fn positive_flag_arg(name: &str, default: usize) -> usize {
-    let parse_positive = |v: &str| -> usize {
-        match v.parse() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("--{name} needs a positive integer, got '{v}'"),
-        }
-    };
+/// Prints the parse error plus the shared flag synopsis to stderr and
+/// exits with status 2 — bad command-line input is an operator mistake,
+/// not a bug, so the experiment binaries must not panic (and must not
+/// silently rewrite a requested count, which would misreport the
+/// measurement).
+fn die_usage(msg: &str) -> ! {
+    let name = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "experiment".into());
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: {name} [--threads N] [--shards N] [--pool-reuse R] \
+         [--executor inprocess|procpool|socket] [--trace-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+/// Parses the value of a `--<name> V` / `--<name>=V` flag from the
+/// process arguments (last occurrence wins). Exits with status 2 via
+/// [`die_usage`] when the flag is present without a value.
+fn flag_value(name: &str) -> Option<String> {
     let flag = format!("--{name}");
     let prefix = format!("--{name}=");
     let args: Vec<String> = std::env::args().collect();
-    let mut value = default;
+    let mut value = None;
     let mut i = 1;
     while i < args.len() {
         if args[i] == flag {
-            let v = args
-                .get(i + 1)
-                .unwrap_or_else(|| panic!("--{name} needs a positive integer"));
-            value = parse_positive(v);
+            match args.get(i + 1) {
+                Some(v) => value = Some(v.clone()),
+                None => die_usage(&format!("--{name} needs a value")),
+            }
             i += 2;
             continue;
         }
         if let Some(v) = args[i].strip_prefix(&prefix) {
-            value = parse_positive(v);
+            value = Some(v.to_string());
         }
         i += 1;
     }
     value
 }
 
+/// Parses a `--<name> N` flag from the process arguments (also accepts
+/// `--<name>=N`), defaulting to `default`. Exits with status 2 and a
+/// usage message when the value is missing, non-numeric, or zero.
+fn positive_flag_arg(name: &str, default: usize) -> usize {
+    match flag_value(name) {
+        None => default,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => die_usage(&format!("--{name} needs a positive integer, got '{v}'")),
+        },
+    }
+}
+
 /// Parses a `--threads N` flag from the process arguments (also accepts
 /// `--threads=N`), defaulting to `default`. The value is wired into the
 /// search engine's `EvalConfig`; results are identical at any setting.
-///
-/// # Panics
-/// Panics when the value is missing, non-numeric, or zero.
+/// Exits with status 2 and a usage message when the value is missing,
+/// non-numeric, or zero.
 pub fn threads_arg(default: usize) -> usize {
     positive_flag_arg("threads", default)
 }
@@ -105,10 +130,8 @@ pub fn threads_arg(default: usize) -> usize {
 /// `--shards=N`), defaulting to `default`. The value sets the engine's
 /// row-range shard count (`EvalConfig::shards`); results are bit-identical
 /// at any setting — the flag exists to exercise and measure the sharded
-/// execution path.
-///
-/// # Panics
-/// Panics when the value is missing, non-numeric, or zero.
+/// execution path. Exits with status 2 and a usage message when the
+/// value is missing, non-numeric, or zero.
 pub fn shards_arg(default: usize) -> usize {
     positive_flag_arg("shards", default)
 }
@@ -117,54 +140,105 @@ pub fn shards_arg(default: usize) -> usize {
 /// `--pool-reuse=R`), defaulting to `default`. The value is the number of
 /// back-to-back parallel searches timed against the *same* warm worker
 /// pool; the reported per-search time isolates what persistent workers
-/// save over the first (pool-spawning) run.
-///
-/// # Panics
-/// Panics when the value is missing, non-numeric, or zero.
+/// save over the first (pool-spawning) run. Exits with status 2 and a
+/// usage message when the value is missing, non-numeric, or zero.
 pub fn pool_reuse_arg(default: usize) -> usize {
     positive_flag_arg("pool-reuse", default)
+}
+
+/// Which shard-executor backend a `--executor` flag selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorChoice {
+    /// The default in-process code path: sharded passes run on the local
+    /// kernels with no executor dispatch at all.
+    InProcess,
+    /// Persistent `sisd-exec-worker` processes fed over pipes.
+    ProcPool,
+    /// The wire protocol over a loopback TCP connection.
+    Socket,
+}
+
+impl ExecutorChoice {
+    /// The spelling the `--executor` flag accepts for this choice.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutorChoice::InProcess => "inprocess",
+            ExecutorChoice::ProcPool => "procpool",
+            ExecutorChoice::Socket => "socket",
+        }
+    }
+}
+
+/// Parses a `--executor {inprocess,procpool,socket}` flag from the
+/// process arguments (also accepts `--executor=...`), defaulting to
+/// [`ExecutorChoice::InProcess`]. Results are bit-identical with any
+/// backend; the flag exists to exercise and measure the executor
+/// transports. Exits with status 2 and a usage message on an unknown
+/// backend name.
+pub fn executor_arg() -> ExecutorChoice {
+    match flag_value("executor").as_deref() {
+        None | Some("inprocess") => ExecutorChoice::InProcess,
+        Some("procpool") => ExecutorChoice::ProcPool,
+        Some("socket") => ExecutorChoice::Socket,
+        Some(other) => die_usage(&format!(
+            "--executor must be one of inprocess|procpool|socket, got '{other}'"
+        )),
+    }
+}
+
+/// Builds the leaked shard-executor backend a `--executor` choice asks
+/// for, reporting into `obs`: the disabled handle for `inprocess`, a
+/// worker pool (of `sisd-exec-worker` siblings of the current binary)
+/// for `procpool`, and a loopback server plus socket client for
+/// `socket`. Exits with status 2 when the backend cannot be set up —
+/// a missing worker binary or an unbindable loopback port is an
+/// environment problem, not a measurement.
+pub fn executor_handle(
+    choice: ExecutorChoice,
+    obs: sisd_obs::ObsHandle,
+) -> sisd_frontier::ExecHandle {
+    match choice {
+        ExecutorChoice::InProcess => sisd_frontier::ExecHandle::disabled(),
+        ExecutorChoice::ProcPool => {
+            let program = sisd_exec::default_worker_path();
+            if !program.is_file() {
+                die_usage(&format!(
+                    "--executor procpool needs the worker binary at {} \
+                     (build it with `cargo build -p sisd-exec`, or set SISD_EXEC_WORKER)",
+                    program.display()
+                ));
+            }
+            sisd_exec::ProcessPoolExecutor::leaked(sisd_exec::ProcessPoolConfig::default(), obs)
+        }
+        ExecutorChoice::Socket => match sisd_exec::spawn_loopback_server() {
+            Ok(addr) => {
+                sisd_exec::SocketExecutor::leaked(addr.to_string(), Default::default(), obs)
+            }
+            Err(e) => die_usage(&format!("--executor socket: loopback server: {e}")),
+        },
+    }
 }
 
 /// Parses a `--trace-out PATH` flag from the process arguments (also
 /// accepts `--trace-out=PATH`). When present, the binary writes a JSONL
 /// trace of every metric event to `PATH` (see [`sisd_obs::JsonlSink`]) in
 /// addition to printing the [`sisd_obs::SearchReport`]; tracing never
-/// changes the experiment's numbers.
-///
-/// # Panics
-/// Panics when the flag is given without a path.
+/// changes the experiment's numbers. Exits with status 2 and a usage
+/// message when the flag is given without a path.
 pub fn trace_out_arg() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    let mut value = None;
-    let mut i = 1;
-    while i < args.len() {
-        if args[i] == "--trace-out" {
-            let v = args
-                .get(i + 1)
-                .unwrap_or_else(|| panic!("--trace-out needs a file path"));
-            value = Some(v.clone());
-            i += 2;
-            continue;
-        }
-        if let Some(v) = args[i].strip_prefix("--trace-out=") {
-            value = Some(v.to_string());
-        }
-        i += 1;
-    }
-    value
+    flag_value("trace-out")
 }
 
 /// Resolves the experiment's metrics handle: a JSONL-sink registry when
 /// `--trace-out` was given, a counters-only registry otherwise — always
 /// enabled, so every binary can print a [`sisd_obs::SearchReport`].
-///
-/// # Panics
-/// Panics when the trace file cannot be created.
+/// Exits with status 2 and a usage message when the trace file cannot be
+/// created.
 pub fn obs_from_args() -> sisd_obs::ObsHandle {
     match trace_out_arg() {
         Some(path) => {
             let sink = sisd_obs::JsonlSink::create(std::path::Path::new(&path))
-                .unwrap_or_else(|e| panic!("--trace-out {path}: {e}"));
+                .unwrap_or_else(|e| die_usage(&format!("--trace-out {path}: {e}")));
             sisd_obs::Obs::leaked(Box::new(sink))
         }
         None => sisd_obs::Obs::leaked(Box::new(sisd_obs::NullSink)),

@@ -11,6 +11,7 @@
 
 use crate::parse::ParseError;
 use sisd_data::csv::CsvError;
+use sisd_data::wire::WireError;
 use sisd_linalg::CholeskyError;
 use sisd_model::ModelError;
 
@@ -25,6 +26,8 @@ pub enum SisdError {
     Parse(ParseError),
     /// Dense factorization breakdown (`sisd-linalg`).
     Linalg(CholeskyError),
+    /// Shard-executor transport or framing failure (`sisd-data::wire`).
+    Wire(WireError),
 }
 
 /// Shorthand for results produced anywhere in the pipeline.
@@ -37,6 +40,7 @@ impl std::fmt::Display for SisdError {
             SisdError::Csv(e) => write!(f, "data: {e}"),
             SisdError::Parse(e) => write!(f, "parse: {e}"),
             SisdError::Linalg(e) => write!(f, "linalg: {e}"),
+            SisdError::Wire(e) => write!(f, "executor: {e}"),
         }
     }
 }
@@ -48,6 +52,7 @@ impl std::error::Error for SisdError {
             SisdError::Csv(e) => Some(e),
             SisdError::Parse(e) => Some(e),
             SisdError::Linalg(e) => Some(e),
+            SisdError::Wire(e) => Some(e),
         }
     }
 }
@@ -76,6 +81,12 @@ impl From<CholeskyError> for SisdError {
     }
 }
 
+impl From<WireError> for SisdError {
+    fn from(e: WireError) -> Self {
+        SisdError::Wire(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,10 +97,13 @@ mod tests {
         let c: SisdError = CsvError::Malformed("ragged".into()).into();
         let p: SisdError = ParseError::MissingOperator("x".into()).into();
         let l: SisdError = CholeskyError { pivot: 3 }.into();
+        let w: SisdError = WireError::Timeout.into();
         assert!(matches!(m, SisdError::Model(_)));
         assert!(matches!(c, SisdError::Csv(_)));
         assert!(matches!(p, SisdError::Parse(_)));
         assert!(matches!(l, SisdError::Linalg(_)));
+        assert!(matches!(w, SisdError::Wire(_)));
+        assert!(w.to_string().contains("timed out"));
     }
 
     #[test]

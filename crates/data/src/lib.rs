@@ -16,6 +16,8 @@
 //!   the row space so bitset words never straddle shards,
 //!   [`ShardedDataset`] carries per-shard column/target views, and
 //!   [`BitSet::concat_words`] merges shard-local masks back bit-exactly,
+//! * [`wire`] — the length-prefixed frame codec moving shard count/word
+//!   traffic between processes for the `sisd-exec` executor backends,
 //! * [`csv`] — a small CSV loader/writer,
 //! * [`datasets`] — seeded generators for the paper's synthetic data and
 //!   simulacra of its three real datasets.
@@ -28,6 +30,7 @@ pub mod discretize;
 pub mod kernels;
 pub mod shard;
 pub mod table;
+pub mod wire;
 
 pub use bitset::BitSet;
 pub use column::Column;

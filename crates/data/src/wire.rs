@@ -1,0 +1,658 @@
+//! Length-prefixed binary frame codec for the shard-executor protocol.
+//!
+//! Remote shard execution (the `sisd-exec` backends) moves pass-1 count
+//! traffic and pass-2 survivor words between processes. Every message is
+//! one **frame**:
+//!
+//! ```text
+//! [u32 LE: length of tag + payload][u8 tag][payload bytes]
+//! ```
+//!
+//! All integers are little-endian; word vectors are a `u32` element count
+//! followed by raw `u64` words. The codec is deliberately dumb: fixed
+//! tags, explicit lengths, no compression, no self-description — exactly
+//! enough structure for a worker to validate a frame without trusting the
+//! peer. Malformed, truncated, or oversized frames decode to a
+//! [`WireError`], never a panic or an unbounded allocation; the frame
+//! length is capped at [`MAX_FRAME_BYTES`] before any buffer is reserved.
+//!
+//! The protocol itself ([`Request`]/[`Response`]) mirrors the two-pass
+//! sharded refinement contract: `Load` ships a shard's mask-matrix arena
+//! once, `Count` ships a parent's shard words plus a row-selection vector
+//! and returns exact intersection counts (S integers per candidate — the
+//! pass-1 shape), `Materialize` returns survivor words in request order,
+//! and `AndCount` is the one-shot stats-fold primitive. Counts and words
+//! are exact integers/bits, so any transport reproduces the in-process
+//! results bit for bit.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's `tag + payload` length. A peer announcing a
+/// larger frame is malformed by definition — decoding fails before any
+/// allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// A transport or framing failure in the shard-executor protocol.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// A frame announced a length beyond [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// A frame was structurally invalid (unknown tag, truncated payload,
+    /// trailing bytes, inconsistent lengths).
+    Malformed(String),
+    /// The remote worker processed the request and reported a failure.
+    Remote(String),
+    /// No response arrived within the configured deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME_BYTES}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Remote(m) => write!(f, "remote worker error: {m}"),
+            WireError::Timeout => f.write_str("request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One shard-executor request, client → worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Make shard `shard` of mask matrix `matrix_id` resident on the
+    /// worker: `rows` condition rows of `stride` words each, row-major.
+    Load {
+        /// Process-unique id of the sharded mask matrix.
+        matrix_id: u64,
+        /// Shard index within the matrix's plan.
+        shard: u32,
+        /// Condition rows in the shard matrix.
+        rows: u32,
+        /// Words per row (the shard's bitset stride).
+        stride: u32,
+        /// The shard's row-major word arena (`rows * stride` words).
+        words: Vec<u64>,
+    },
+    /// Pass-1 counts: for every row `j` with `select[j] != 0`, the exact
+    /// popcount of `parent AND row j` of the loaded shard.
+    Count {
+        /// Matrix the shard was loaded under.
+        matrix_id: u64,
+        /// Shard index.
+        shard: u32,
+        /// The parent extension's words for this shard's word range.
+        parent: Vec<u64>,
+        /// One byte per condition row; nonzero selects the row.
+        select: Vec<u8>,
+    },
+    /// Pass-2 survivor words: `parent AND row` for each requested row, in
+    /// request order, `stride` words per row.
+    Materialize {
+        /// Matrix the shard was loaded under.
+        matrix_id: u64,
+        /// Shard index.
+        shard: u32,
+        /// The parent extension's words for this shard's word range.
+        parent: Vec<u64>,
+        /// Condition rows to materialize.
+        rows: Vec<u32>,
+    },
+    /// One-shot intersection count of two word slices (the evaluator's
+    /// sharded statistics fold).
+    AndCount {
+        /// First operand's words.
+        a: Vec<u64>,
+        /// Second operand's words.
+        b: Vec<u64>,
+    },
+    /// Orderly worker shutdown; no response is sent.
+    Shutdown,
+}
+
+/// One shard-executor response, worker → client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `Load` succeeded.
+    Loaded,
+    /// `Count` result: one exact count per *selected* row, in row order.
+    Counts(Vec<u64>),
+    /// `Materialize` result: `rows.len() * stride` words in request order.
+    Words(Vec<u64>),
+    /// `AndCount` result.
+    Count(u64),
+    /// The worker rejected or failed the request.
+    Err(String),
+}
+
+const TAG_LOAD: u8 = 1;
+const TAG_COUNT: u8 = 2;
+const TAG_MATERIALIZE: u8 = 3;
+const TAG_AND_COUNT: u8 = 4;
+const TAG_SHUTDOWN: u8 = 5;
+const TAG_LOADED: u8 = 16;
+const TAG_COUNTS: u8 = 17;
+const TAG_WORDS: u8 = 18;
+const TAG_COUNT_ONE: u8 = 19;
+const TAG_ERR: u8 = 31;
+
+// ----------------------------------------------------------------------
+// Payload encoding primitives
+// ----------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_words(buf: &mut Vec<u8>, words: &[u64]) {
+    put_u32(buf, words.len() as u32);
+    for &w in words {
+        put_u64(buf, w);
+    }
+}
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(buf, bytes.len() as u32);
+    buf.extend_from_slice(bytes);
+}
+
+fn put_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
+    put_u32(buf, vals.len() as u32);
+    for &v in vals {
+        put_u32(buf, v);
+    }
+}
+
+/// Bounded sequential reader over one frame's payload. Every accessor
+/// fails with [`WireError::Malformed`] instead of slicing out of bounds.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Malformed(format!(
+                "truncated {what}: wanted {n} bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed vector of `elem_bytes`-wide elements, with the
+    /// announced byte size validated against the remaining payload before
+    /// any allocation.
+    fn seq_len(&mut self, elem_bytes: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(elem_bytes) > self.buf.len() - self.pos {
+            return Err(WireError::Malformed(format!(
+                "{what} announces {n} elements beyond the payload"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn words(&mut self, what: &str) -> Result<Vec<u64>, WireError> {
+        let n = self.seq_len(8, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64(what)?);
+        }
+        Ok(out)
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, WireError> {
+        let n = self.seq_len(1, what)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    fn u32s(&mut self, what: &str) -> Result<Vec<u32>, WireError> {
+        let n = self.seq_len(4, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32(what)?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed(format!(
+                "{what} frame has {} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Framing
+// ----------------------------------------------------------------------
+
+/// Wraps `tag + payload` in a length prefix and writes the frame. Returns
+/// the total bytes written (prefix included).
+fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<usize, WireError> {
+    let len = 1 + payload.len();
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::TooLarge(len));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(payload)?;
+    Ok(4 + len)
+}
+
+/// Reads one frame. `Ok(None)` means the stream ended cleanly *before* the
+/// length prefix (peer closed between frames); EOF mid-frame is an error.
+fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Malformed(
+                    "stream closed inside a frame length prefix".into(),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(WireError::Timeout)
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 {
+        return Err(WireError::Malformed("zero-length frame".into()));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    if let Err(e) = r.read_exact(&mut body) {
+        return Err(match e.kind() {
+            io::ErrorKind::UnexpectedEof => {
+                WireError::Malformed("stream closed inside a frame body".into())
+            }
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::Timeout,
+            _ => e.into(),
+        });
+    }
+    Ok(Some((body[0], body[1..].to_vec())))
+}
+
+impl Request {
+    /// Encodes as one complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let tag = match self {
+            Request::Load {
+                matrix_id,
+                shard,
+                rows,
+                stride,
+                words,
+            } => {
+                put_u64(&mut payload, *matrix_id);
+                put_u32(&mut payload, *shard);
+                put_u32(&mut payload, *rows);
+                put_u32(&mut payload, *stride);
+                put_words(&mut payload, words);
+                TAG_LOAD
+            }
+            Request::Count {
+                matrix_id,
+                shard,
+                parent,
+                select,
+            } => {
+                put_u64(&mut payload, *matrix_id);
+                put_u32(&mut payload, *shard);
+                put_words(&mut payload, parent);
+                put_bytes(&mut payload, select);
+                TAG_COUNT
+            }
+            Request::Materialize {
+                matrix_id,
+                shard,
+                parent,
+                rows,
+            } => {
+                put_u64(&mut payload, *matrix_id);
+                put_u32(&mut payload, *shard);
+                put_words(&mut payload, parent);
+                put_u32s(&mut payload, rows);
+                TAG_MATERIALIZE
+            }
+            Request::AndCount { a, b } => {
+                put_words(&mut payload, a);
+                put_words(&mut payload, b);
+                TAG_AND_COUNT
+            }
+            Request::Shutdown => TAG_SHUTDOWN,
+        };
+        let mut out = Vec::with_capacity(5 + payload.len());
+        out.extend_from_slice(&((1 + payload.len()) as u32).to_le_bytes());
+        out.push(tag);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Writes one frame; returns the bytes written.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<usize, WireError> {
+        let frame = self.encode();
+        w.write_all(&frame)?;
+        Ok(frame.len())
+    }
+
+    /// Reads one request frame; `Ok(None)` on clean end-of-stream.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Option<Request>, WireError> {
+        let Some((tag, payload)) = read_frame(r)? else {
+            return Ok(None);
+        };
+        let mut c = Cursor::new(&payload);
+        let req = match tag {
+            TAG_LOAD => {
+                let matrix_id = c.u64("load.matrix_id")?;
+                let shard = c.u32("load.shard")?;
+                let rows = c.u32("load.rows")?;
+                let stride = c.u32("load.stride")?;
+                let words = c.words("load.words")?;
+                if words.len() != rows as usize * stride as usize {
+                    return Err(WireError::Malformed(format!(
+                        "load: {} words for {rows} rows x {stride} stride",
+                        words.len()
+                    )));
+                }
+                Request::Load {
+                    matrix_id,
+                    shard,
+                    rows,
+                    stride,
+                    words,
+                }
+            }
+            TAG_COUNT => Request::Count {
+                matrix_id: c.u64("count.matrix_id")?,
+                shard: c.u32("count.shard")?,
+                parent: c.words("count.parent")?,
+                select: c.bytes("count.select")?,
+            },
+            TAG_MATERIALIZE => Request::Materialize {
+                matrix_id: c.u64("materialize.matrix_id")?,
+                shard: c.u32("materialize.shard")?,
+                parent: c.words("materialize.parent")?,
+                rows: c.u32s("materialize.rows")?,
+            },
+            TAG_AND_COUNT => Request::AndCount {
+                a: c.words("and_count.a")?,
+                b: c.words("and_count.b")?,
+            },
+            TAG_SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::Malformed(format!("unknown request tag {other}"))),
+        };
+        c.finish("request")?;
+        Ok(Some(req))
+    }
+}
+
+impl Response {
+    /// Encodes as one complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let tag = match self {
+            Response::Loaded => TAG_LOADED,
+            Response::Counts(counts) => {
+                put_words(&mut payload, counts);
+                TAG_COUNTS
+            }
+            Response::Words(words) => {
+                put_words(&mut payload, words);
+                TAG_WORDS
+            }
+            Response::Count(v) => {
+                put_u64(&mut payload, *v);
+                TAG_COUNT_ONE
+            }
+            Response::Err(msg) => {
+                put_bytes(&mut payload, msg.as_bytes());
+                TAG_ERR
+            }
+        };
+        let mut out = Vec::with_capacity(5 + payload.len());
+        out.extend_from_slice(&((1 + payload.len()) as u32).to_le_bytes());
+        out.push(tag);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Writes one frame; returns the bytes written.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<usize, WireError> {
+        let frame = self.encode();
+        w.write_all(&frame)?;
+        Ok(frame.len())
+    }
+
+    /// Reads one response frame; `Ok(None)` on clean end-of-stream.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Option<Response>, WireError> {
+        let Some((tag, payload)) = read_frame(r)? else {
+            return Ok(None);
+        };
+        let mut c = Cursor::new(&payload);
+        let resp = match tag {
+            TAG_LOADED => Response::Loaded,
+            TAG_COUNTS => Response::Counts(c.words("counts")?),
+            TAG_WORDS => Response::Words(c.words("words")?),
+            TAG_COUNT_ONE => Response::Count(c.u64("count")?),
+            TAG_ERR => {
+                let bytes = c.bytes("err.msg")?;
+                Response::Err(String::from_utf8_lossy(&bytes).into_owned())
+            }
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "unknown response tag {other}"
+                )))
+            }
+        };
+        c.finish("response")?;
+        Ok(Some(resp))
+    }
+}
+
+/// Writes a raw already-encoded frame — the worker's echo path for framing
+/// tests. Exposed so transports can count bytes without re-encoding.
+pub fn write_raw_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<usize, WireError> {
+    write_frame(w, tag, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        let n = req.write_to(&mut buf).unwrap();
+        assert_eq!(n, buf.len());
+        let mut r = io::Cursor::new(&buf);
+        assert_eq!(Request::read_from(&mut r).unwrap(), Some(req));
+        assert_eq!(Request::read_from(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Load {
+            matrix_id: 7,
+            shard: 2,
+            rows: 3,
+            stride: 2,
+            words: vec![1, 2, 3, 4, 5, 6],
+        });
+        roundtrip_request(Request::Count {
+            matrix_id: u64::MAX,
+            shard: 0,
+            parent: vec![0xdead_beef, 0],
+            select: vec![1, 0, 1, 1],
+        });
+        roundtrip_request(Request::Materialize {
+            matrix_id: 1,
+            shard: 9,
+            parent: vec![],
+            rows: vec![0, 5, 31],
+        });
+        roundtrip_request(Request::AndCount {
+            a: vec![u64::MAX],
+            b: vec![1],
+        });
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Loaded,
+            Response::Counts(vec![0, 64, u64::MAX]),
+            Response::Words(vec![3, 2, 1]),
+            Response::Count(42),
+            Response::Err("no such shard".into()),
+        ] {
+            let mut buf = Vec::new();
+            resp.write_to(&mut buf).unwrap();
+            let mut r = io::Cursor::new(&buf);
+            assert_eq!(Response::read_from(&mut r).unwrap(), Some(resp));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_malformed_not_panics() {
+        let full = Request::Count {
+            matrix_id: 3,
+            shard: 1,
+            parent: vec![1, 2, 3],
+            select: vec![1; 10],
+        }
+        .encode();
+        // Every strict prefix must fail cleanly (or report clean EOF for
+        // the empty prefix).
+        for cut in 0..full.len() {
+            let mut r = io::Cursor::new(&full[..cut]);
+            match Request::read_from(&mut r) {
+                Ok(None) => assert_eq!(cut, 0, "clean EOF only before any bytes"),
+                Ok(Some(_)) => panic!("prefix of {cut} bytes decoded as a full frame"),
+                Err(WireError::Malformed(_)) | Err(WireError::Io(_)) => {}
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_frames_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(TAG_SHUTDOWN);
+        assert!(matches!(
+            Request::read_from(&mut io::Cursor::new(&buf)),
+            Err(WireError::TooLarge(_))
+        ));
+        let zero = 0u32.to_le_bytes().to_vec();
+        assert!(matches!(
+            Request::read_from(&mut io::Cursor::new(&zero)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 200, &[]).unwrap();
+        assert!(matches!(
+            Request::read_from(&mut io::Cursor::new(&buf)),
+            Err(WireError::Malformed(_))
+        ));
+        // A valid Shutdown frame with an extra payload byte.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_SHUTDOWN, &[0]).unwrap();
+        assert!(matches!(
+            Request::read_from(&mut io::Cursor::new(&buf)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_element_counts_fail_before_allocating() {
+        // A Count frame whose parent vector announces ~1 billion words in
+        // a 32-byte payload.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 1 << 30);
+        payload.extend_from_slice(&[0u8; 16]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_COUNT, &payload).unwrap();
+        assert!(matches!(
+            Request::read_from(&mut io::Cursor::new(&buf)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn load_word_count_must_match_shape() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 4); // rows
+        put_u32(&mut payload, 2); // stride
+        put_words(&mut payload, &[0; 3]); // 3 != 8
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_LOAD, &payload).unwrap();
+        assert!(matches!(
+            Request::read_from(&mut io::Cursor::new(&buf)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Shard worker process for the SISD executor backends.
+//!
+//! With no arguments, serves the shard protocol over stdin/stdout — the
+//! mode `ProcessPoolExecutor` spawns. With `--serve ADDR` (e.g.
+//! `--serve 127.0.0.1:7070`), listens on `ADDR` and serves each incoming
+//! TCP connection on its own thread with its own shard table — the other
+//! end of a `SocketExecutor`.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    let _ = writeln!(
+        std::io::stderr(),
+        "usage: sisd-exec-worker            serve stdin/stdout (process-pool mode)\n\
+                sisd-exec-worker --serve ADDR   listen on ADDR (socket mode)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            let stdin = std::io::stdin().lock();
+            let stdout = std::io::stdout().lock();
+            match sisd_exec::serve(stdin, BufWriter::new(stdout)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    let _ = writeln!(std::io::stderr(), "sisd-exec-worker: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        [flag, addr] if flag == "--serve" => {
+            let listener = match TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    let _ = writeln!(std::io::stderr(), "sisd-exec-worker: bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for stream in listener.incoming().flatten() {
+                let _ = std::thread::Builder::new()
+                    .name("sisd-exec-conn".into())
+                    .spawn(move || {
+                        let Ok(reader) = stream.try_clone() else {
+                            return;
+                        };
+                        if let Err(e) =
+                            sisd_exec::serve(BufReader::new(reader), BufWriter::new(stream))
+                        {
+                            let _ = writeln!(std::io::stderr(), "sisd-exec-worker: {e}");
+                        }
+                    });
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

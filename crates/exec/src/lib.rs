@@ -1,0 +1,1060 @@
+//! Shard-executor backends: in-process, process-pool, and socket.
+//!
+//! `sisd-frontier` defines the [`ShardExecutor`] seam — "run this shard's
+//! count pass / materialize pass" over raw word slices. This crate
+//! provides the three backends the paper-scale experiments use:
+//!
+//! * [`InProcessExecutor`] — the protocol served from a table in the same
+//!   process. Every request still round-trips through the
+//!   [`sisd_data::wire`] frame codec (encode → decode → handle → encode →
+//!   decode), so it doubles as end-to-end codec coverage while staying
+//!   dependency-free and fork-free.
+//! * [`ProcessPoolExecutor`] — persistent worker *processes* (the
+//!   `sisd-exec-worker` binary) fed over stdin/stdout pipes. Shard `s` is
+//!   pinned to worker `s mod workers`, each worker caches loaded shards,
+//!   and a reader thread per worker turns blocking pipe reads into
+//!   bounded-timeout receives.
+//! * [`SocketExecutor`] — the same codec over one TCP connection (one
+//!   executor per remote address; `sisd-exec-worker --serve ADDR` or
+//!   [`spawn_loopback_server`] is the other end).
+//!
+//! All backends implement the same fault contract: per-request timeout,
+//! bounded retry (dead workers are respawned, dropped connections
+//! re-dialed, [`Metric::ExecutorRetries`] bumped), and on final failure a
+//! clean `Err` — never a hang, never a partial result — which the
+//! frontier call site degrades to the local kernels
+//! ([`Metric::ExecutorFallbacks`]). Counts and words are exact, so every
+//! backend (and every fallback) is bit-identical to serial; the parity
+//! proptests in `tests/executor_parity.rs` pin that.
+//!
+//! Request/byte/latency traffic reports into `sisd-obs` via the
+//! `executor.*` metrics on whatever [`ObsHandle`] the backend was built
+//! with.
+
+use sisd_core::SisdResult;
+use sisd_data::kernels;
+use sisd_data::wire::{Request, Response, WireError};
+use sisd_frontier::{ExecHandle, ShardExecutor};
+use sisd_obs::{Metric, ObsHandle};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+// ----------------------------------------------------------------------
+// Worker side: shard table + request handler + serve loop
+// ----------------------------------------------------------------------
+
+/// One loaded shard: `rows` condition rows of `stride` words, row-major —
+/// the worker-resident copy of a `MaskMatrix` shard arena.
+#[derive(Debug)]
+struct ShardBlob {
+    rows: u32,
+    stride: u32,
+    words: Vec<u64>,
+}
+
+/// The worker-side shard table requests execute against. One per worker
+/// process (or per accepted socket connection).
+#[derive(Debug, Default)]
+pub struct WorkerState {
+    shards: HashMap<(u64, u32), ShardBlob>,
+}
+
+/// Executes one request against the shard table. Returns `None` only for
+/// [`Request::Shutdown`] (which has no response); every other failure mode
+/// is a [`Response::Err`] so the client can fall back cleanly.
+pub fn handle_request(state: &mut WorkerState, req: Request) -> Option<Response> {
+    Some(match req {
+        Request::Load {
+            matrix_id,
+            shard,
+            rows,
+            stride,
+            words,
+        } => {
+            // The codec already validated words.len() == rows * stride.
+            state.shards.insert(
+                (matrix_id, shard),
+                ShardBlob {
+                    rows,
+                    stride,
+                    words,
+                },
+            );
+            Response::Loaded
+        }
+        Request::Count {
+            matrix_id,
+            shard,
+            parent,
+            select,
+        } => {
+            let Some(blob) = state.shards.get(&(matrix_id, shard)) else {
+                return Some(Response::Err(format!(
+                    "shard ({matrix_id}, {shard}) not loaded"
+                )));
+            };
+            if parent.len() != blob.stride as usize {
+                return Some(Response::Err(format!(
+                    "count: parent has {} words, shard stride is {}",
+                    parent.len(),
+                    blob.stride
+                )));
+            }
+            if select.len() != blob.rows as usize {
+                return Some(Response::Err(format!(
+                    "count: {} select flags for {} rows",
+                    select.len(),
+                    blob.rows
+                )));
+            }
+            let stride = blob.stride as usize;
+            let counts = select
+                .iter()
+                .enumerate()
+                .filter(|&(_, &sel)| sel != 0)
+                .map(|(j, _)| {
+                    kernels::and_count(&parent, &blob.words[j * stride..][..stride]) as u64
+                })
+                .collect();
+            Response::Counts(counts)
+        }
+        Request::Materialize {
+            matrix_id,
+            shard,
+            parent,
+            rows,
+        } => {
+            let Some(blob) = state.shards.get(&(matrix_id, shard)) else {
+                return Some(Response::Err(format!(
+                    "shard ({matrix_id}, {shard}) not loaded"
+                )));
+            };
+            if parent.len() != blob.stride as usize {
+                return Some(Response::Err(format!(
+                    "materialize: parent has {} words, shard stride is {}",
+                    parent.len(),
+                    blob.stride
+                )));
+            }
+            let stride = blob.stride as usize;
+            let mut out = vec![0u64; rows.len() * stride];
+            for (k, &row) in rows.iter().enumerate() {
+                if row >= blob.rows {
+                    return Some(Response::Err(format!(
+                        "materialize: row {row} out of {} rows",
+                        blob.rows
+                    )));
+                }
+                kernels::and_into(
+                    &parent,
+                    &blob.words[row as usize * stride..][..stride],
+                    &mut out[k * stride..][..stride],
+                );
+            }
+            Response::Words(out)
+        }
+        Request::AndCount { a, b } => {
+            if a.len() != b.len() {
+                return Some(Response::Err(format!(
+                    "and_count: {} vs {} words",
+                    a.len(),
+                    b.len()
+                )));
+            }
+            Response::Count(kernels::and_count(&a, &b) as u64)
+        }
+        Request::Shutdown => return None,
+    })
+}
+
+/// Serves the shard protocol over a byte stream until clean EOF, a
+/// [`Request::Shutdown`], or a transport error. Each invocation owns its
+/// own [`WorkerState`] — the worker binary's stdin/stdout loop and each
+/// accepted socket connection run exactly this.
+pub fn serve<R: Read, W: Write>(mut r: R, mut w: W) -> Result<(), WireError> {
+    let mut state = WorkerState::default();
+    while let Some(req) = Request::read_from(&mut r)? {
+        match handle_request(&mut state, req) {
+            Some(resp) => {
+                resp.write_to(&mut w)?;
+                w.flush().map_err(WireError::Io)?;
+            }
+            None => break,
+        }
+    }
+    Ok(())
+}
+
+/// Binds a loopback TCP listener on an ephemeral port and serves the
+/// shard protocol from a background thread (one thread + [`WorkerState`]
+/// per accepted connection). Returns the bound address for
+/// [`SocketExecutor::new`]. The listener thread runs for the rest of the
+/// process — intended for tests and single-process benches of the socket
+/// transport.
+pub fn spawn_loopback_server() -> io::Result<SocketAddr> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("sisd-exec-serve".into())
+        .spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let _ = std::thread::Builder::new()
+                    .name("sisd-exec-conn".into())
+                    .spawn(move || {
+                        let Ok(reader) = stream.try_clone() else {
+                            return;
+                        };
+                        let _ = serve(BufReader::new(reader), BufWriter::new(stream));
+                    });
+            }
+        })?;
+    Ok(addr)
+}
+
+// ----------------------------------------------------------------------
+// Client-side plumbing shared by all backends
+// ----------------------------------------------------------------------
+
+/// Lock a mutex, clearing poison left by a panicking peer — executor
+/// state must survive an unrelated thread's panic.
+fn lock_clear<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Counts bytes pulled through an inner reader, so transports can report
+/// `executor.bytes_rx` without re-encoding responses.
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R> CountingReader<R> {
+    fn new(inner: R) -> Self {
+        CountingReader { inner, count: 0 }
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+fn expect_loaded(resp: Response) -> Result<(), WireError> {
+    match resp {
+        Response::Loaded => Ok(()),
+        Response::Err(m) => Err(WireError::Remote(m)),
+        other => Err(WireError::Malformed(format!(
+            "expected Loaded, got {other:?}"
+        ))),
+    }
+}
+
+fn expect_counts(resp: Response, expected: usize) -> Result<Vec<u64>, WireError> {
+    match resp {
+        Response::Counts(v) if v.len() == expected => Ok(v),
+        Response::Counts(v) => Err(WireError::Malformed(format!(
+            "expected {expected} counts, got {}",
+            v.len()
+        ))),
+        Response::Err(m) => Err(WireError::Remote(m)),
+        other => Err(WireError::Malformed(format!(
+            "expected Counts, got {other:?}"
+        ))),
+    }
+}
+
+fn expect_words(resp: Response, expected: usize) -> Result<Vec<u64>, WireError> {
+    match resp {
+        Response::Words(v) if v.len() == expected => Ok(v),
+        Response::Words(v) => Err(WireError::Malformed(format!(
+            "expected {expected} words, got {}",
+            v.len()
+        ))),
+        Response::Err(m) => Err(WireError::Remote(m)),
+        other => Err(WireError::Malformed(format!(
+            "expected Words, got {other:?}"
+        ))),
+    }
+}
+
+fn expect_count(resp: Response) -> Result<u64, WireError> {
+    match resp {
+        Response::Count(v) => Ok(v),
+        Response::Err(m) => Err(WireError::Remote(m)),
+        other => Err(WireError::Malformed(format!(
+            "expected Count, got {other:?}"
+        ))),
+    }
+}
+
+/// Generates the [`ShardExecutor`] impl for a backend exposing
+/// `fn roundtrip(&self, &Request) -> Result<Response, WireError>`: each
+/// trait method builds its wire request, validates the response shape,
+/// and scatters results back into the caller's buffers. The `Err` path
+/// converts to `SisdError::Wire` via `?`.
+macro_rules! impl_shard_executor {
+    ($ty:ty, $name:literal) => {
+        impl ShardExecutor for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn load(
+                &self,
+                matrix_id: u64,
+                shard: u32,
+                rows: u32,
+                stride: u32,
+                words: &[u64],
+            ) -> SisdResult<()> {
+                let resp = self.roundtrip(&Request::Load {
+                    matrix_id,
+                    shard,
+                    rows,
+                    stride,
+                    words: words.to_vec(),
+                })?;
+                Ok(expect_loaded(resp)?)
+            }
+
+            fn count(
+                &self,
+                matrix_id: u64,
+                shard: u32,
+                parent: &[u64],
+                select: &[bool],
+                out: &mut [u64],
+            ) -> SisdResult<()> {
+                let wanted = select.iter().filter(|&&s| s).count();
+                let resp = self.roundtrip(&Request::Count {
+                    matrix_id,
+                    shard,
+                    parent: parent.to_vec(),
+                    select: select.iter().map(|&s| s as u8).collect(),
+                })?;
+                let counts = expect_counts(resp, wanted)?;
+                let mut it = counts.into_iter();
+                for (slot, &sel) in out.iter_mut().zip(select) {
+                    if sel {
+                        *slot = it.next().expect("length validated above");
+                    }
+                }
+                Ok(())
+            }
+
+            fn materialize(
+                &self,
+                matrix_id: u64,
+                shard: u32,
+                parent: &[u64],
+                rows: &[u32],
+                out: &mut [u64],
+            ) -> SisdResult<()> {
+                let resp = self.roundtrip(&Request::Materialize {
+                    matrix_id,
+                    shard,
+                    parent: parent.to_vec(),
+                    rows: rows.to_vec(),
+                })?;
+                let words = expect_words(resp, out.len())?;
+                out.copy_from_slice(&words);
+                Ok(())
+            }
+
+            fn and_count(&self, a: &[u64], b: &[u64]) -> SisdResult<u64> {
+                let resp = self.roundtrip(&Request::AndCount {
+                    a: a.to_vec(),
+                    b: b.to_vec(),
+                })?;
+                Ok(expect_count(resp)?)
+            }
+        }
+    };
+}
+
+// ----------------------------------------------------------------------
+// InProcess backend
+// ----------------------------------------------------------------------
+
+/// The shard protocol served from a table in this process, with every
+/// request still passing through the full frame codec. Zero setup, no
+/// child processes; the backend to reach for when the point is the
+/// protocol (tests, codec coverage, single-host baselines) rather than
+/// moving work off-process.
+#[derive(Debug)]
+pub struct InProcessExecutor {
+    state: Mutex<WorkerState>,
+    obs: ObsHandle,
+}
+
+impl InProcessExecutor {
+    /// A fresh in-process backend reporting into `obs`.
+    pub fn new(obs: ObsHandle) -> Self {
+        InProcessExecutor {
+            state: Mutex::new(WorkerState::default()),
+            obs,
+        }
+    }
+
+    /// Leak a backend and return the `Copy` handle configs carry.
+    pub fn leaked(obs: ObsHandle) -> ExecHandle {
+        ExecHandle::to(Box::leak(Box::new(Self::new(obs))))
+    }
+
+    fn roundtrip(&self, req: &Request) -> Result<Response, WireError> {
+        let obs = self.obs;
+        obs.incr(Metric::ExecutorRequests);
+        let start = Instant::now();
+        // Full encode → decode → handle → encode → decode round-trip:
+        // in-process dispatch exercises exactly the bytes the remote
+        // backends ship.
+        let frame = req.encode();
+        obs.add(Metric::ExecutorBytesTx, frame.len() as u64);
+        let decoded = Request::read_from(&mut &frame[..])?
+            .ok_or_else(|| WireError::Malformed("empty request frame".into()))?;
+        let resp = handle_request(&mut lock_clear(&self.state), decoded)
+            .ok_or_else(|| WireError::Malformed("no response to a shutdown request".into()))?;
+        let rframe = resp.encode();
+        obs.add(Metric::ExecutorBytesRx, rframe.len() as u64);
+        let resp = Response::read_from(&mut &rframe[..])?
+            .ok_or_else(|| WireError::Malformed("empty response frame".into()))?;
+        obs.add(Metric::ExecutorRequestNs, start.elapsed().as_nanos() as u64);
+        Ok(resp)
+    }
+}
+
+impl_shard_executor!(InProcessExecutor, "inprocess");
+
+// ----------------------------------------------------------------------
+// ProcessPool backend
+// ----------------------------------------------------------------------
+
+/// Settings of a [`ProcessPoolExecutor`].
+#[derive(Debug, Clone)]
+pub struct ProcessPoolConfig {
+    /// Worker processes; shard `s` is served by worker `s % workers`.
+    pub workers: usize,
+    /// Extra attempts after a failed request (each bumps
+    /// `executor.retries`).
+    pub retries: usize,
+    /// Per-request response deadline.
+    pub timeout: Duration,
+    /// Whether a dead worker is respawned on the next request. `false`
+    /// pins fault-path tests: once killed, every request to that worker
+    /// fails fast and the search survives on fallbacks.
+    pub respawn: bool,
+    /// Worker binary; `None` resolves via [`default_worker_path`].
+    pub program: Option<PathBuf>,
+}
+
+impl Default for ProcessPoolConfig {
+    fn default() -> Self {
+        ProcessPoolConfig {
+            workers: 2,
+            retries: 1,
+            timeout: Duration::from_secs(10),
+            respawn: true,
+            program: None,
+        }
+    }
+}
+
+/// Locates the `sisd-exec-worker` binary: the `SISD_EXEC_WORKER`
+/// environment variable if set, else next to the current executable
+/// (hopping out of cargo's `deps/` directory when running under `cargo
+/// test`).
+pub fn default_worker_path() -> PathBuf {
+    if let Ok(p) = std::env::var("SISD_EXEC_WORKER") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().unwrap_or_default();
+    p.pop();
+    if p.file_name().is_some_and(|f| f == "deps") {
+        p.pop();
+    }
+    p.push(format!("sisd-exec-worker{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+/// One worker process plus its pipes: frames go down `stdin`, a reader
+/// thread pushes decoded responses (with their byte size) through `rx` so
+/// the pool can wait with a deadline.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    rx: mpsc::Receiver<Result<(Response, u64), WireError>>,
+    loaded: HashSet<(u64, u32)>,
+}
+
+/// One pool slot: the live worker (if any) and whether a spawn was ever
+/// attempted (governs the `respawn: false` fail-fast path).
+struct Slot {
+    worker: Option<Worker>,
+    spawned: bool,
+}
+
+fn spawn_worker(program: &PathBuf) -> Result<Worker, WireError> {
+    let mut child = Command::new(program)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("stdin was piped");
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let (tx, rx) = mpsc::channel();
+    std::thread::Builder::new()
+        .name("sisd-exec-reader".into())
+        .spawn(move || {
+            let mut reader = CountingReader::new(BufReader::new(stdout));
+            loop {
+                let before = reader.count;
+                match Response::read_from(&mut reader) {
+                    Ok(Some(resp)) => {
+                        let n = reader.count - before;
+                        if tx.send(Ok((resp, n))).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        })
+        .map_err(WireError::Io)?;
+    Ok(Worker {
+        child,
+        stdin,
+        rx,
+        loaded: HashSet::new(),
+    })
+}
+
+/// Kill and reap a slot's worker (if any). The reader thread exits on the
+/// closed pipe.
+fn retire(slot: &mut Slot) {
+    if let Some(mut w) = slot.worker.take() {
+        let _ = w.child.kill();
+        let _ = w.child.wait();
+    }
+}
+
+/// Persistent worker processes fed over pipes. Shards are pinned to
+/// workers by `shard % workers`, so a shard's arena is shipped (and
+/// cached) on exactly one worker; `AndCount` folds go to worker 0. A dead
+/// or wedged worker costs a timeout plus (with `respawn`) a respawn —
+/// the respawned worker's shard cache starts empty, so its first count
+/// after a crash returns a clean "not loaded" error and the caller falls
+/// back locally until the next refinement call re-loads.
+#[derive(Debug)]
+pub struct ProcessPoolExecutor {
+    cfg: ProcessPoolConfig,
+    program: PathBuf,
+    obs: ObsHandle,
+    slots: Vec<Mutex<Slot>>,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("live", &self.worker.is_some())
+            .field("spawned", &self.spawned)
+            .finish()
+    }
+}
+
+impl ProcessPoolExecutor {
+    /// A pool per `cfg`, reporting into `obs`. Workers are spawned lazily
+    /// on first use of their slot.
+    pub fn new(cfg: ProcessPoolConfig, obs: ObsHandle) -> Self {
+        let workers = cfg.workers.max(1);
+        let program = cfg.program.clone().unwrap_or_else(default_worker_path);
+        ProcessPoolExecutor {
+            cfg,
+            program,
+            obs,
+            slots: (0..workers)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        worker: None,
+                        spawned: false,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Leak a pool and return the `Copy` handle configs carry.
+    pub fn leaked(cfg: ProcessPoolConfig, obs: ObsHandle) -> ExecHandle {
+        ExecHandle::to(Box::leak(Box::new(Self::new(cfg, obs))))
+    }
+
+    /// Kill every live worker — the fault-injection hook the
+    /// killed-worker tests use. With `respawn: false` all later requests
+    /// fail fast (searches complete on local fallbacks); with `respawn:
+    /// true` the next request per slot restarts a fresh, empty worker.
+    pub fn kill_workers(&self) {
+        for slot in &self.slots {
+            retire(&mut lock_clear(slot));
+        }
+    }
+
+    /// Orderly shutdown: ask each live worker to exit, then reap it.
+    pub fn shutdown(&self) {
+        for slot in &self.slots {
+            let mut slot = lock_clear(slot);
+            if let Some(mut w) = slot.worker.take() {
+                let _ = Request::Shutdown.write_to(&mut w.stdin);
+                let _ = w.stdin.flush();
+                drop(w.stdin); // EOF backstops a missed shutdown frame
+                let _ = w.child.wait();
+            }
+        }
+    }
+
+    fn roundtrip(&self, req: &Request) -> Result<Response, WireError> {
+        let obs = self.obs;
+        obs.incr(Metric::ExecutorRequests);
+        let start = Instant::now();
+        let result = self.roundtrip_inner(req);
+        obs.add(Metric::ExecutorRequestNs, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn roundtrip_inner(&self, req: &Request) -> Result<Response, WireError> {
+        let obs = self.obs;
+        let shard = match req {
+            Request::Load { shard, .. }
+            | Request::Count { shard, .. }
+            | Request::Materialize { shard, .. } => *shard as usize,
+            _ => 0,
+        };
+        let mut slot = lock_clear(&self.slots[shard % self.slots.len()]);
+        let mut last_err = WireError::Timeout;
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                obs.incr(Metric::ExecutorRetries);
+            }
+            if slot.worker.is_none() {
+                if slot.spawned && !self.cfg.respawn {
+                    return Err(WireError::Remote(
+                        "worker is gone and respawn is disabled".into(),
+                    ));
+                }
+                slot.spawned = true;
+                match spawn_worker(&self.program) {
+                    Ok(w) => slot.worker = Some(w),
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+            if let Request::Load {
+                matrix_id, shard, ..
+            } = req
+            {
+                if slot
+                    .worker
+                    .as_ref()
+                    .is_some_and(|w| w.loaded.contains(&(*matrix_id, *shard)))
+                {
+                    return Ok(Response::Loaded);
+                }
+            }
+            let sent = {
+                let w = slot.worker.as_mut().expect("worker ensured above");
+                req.write_to(&mut w.stdin)
+                    .and_then(|n| w.stdin.flush().map_err(WireError::Io).map(|()| n))
+            };
+            match sent {
+                Ok(n) => obs.add(Metric::ExecutorBytesTx, n as u64),
+                Err(e) => {
+                    last_err = e;
+                    retire(&mut slot);
+                    continue;
+                }
+            }
+            let received = slot
+                .worker
+                .as_ref()
+                .expect("worker ensured above")
+                .rx
+                .recv_timeout(self.cfg.timeout);
+            match received {
+                Ok(Ok((resp, n))) => {
+                    obs.add(Metric::ExecutorBytesRx, n);
+                    if let (
+                        Request::Load {
+                            matrix_id, shard, ..
+                        },
+                        Response::Loaded,
+                    ) = (req, &resp)
+                    {
+                        if let Some(w) = slot.worker.as_mut() {
+                            w.loaded.insert((*matrix_id, *shard));
+                        }
+                    }
+                    return Ok(resp);
+                }
+                Ok(Err(e)) => {
+                    last_err = e;
+                    retire(&mut slot);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    last_err = WireError::Timeout;
+                    retire(&mut slot);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    last_err = WireError::Malformed("worker closed its pipe".into());
+                    retire(&mut slot);
+                }
+            }
+        }
+        Err(last_err)
+    }
+}
+
+impl Drop for ProcessPoolExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl_shard_executor!(ProcessPoolExecutor, "procpool");
+
+// ----------------------------------------------------------------------
+// Socket backend
+// ----------------------------------------------------------------------
+
+/// Settings of a [`SocketExecutor`].
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// Extra attempts after a failed request (the connection is re-dialed
+    /// each time; each bumps `executor.retries`).
+    pub retries: usize,
+    /// Per-request read/write deadline on the socket.
+    pub timeout: Duration,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        SocketConfig {
+            retries: 1,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One live connection: write half, counting buffered read half, and the
+/// shards the remote end has acknowledged loading.
+struct Conn {
+    stream: TcpStream,
+    reader: CountingReader<BufReader<TcpStream>>,
+    loaded: HashSet<(u64, u32)>,
+}
+
+/// The shard protocol over one TCP connection — one executor per remote
+/// address (`sisd-exec-worker --serve ADDR` or [`spawn_loopback_server`]
+/// at the other end). Dialed lazily; a timeout, dropped connection, or
+/// malformed frame drops the connection and retries on a fresh dial, and
+/// after the bounded retries a clean error surfaces (the caller falls
+/// back locally). Reads and writes both carry the configured deadline,
+/// so a wedged or garbage-speaking server can never hang the search.
+#[derive(Debug)]
+pub struct SocketExecutor {
+    addr: String,
+    cfg: SocketConfig,
+    obs: ObsHandle,
+    conn: Mutex<Option<Conn>>,
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SocketExecutor {
+    /// An executor dialing `addr` (e.g. `"127.0.0.1:7070"`) per `cfg`,
+    /// reporting into `obs`. No connection is made until the first
+    /// request.
+    pub fn new(addr: impl Into<String>, cfg: SocketConfig, obs: ObsHandle) -> Self {
+        SocketExecutor {
+            addr: addr.into(),
+            cfg,
+            obs,
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// Leak an executor and return the `Copy` handle configs carry.
+    pub fn leaked(addr: impl Into<String>, cfg: SocketConfig, obs: ObsHandle) -> ExecHandle {
+        ExecHandle::to(Box::leak(Box::new(Self::new(addr, cfg, obs))))
+    }
+
+    fn dial(&self) -> Result<Conn, WireError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.cfg.timeout))?;
+        stream.set_write_timeout(Some(self.cfg.timeout))?;
+        let reader = CountingReader::new(BufReader::new(stream.try_clone()?));
+        Ok(Conn {
+            stream,
+            reader,
+            loaded: HashSet::new(),
+        })
+    }
+
+    fn roundtrip(&self, req: &Request) -> Result<Response, WireError> {
+        let obs = self.obs;
+        obs.incr(Metric::ExecutorRequests);
+        let start = Instant::now();
+        let result = self.roundtrip_inner(req);
+        obs.add(Metric::ExecutorRequestNs, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn roundtrip_inner(&self, req: &Request) -> Result<Response, WireError> {
+        let obs = self.obs;
+        let mut guard = lock_clear(&self.conn);
+        let mut last_err = WireError::Timeout;
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                obs.incr(Metric::ExecutorRetries);
+            }
+            if guard.is_none() {
+                match self.dial() {
+                    Ok(c) => *guard = Some(c),
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+            let conn = guard.as_mut().expect("connection ensured above");
+            if let Request::Load {
+                matrix_id, shard, ..
+            } = req
+            {
+                if conn.loaded.contains(&(*matrix_id, *shard)) {
+                    return Ok(Response::Loaded);
+                }
+            }
+            let sent = req
+                .write_to(&mut conn.stream)
+                .and_then(|n| conn.stream.flush().map_err(WireError::Io).map(|()| n));
+            match sent {
+                Ok(n) => obs.add(Metric::ExecutorBytesTx, n as u64),
+                Err(e) => {
+                    last_err = e;
+                    *guard = None;
+                    continue;
+                }
+            }
+            let before = conn.reader.count;
+            match Response::read_from(&mut conn.reader) {
+                Ok(Some(resp)) => {
+                    obs.add(Metric::ExecutorBytesRx, conn.reader.count - before);
+                    if let (
+                        Request::Load {
+                            matrix_id, shard, ..
+                        },
+                        Response::Loaded,
+                    ) = (req, &resp)
+                    {
+                        conn.loaded.insert((*matrix_id, *shard));
+                    }
+                    return Ok(resp);
+                }
+                Ok(None) => {
+                    last_err = WireError::Malformed("server closed the connection".into());
+                    *guard = None;
+                }
+                Err(e) => {
+                    last_err = e;
+                    *guard = None;
+                }
+            }
+        }
+        Err(last_err)
+    }
+}
+
+impl_shard_executor!(SocketExecutor, "socket");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load_req(matrix_id: u64, rows: u32, stride: u32, words: Vec<u64>) -> Request {
+        Request::Load {
+            matrix_id,
+            shard: 0,
+            rows,
+            stride,
+            words,
+        }
+    }
+
+    #[test]
+    fn worker_rejects_what_it_cannot_serve() {
+        let mut state = WorkerState::default();
+        let unknown = handle_request(
+            &mut state,
+            Request::Count {
+                matrix_id: 1,
+                shard: 0,
+                parent: vec![0],
+                select: vec![1],
+            },
+        );
+        assert!(matches!(unknown, Some(Response::Err(m)) if m.contains("not loaded")));
+
+        assert_eq!(
+            handle_request(&mut state, load_req(1, 2, 1, vec![0b11, 0b01])),
+            Some(Response::Loaded)
+        );
+        let bad_parent = handle_request(
+            &mut state,
+            Request::Count {
+                matrix_id: 1,
+                shard: 0,
+                parent: vec![0, 0],
+                select: vec![1, 1],
+            },
+        );
+        assert!(matches!(bad_parent, Some(Response::Err(_))));
+        let bad_row = handle_request(
+            &mut state,
+            Request::Materialize {
+                matrix_id: 1,
+                shard: 0,
+                parent: vec![u64::MAX],
+                rows: vec![7],
+            },
+        );
+        assert!(matches!(bad_row, Some(Response::Err(m)) if m.contains("out of")));
+        assert_eq!(handle_request(&mut state, Request::Shutdown), None);
+    }
+
+    #[test]
+    fn worker_counts_and_materializes_exactly() {
+        let mut state = WorkerState::default();
+        handle_request(&mut state, load_req(5, 3, 1, vec![0b1011, 0b0110, 0b1111]));
+        let resp = handle_request(
+            &mut state,
+            Request::Count {
+                matrix_id: 5,
+                shard: 0,
+                parent: vec![0b0011],
+                select: vec![1, 0, 1],
+            },
+        );
+        assert_eq!(resp, Some(Response::Counts(vec![2, 2])));
+        let resp = handle_request(
+            &mut state,
+            Request::Materialize {
+                matrix_id: 5,
+                shard: 0,
+                parent: vec![0b0011],
+                rows: vec![2, 0],
+            },
+        );
+        assert_eq!(resp, Some(Response::Words(vec![0b0011, 0b0011])));
+        let resp = handle_request(
+            &mut state,
+            Request::AndCount {
+                a: vec![0b1100],
+                b: vec![0b0100],
+            },
+        );
+        assert_eq!(resp, Some(Response::Count(1)));
+    }
+
+    #[test]
+    fn serve_loop_answers_until_shutdown() {
+        let mut input = Vec::new();
+        input.extend(load_req(9, 1, 1, vec![0b1]).encode());
+        input.extend(
+            Request::AndCount {
+                a: vec![3],
+                b: vec![1],
+            }
+            .encode(),
+        );
+        input.extend(Request::Shutdown.encode());
+        let mut output = Vec::new();
+        serve(&mut &input[..], &mut output).unwrap();
+        let mut r = &output[..];
+        assert_eq!(Response::read_from(&mut r).unwrap(), Some(Response::Loaded));
+        assert_eq!(
+            Response::read_from(&mut r).unwrap(),
+            Some(Response::Count(1))
+        );
+        assert_eq!(
+            Response::read_from(&mut r).unwrap(),
+            None,
+            "nothing after shutdown"
+        );
+    }
+
+    #[test]
+    fn in_process_executor_matches_kernels_and_reports() {
+        let obs = sisd_obs::Obs::leaked(Box::new(sisd_obs::NullSink));
+        let exec = InProcessExecutor::new(obs);
+        let words = vec![0b1011u64, 0b0110, u64::MAX, 0b1000];
+        exec.load(3, 0, 2, 2, &words).unwrap();
+        let parent = [0b1110u64, 0b1001];
+        let mut out = [u64::MAX; 2];
+        exec.count(3, 0, &parent, &[true, true], &mut out).unwrap();
+        assert_eq!(out[0], kernels::and_count(&parent, &words[0..2]) as u64);
+        assert_eq!(out[1], kernels::and_count(&parent, &words[2..4]) as u64);
+        let mut mat = [0u64; 2];
+        exec.materialize(3, 0, &parent, &[1], &mut mat).unwrap();
+        assert_eq!(mat, [parent[0] & words[2], parent[1] & words[3]]);
+        assert_eq!(
+            exec.and_count(&parent, &words[0..2]).unwrap(),
+            kernels::and_count(&parent, &words[0..2]) as u64
+        );
+        // Unknown shard surfaces as a clean remote error.
+        assert!(exec.count(99, 0, &parent, &[true], &mut [0]).is_err());
+        let snap = obs.snapshot().unwrap();
+        assert!(snap.get(Metric::ExecutorRequests) >= 5);
+        assert!(snap.get(Metric::ExecutorBytesTx) > 0);
+        assert!(snap.get(Metric::ExecutorBytesRx) > 0);
+    }
+
+    #[test]
+    fn pool_without_worker_binary_fails_cleanly() {
+        let cfg = ProcessPoolConfig {
+            workers: 1,
+            retries: 0,
+            respawn: true,
+            program: Some(PathBuf::from("/nonexistent/sisd-exec-worker")),
+            ..ProcessPoolConfig::default()
+        };
+        let exec = ProcessPoolExecutor::new(cfg, ObsHandle::disabled());
+        let err = exec.load(1, 0, 1, 1, &[0]).unwrap_err();
+        assert!(err.to_string().contains("executor:"), "{err}");
+    }
+}

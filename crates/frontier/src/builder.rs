@@ -32,6 +32,7 @@
 //! bit-identical to the single-pass reference
 //! ([`FrontierBuilder::refine_parents_single_pass`]).
 
+use crate::exec::ExecHandle;
 use crate::matrix::MaskMatrix;
 use sisd_data::{kernels, BitSet};
 use sisd_obs::{Metric, ObsHandle};
@@ -55,6 +56,11 @@ pub struct FrontierConfig {
     /// Observability handle refinement counters and spans report into.
     /// Disabled by default; never changes refinement output.
     pub obs: ObsHandle,
+    /// Shard executor the *sharded* refinement passes dispatch through.
+    /// Disabled by default (local kernels); the dense builder ignores it.
+    /// Never changes refinement output — executor failures fall back to
+    /// the local kernels per shard (see [`crate::exec`]).
+    pub exec: ExecHandle,
 }
 
 impl Default for FrontierConfig {
@@ -64,6 +70,7 @@ impl Default for FrontierConfig {
             threads: 1,
             pool: PoolHandle::global(),
             obs: ObsHandle::disabled(),
+            exec: ExecHandle::disabled(),
         }
     }
 }

@@ -1,0 +1,263 @@
+//! The shard-executor dispatch seam.
+//!
+//! [`ShardExecutor`] owns "run this shard's count pass / materialize
+//! pass": the four primitives the sharded refinement and the evaluator's
+//! sharded statistics folds need from a shard, expressed over raw word
+//! slices so a backend can run them in-process, in a pool of worker
+//! processes, or across a socket (the `sisd-exec` crate provides those
+//! backends over the `sisd_data::wire` codec). Everything an executor
+//! returns is an exact integer or exact words, so **any** backend
+//! reproduces the in-process results bit for bit — the sharded
+//! determinism contract survives the process boundary.
+//!
+//! Fault tolerance is split in two: backends own per-request timeouts and
+//! bounded retry; the *call sites* ([`ShardedFrontierBuilder`] and the
+//! evaluator folds) own degradation — any `Err` from an executor demotes
+//! that one request to the local kernels, bumps
+//! [`Metric::ExecutorFallbacks`], and the search continues with identical
+//! output. A dead worker can cost latency, never correctness.
+//!
+//! [`ShardedFrontierBuilder`]: crate::ShardedFrontierBuilder
+//! [`Metric::ExecutorFallbacks`]: sisd_obs::Metric::ExecutorFallbacks
+
+use sisd_core::SisdResult;
+
+/// A backend that executes per-shard count and materialize passes.
+///
+/// Shards are addressed by `(matrix_id, shard)`, where `matrix_id` is the
+/// process-unique id of a [`ShardedMaskMatrix`] (see
+/// [`ShardedMaskMatrix::matrix_id`]) — workers cache loaded shards under
+/// that key, so repeated refinement calls over the same matrix ship the
+/// arena once. All word slices use the shard's *local* stride; parents are
+/// passed as the parent extension's words restricted to the shard's word
+/// range (zero-copy by the plan's word-alignment invariant).
+///
+/// Implementations must be shareable across threads (`Send + Sync`) —
+/// refinement may issue requests from any worker thread — and every method
+/// must either return the exact in-process result or an error; a
+/// *wrong-but-`Ok`* result would silently break bit-exactness, an `Err`
+/// merely costs a local fallback.
+///
+/// [`ShardedMaskMatrix`]: crate::ShardedMaskMatrix
+/// [`ShardedMaskMatrix::matrix_id`]: crate::ShardedMaskMatrix::matrix_id
+pub trait ShardExecutor: Send + Sync + std::fmt::Debug {
+    /// Human-readable backend name (`"inprocess"`, `"procpool"`,
+    /// `"socket"`) for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Makes shard `shard` of matrix `matrix_id` resident on the backend:
+    /// `rows` condition rows of `stride` words each, row-major. Idempotent
+    /// — backends deduplicate already-loaded shards, so callers may (and
+    /// do) re-issue loads every refinement call.
+    fn load(
+        &self,
+        matrix_id: u64,
+        shard: u32,
+        rows: u32,
+        stride: u32,
+        words: &[u64],
+    ) -> SisdResult<()>;
+
+    /// Pass-1 counts: for every row `j` with `select[j]`, overwrites
+    /// `out[j]` with the exact popcount of `parent AND row j` of the
+    /// loaded shard. Entries with `select[j] == false` are left untouched.
+    /// `parent` is the shard's word range of the parent extension;
+    /// `select.len() == out.len()` is the shard matrix's row count.
+    fn count(
+        &self,
+        matrix_id: u64,
+        shard: u32,
+        parent: &[u64],
+        select: &[bool],
+        out: &mut [u64],
+    ) -> SisdResult<()>;
+
+    /// Pass-2 survivor words: writes `parent AND row` for each entry of
+    /// `rows`, in order, `stride` words per row, into `out` (which must
+    /// hold exactly `rows.len() * stride` words).
+    fn materialize(
+        &self,
+        matrix_id: u64,
+        shard: u32,
+        parent: &[u64],
+        rows: &[u32],
+        out: &mut [u64],
+    ) -> SisdResult<()>;
+
+    /// One-shot exact intersection count of two word slices — the
+    /// evaluator's sharded statistics-fold primitive (per `(cell, shard)`
+    /// request).
+    fn and_count(&self, a: &[u64], b: &[u64]) -> SisdResult<u64>;
+}
+
+/// A `Copy` reference to a [`ShardExecutor`], or "disabled".
+///
+/// The executor analogue of `PoolHandle`/`ObsHandle`: configs stay
+/// `Copy + Eq` by carrying an optional `&'static` reference instead of an
+/// owned backend. [`ExecHandle::disabled`] (the `Default`) routes every
+/// pass through the local kernels with zero overhead; [`ExecHandle::to`]
+/// points at a leaked backend. Equality is pointer identity — two handles
+/// are equal when they dispatch to the same executor instance.
+#[derive(Clone, Copy, Default)]
+pub struct ExecHandle(Option<&'static dyn ShardExecutor>);
+
+impl ExecHandle {
+    /// The no-executor handle: refinement and folds run in-process.
+    #[inline]
+    pub fn disabled() -> Self {
+        ExecHandle(None)
+    }
+
+    /// A handle dispatching to `exec` (typically a leaked backend, which
+    /// is how the `sisd-exec` constructors hand them out).
+    #[inline]
+    pub fn to(exec: &'static dyn ShardExecutor) -> Self {
+        ExecHandle(Some(exec))
+    }
+
+    /// Whether an executor is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The attached executor, if any.
+    #[inline]
+    pub fn get(&self) -> Option<&'static dyn ShardExecutor> {
+        self.0
+    }
+}
+
+impl PartialEq for ExecHandle {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => std::ptr::addr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ExecHandle {}
+
+impl std::fmt::Debug for ExecHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            None => f.write_str("ExecHandle(disabled)"),
+            Some(e) => write!(f, "ExecHandle({})", e.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisd_data::kernels;
+
+    /// Shard table of [`LocalExec`]: `(matrix, shard) -> (stride, words)`.
+    type ShardTable = std::collections::HashMap<(u64, u32), (u32, Vec<u64>)>;
+
+    /// A trivial in-crate executor used only by unit tests: exact local
+    /// kernels behind the trait.
+    #[derive(Debug, Default)]
+    struct LocalExec {
+        shards: std::sync::Mutex<ShardTable>,
+    }
+
+    impl ShardExecutor for LocalExec {
+        fn name(&self) -> &'static str {
+            "local-test"
+        }
+        fn load(
+            &self,
+            matrix_id: u64,
+            shard: u32,
+            _rows: u32,
+            stride: u32,
+            words: &[u64],
+        ) -> SisdResult<()> {
+            self.shards
+                .lock()
+                .unwrap()
+                .insert((matrix_id, shard), (stride, words.to_vec()));
+            Ok(())
+        }
+        fn count(
+            &self,
+            matrix_id: u64,
+            shard: u32,
+            parent: &[u64],
+            select: &[bool],
+            out: &mut [u64],
+        ) -> SisdResult<()> {
+            let guard = self.shards.lock().unwrap();
+            let (stride, words) = &guard[&(matrix_id, shard)];
+            let stride = *stride as usize;
+            for (j, sel) in select.iter().enumerate() {
+                if *sel {
+                    out[j] = kernels::and_count(parent, &words[j * stride..][..stride]) as u64;
+                }
+            }
+            Ok(())
+        }
+        fn materialize(
+            &self,
+            matrix_id: u64,
+            shard: u32,
+            parent: &[u64],
+            rows: &[u32],
+            out: &mut [u64],
+        ) -> SisdResult<()> {
+            let guard = self.shards.lock().unwrap();
+            let (stride, words) = &guard[&(matrix_id, shard)];
+            let stride = *stride as usize;
+            for (k, &row) in rows.iter().enumerate() {
+                kernels::and_into(
+                    parent,
+                    &words[row as usize * stride..][..stride],
+                    &mut out[k * stride..][..stride],
+                );
+            }
+            Ok(())
+        }
+        fn and_count(&self, a: &[u64], b: &[u64]) -> SisdResult<u64> {
+            Ok(kernels::and_count(a, b) as u64)
+        }
+    }
+
+    #[test]
+    fn handle_equality_is_pointer_identity() {
+        let a: &'static LocalExec = Box::leak(Box::default());
+        let b: &'static LocalExec = Box::leak(Box::default());
+        assert_eq!(ExecHandle::disabled(), ExecHandle::default());
+        assert_eq!(ExecHandle::to(a), ExecHandle::to(a));
+        assert_ne!(ExecHandle::to(a), ExecHandle::to(b));
+        assert_ne!(ExecHandle::to(a), ExecHandle::disabled());
+        assert!(ExecHandle::to(a).enabled());
+        assert!(!ExecHandle::disabled().enabled());
+        assert_eq!(
+            format!("{:?}", ExecHandle::disabled()),
+            "ExecHandle(disabled)"
+        );
+        assert_eq!(format!("{:?}", ExecHandle::to(a)), "ExecHandle(local-test)");
+    }
+
+    #[test]
+    fn local_executor_matches_kernels() {
+        let words: Vec<u64> = vec![0b1011, 0b0110, u64::MAX, 0, 0b1000, 1];
+        let exec = LocalExec::default();
+        exec.load(9, 0, 3, 2, &words).unwrap();
+        let parent = [0b1110u64, 0b0101];
+        let mut out = [u64::MAX; 3];
+        exec.count(9, 0, &parent, &[true, false, true], &mut out)
+            .unwrap();
+        assert_eq!(out[0], kernels::and_count(&parent, &words[0..2]) as u64);
+        assert_eq!(out[1], u64::MAX, "unselected row untouched");
+        assert_eq!(out[2], kernels::and_count(&parent, &words[4..6]) as u64);
+        let mut mat = [0u64; 4];
+        exec.materialize(9, 0, &parent, &[2, 0], &mut mat).unwrap();
+        assert_eq!(&mat[0..2], &[parent[0] & words[4], parent[1] & words[5]]);
+        assert_eq!(&mat[2..4], &[parent[0] & words[0], parent[1] & words[1]]);
+        assert_eq!(exec.and_count(&parent, &words[0..2]).unwrap(), 3);
+    }
+}

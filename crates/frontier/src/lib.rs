@@ -61,6 +61,7 @@
 //! contract across shard counts.
 
 pub mod builder;
+pub mod exec;
 pub mod matrix;
 pub mod sharded;
 
@@ -68,5 +69,6 @@ pub use builder::{
     dedup_in_order, refine_block, ChildBatch, ChildMeta, FrontierBuilder, FrontierConfig,
     ParentSpec,
 };
+pub use exec::{ExecHandle, ShardExecutor};
 pub use matrix::MaskMatrix;
 pub use sharded::{MaskStore, ShardedFrontierBuilder, ShardedMaskMatrix};

@@ -38,12 +38,20 @@ use crate::builder::{
     materialize_survivors, record_refine, run_chunked, RefineTally, BLOCK_ROWS,
     MIN_ITEMS_PER_WORKER, MIN_WORDS_PER_WORKER, SKIPPED,
 };
+use crate::exec::ShardExecutor;
 use crate::matrix::MaskMatrix;
 use crate::{ChildBatch, ChildMeta, FrontierBuilder, FrontierConfig, ParentSpec};
 use sisd_core::Condition;
 use sisd_data::shard::ShardPlan;
 use sisd_data::{kernels, BitSet, Dataset, ShardedDataset};
 use sisd_obs::Metric;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique ids for [`ShardedMaskMatrix`] instances, so executor
+/// backends can cache loaded shards per matrix (clones share the id —
+/// matrices are immutable after construction, so a shared id always names
+/// identical bits).
+static NEXT_MATRIX_ID: AtomicU64 = AtomicU64::new(1);
 
 /// One condition bit-matrix per row-range shard.
 ///
@@ -56,6 +64,7 @@ pub struct ShardedMaskMatrix {
     plan: ShardPlan,
     shards: Vec<MaskMatrix>,
     rows: usize,
+    matrix_id: u64,
 }
 
 impl ShardedMaskMatrix {
@@ -107,7 +116,18 @@ impl ShardedMaskMatrix {
             );
             assert_eq!(m.rows(), rows, "ShardedMaskMatrix: shard {s} row count");
         }
-        Self { plan, shards, rows }
+        Self {
+            plan,
+            shards,
+            rows,
+            matrix_id: NEXT_MATRIX_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Process-unique id executor backends key their shard caches by.
+    #[inline]
+    pub fn matrix_id(&self) -> u64 {
+        self.matrix_id
     }
 
     /// The row partition the matrices are sharded by.
@@ -231,6 +251,14 @@ impl<'m> ShardedFrontierBuilder<'m> {
         }
         let obs = self.config.obs;
         obs.incr(Metric::FrontierRefineCalls);
+
+        // An attached shard executor takes over both passes at any thread
+        // count (it already parallelizes across its own workers); it uses
+        // the same two-pass grid shape, so it reports as a grid dispatch.
+        if let Some(exec) = self.config.exec.get() {
+            obs.incr(Metric::FrontierGridDispatch);
+            return self.refine_with_prune_exec(exec, parents, allowed, keep);
+        }
 
         let blocks = rows.div_ceil(BLOCK_ROWS);
         let n_items = parents.len() * blocks * nshards;
@@ -358,6 +386,216 @@ impl<'m> ShardedFrontierBuilder<'m> {
                 }
             },
         );
+        drop(materialize_span);
+        ChildBatch::from_parts(plan.n(), total_stride, meta, words)
+    }
+
+    /// Count-first refinement routed through a [`ShardExecutor`] backend.
+    ///
+    /// Same two passes, same serial filter, same output — bit for bit —
+    /// as the local grid path; only *where* each shard's kernels run
+    /// changes. Per refinement call: each non-empty shard's arena is
+    /// offered to the backend once (backends deduplicate, so a
+    /// long-running search ships each matrix once per worker), pass 1
+    /// issues one `count` request per `(parent, shard)` carrying the
+    /// parent's shard words plus the row-selection vector and scatters the
+    /// returned exact counts into the standard lane layout, and pass 2
+    /// issues one `materialize` request per `(shard, parent run)` of
+    /// survivors, writing each child's returned words into its fixed word
+    /// range — so results merge in shard order by construction, regardless
+    /// of arrival order.
+    ///
+    /// Any request failure (timeout, dead worker, dropped connection —
+    /// the backends' bounded retry has already run by the time an `Err`
+    /// surfaces here) demotes exactly that request to the local kernels
+    /// and bumps [`Metric::ExecutorFallbacks`]; a failed `load` demotes
+    /// the whole shard for this call. Counts and words are exact either
+    /// way, so fallback never changes the output.
+    fn refine_with_prune_exec<F, P>(
+        &self,
+        exec: &'static dyn ShardExecutor,
+        parents: &[ParentSpec<'_>],
+        allowed: F,
+        mut keep: P,
+    ) -> ChildBatch
+    where
+        F: Fn(usize, usize) -> bool + Sync,
+        P: FnMut(usize, usize, usize) -> bool,
+    {
+        let plan = self.matrix.plan();
+        let rows = self.matrix.rows();
+        let nshards = plan.shards();
+        let total_stride = plan.n().div_ceil(sisd_data::bitset::WORD_BITS);
+        let obs = self.config.obs;
+        let mid = self.matrix.matrix_id();
+
+        // Offer each non-empty shard's arena to the backend. A failed
+        // load demotes the shard to local kernels for this whole call.
+        let mut shard_ok = vec![false; nshards];
+        for (s, ok) in shard_ok.iter_mut().enumerate() {
+            let m = self.matrix.shard(s);
+            if m.stride() == 0 {
+                continue; // empty shard: contributes zero to every count
+            }
+            *ok = match exec.load(
+                mid,
+                s as u32,
+                rows as u32,
+                m.stride() as u32,
+                m.block_words(0, rows),
+            ) {
+                Ok(()) => true,
+                Err(_) => {
+                    obs.incr(Metric::ExecutorFallbacks);
+                    false
+                }
+            };
+        }
+
+        // Pass 1 — counts only, one request per (parent, shard), scattered
+        // into the same ((p·blocks + b)·S + s) lane layout the local grid
+        // path uses so the serial filter below is shared verbatim.
+        let count_span = obs.span(Metric::FrontierCountNs);
+        let blocks = rows.div_ceil(BLOCK_ROWS);
+        let mut partials = vec![SKIPPED; parents.len() * blocks * nshards * BLOCK_ROWS];
+        let mut select = vec![false; rows];
+        let mut counts = vec![0u64; rows];
+        for (p, spec) in parents.iter().enumerate() {
+            for (row, slot) in select.iter_mut().enumerate() {
+                *slot = allowed(p, row);
+            }
+            for s in 0..nshards {
+                let wr = plan.word_range(s);
+                let parent_words = &spec.ext.words()[wr];
+                if parent_words.is_empty() {
+                    counts.fill(0);
+                } else {
+                    let served = shard_ok[s]
+                        && match exec.count(mid, s as u32, parent_words, &select, &mut counts) {
+                            Ok(()) => true,
+                            Err(_) => {
+                                obs.incr(Metric::ExecutorFallbacks);
+                                false
+                            }
+                        };
+                    if !served {
+                        let m = self.matrix.shard(s);
+                        for (row, sel) in select.iter().enumerate() {
+                            if *sel {
+                                counts[row] =
+                                    kernels::and_count(parent_words, m.row_words(row)) as u64;
+                            }
+                        }
+                    }
+                }
+                for b in 0..blocks {
+                    let lo = b * BLOCK_ROWS;
+                    let hi = rows.min(lo + BLOCK_ROWS);
+                    let lane = &mut partials[((p * blocks + b) * nshards + s) * BLOCK_ROWS..]
+                        [..BLOCK_ROWS];
+                    for (j, row) in (lo..hi).enumerate() {
+                        if select[row] {
+                            lane[j] = counts[row] as usize;
+                        }
+                    }
+                }
+            }
+        }
+        drop(count_span);
+        let lane = |p: usize, b: usize, s: usize| -> &[usize] {
+            &partials[((p * blocks + b) * nshards + s) * BLOCK_ROWS..][..BLOCK_ROWS]
+        };
+
+        // Serial filter in (parent, row) order — identical to the local
+        // grid path (same lane layout, same predicates, same tallies).
+        let mut tally = RefineTally::default();
+        let mut meta: Vec<ChildMeta> = Vec::new();
+        for (p, spec) in parents.iter().enumerate() {
+            for b in 0..blocks {
+                let lo = b * BLOCK_ROWS;
+                let hi = rows.min(lo + BLOCK_ROWS);
+                for (j, row) in (lo..hi).enumerate() {
+                    if lane(p, b, 0)[j] == SKIPPED {
+                        continue;
+                    }
+                    tally.counted += 1;
+                    let support: usize = (0..nshards).map(|s| lane(p, b, s)[j]).sum();
+                    if support < self.config.min_support || support > spec.max_support {
+                        tally.count_pruned += 1;
+                        continue;
+                    }
+                    if !keep(p, row, support) {
+                        tally.dedup_dropped += 1;
+                        continue;
+                    }
+                    meta.push(ChildMeta {
+                        parent: p,
+                        row,
+                        support,
+                    });
+                }
+            }
+        }
+        tally.materialized = meta.len() as u64;
+        record_refine(obs, tally);
+
+        // Pass 2 — survivors only. Meta is (parent, row)-ordered, so
+        // parents form contiguous runs; one materialize request per
+        // (shard, parent run), each child's words written into its fixed
+        // word range (shard-order merge by construction).
+        let materialize_span = obs.span(Metric::FrontierMaterializeNs);
+        let mut words = vec![0u64; meta.len() * total_stride];
+        let mut runs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        let mut i = 0usize;
+        while i < meta.len() {
+            let p = meta[i].parent;
+            let mut j = i + 1;
+            while j < meta.len() && meta[j].parent == p {
+                j += 1;
+            }
+            runs.push((p, i..j));
+            i = j;
+        }
+        let mut rows_buf: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u64> = Vec::new();
+        for (s, &shard_served) in shard_ok.iter().enumerate() {
+            let wr = plan.word_range(s);
+            let stride_s = wr.len();
+            if stride_s == 0 {
+                continue;
+            }
+            let m = self.matrix.shard(s);
+            for (p, range) in &runs {
+                let parent_words = &parents[*p].ext.words()[wr.clone()];
+                rows_buf.clear();
+                rows_buf.extend(meta[range.clone()].iter().map(|c| c.row as u32));
+                scratch.clear();
+                scratch.resize(rows_buf.len() * stride_s, 0);
+                let served = shard_served
+                    && match exec.materialize(mid, s as u32, parent_words, &rows_buf, &mut scratch)
+                    {
+                        Ok(()) => true,
+                        Err(_) => {
+                            obs.incr(Metric::ExecutorFallbacks);
+                            false
+                        }
+                    };
+                if served {
+                    for (k, mi) in range.clone().enumerate() {
+                        words[mi * total_stride..][wr.clone()]
+                            .copy_from_slice(&scratch[k * stride_s..][..stride_s]);
+                    }
+                } else {
+                    for mi in range.clone() {
+                        kernels::and_into(
+                            parent_words,
+                            m.row_words(meta[mi].row),
+                            &mut words[mi * total_stride..][wr.clone()],
+                        );
+                    }
+                }
+            }
+        }
         drop(materialize_span);
         ChildBatch::from_parts(plan.n(), total_stride, meta, words)
     }

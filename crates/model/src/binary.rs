@@ -177,10 +177,29 @@ impl BinaryBackgroundModel {
         ext: &BitSet,
         plan: &sisd_data::ShardPlan,
     ) -> Vec<(usize, usize)> {
+        self.cell_counts_sharded_with(ext, plan, |cell, ext| {
+            sisd_data::shard::sharded_intersection_count(cell, ext, plan)
+        })
+    }
+
+    /// [`BinaryBackgroundModel::cell_counts_sharded`] with the per-cell
+    /// sharded intersection count supplied by the caller — the seam that
+    /// lets an engine route the fold through a remote shard executor
+    /// (which must return the same exact integer the local kernels would,
+    /// keeping the signature identical).
+    pub fn cell_counts_sharded_with<F>(
+        &self,
+        ext: &BitSet,
+        plan: &sisd_data::ShardPlan,
+        mut count: F,
+    ) -> Vec<(usize, usize)>
+    where
+        F: FnMut(&BitSet, &BitSet) -> usize,
+    {
         assert_eq!(plan.n(), self.n, "cell_counts_sharded: plan row count");
         let mut out = Vec::new();
         for (idx, cell) in self.cells.iter().enumerate() {
-            let c = sisd_data::shard::sharded_intersection_count(&cell.ext, ext, plan);
+            let c = count(&cell.ext, ext);
             if c > 0 {
                 out.push((idx, c));
             }

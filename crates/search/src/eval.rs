@@ -34,7 +34,7 @@ use sisd_core::{
     LocationScore, SisdResult, SpreadScore,
 };
 use sisd_data::{BitSet, Dataset, ShardPlan};
-use sisd_frontier::{FrontierConfig, MaskStore, ParentSpec};
+use sisd_frontier::{ExecHandle, FrontierConfig, MaskStore, ParentSpec};
 use sisd_model::{BackgroundModel, BinaryBackgroundModel, FactorCache, ModelError};
 use sisd_obs::{Metric, ObsHandle};
 use sisd_par::PoolHandle;
@@ -67,6 +67,13 @@ pub struct EvalConfig {
     /// drives (frontier, model, pool gauges). Disabled by default; an
     /// enabled handle **never changes any result bit** — it only counts.
     pub obs: ObsHandle,
+    /// Shard-executor backend for the sharded count/materialize passes
+    /// and statistics folds (`sisd-exec` in-process / process-pool /
+    /// socket). Disabled by default (local kernels); only consulted when
+    /// `shards > 1`. Results are **bit-identical** with any backend —
+    /// counts and words are exact, and a failing backend degrades to the
+    /// local kernels per request (`executor.fallbacks`).
+    pub exec: ExecHandle,
 }
 
 impl Default for EvalConfig {
@@ -76,6 +83,7 @@ impl Default for EvalConfig {
             shards: 1,
             pool: PoolHandle::global(),
             obs: ObsHandle::disabled(),
+            exec: ExecHandle::disabled(),
         }
     }
 }
@@ -111,6 +119,48 @@ impl EvalConfig {
         self.obs = obs;
         self
     }
+
+    /// Sets the shard-executor backend the sharded passes dispatch
+    /// through. Results are bit-identical with any backend (or with the
+    /// default disabled handle, which keeps everything on the local
+    /// kernels).
+    pub fn with_executor(mut self, exec: ExecHandle) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+/// Sharded intersection count routed through a shard executor: each
+/// shard's partial count is one `and_count` request over the exact word
+/// slices the local fold would use, and the per-shard integers are
+/// summed in shard order. A failed request falls back to the local
+/// kernels for that shard (bumping `executor.fallbacks`), so the total
+/// is identical to [`sisd_data::shard::sharded_intersection_count`]
+/// whether the backend is healthy, flaky, or gone.
+fn exec_intersection_count(
+    exec: &'static dyn sisd_frontier::ShardExecutor,
+    obs: ObsHandle,
+    plan: &ShardPlan,
+    a: &BitSet,
+    b: &BitSet,
+) -> usize {
+    let mut total = 0usize;
+    for s in 0..plan.shards() {
+        let wr = plan.word_range(s);
+        if wr.is_empty() {
+            continue;
+        }
+        let aw = &a.words()[wr.clone()];
+        let bw = &b.words()[wr];
+        total += match exec.and_count(aw, bw) {
+            Ok(c) => c as usize,
+            Err(_) => {
+                obs.incr(Metric::ExecutorFallbacks);
+                sisd_data::kernels::and_count(aw, bw)
+            }
+        };
+    }
+    total
 }
 
 /// One candidate subgroup awaiting evaluation.
@@ -184,6 +234,11 @@ pub struct Evaluator<'a> {
     /// Metrics destination for batch scoring (and, via
     /// [`Evaluator::publish_stats`], the cache/pool gauges).
     obs: ObsHandle,
+    /// Shard-executor backend the sharded cell-count folds (and, through
+    /// [`run_beam_levels`]'s frontier config, the count/materialize
+    /// passes) dispatch through. Disabled → local kernels; any backend →
+    /// identical bits, with per-request local fallback on failure.
+    exec: ExecHandle,
     /// Batch-scored candidates dropped for a reason *other* than an empty
     /// extension — i.e. numeric model breakdown (`BadPrior`). Zero in
     /// healthy runs; see [`Evaluator::numeric_failures`].
@@ -225,6 +280,7 @@ impl<'a> Evaluator<'a> {
                 cell_sums: OnceLock::new(),
             },
             obs: cfg.obs,
+            exec: cfg.exec,
             numeric_failures: AtomicUsize::new(0),
         }
     }
@@ -244,6 +300,7 @@ impl<'a> Evaluator<'a> {
             plan: (cfg.shards > 1).then(|| ShardPlan::new(data.n(), cfg.shards)),
             backend: Backend::Bernoulli { model },
             obs: cfg.obs,
+            exec: cfg.exec,
             numeric_failures: AtomicUsize::new(0),
         }
     }
@@ -271,6 +328,12 @@ impl<'a> Evaluator<'a> {
     /// The metrics/tracing handle the engine reports to.
     pub fn obs(&self) -> ObsHandle {
         self.obs
+    }
+
+    /// The shard-executor handle sharded passes dispatch through
+    /// (disabled means local kernels).
+    pub fn exec(&self) -> ExecHandle {
+        self.exec
     }
 
     /// Samples the point-in-time gauges — factor-cache hit/miss/occupancy
@@ -384,7 +447,12 @@ impl<'a> Evaluator<'a> {
         let (observed_mean, ic) = match &self.backend {
             Backend::Gaussian { model, cache, .. } => {
                 let counts = match &self.plan {
-                    Some(plan) => model.cell_counts_sharded(ext, plan),
+                    Some(plan) => match self.exec.get() {
+                        Some(exec) => model.cell_counts_sharded_with(ext, plan, |cell, ext| {
+                            exec_intersection_count(exec, self.obs, plan, cell, ext)
+                        }),
+                        None => model.cell_counts_sharded(ext, plan),
+                    },
                     None => model.cell_counts(ext),
                 };
                 let observed = self.observed_mean(ext, &counts);
@@ -395,9 +463,14 @@ impl<'a> Evaluator<'a> {
             }
             Backend::Bernoulli { model } => {
                 let observed = self.fallback_mean(ext);
-                let ic = match &self.plan {
-                    Some(plan) => model
-                        .location_ic_for_counts(&model.cell_counts_sharded(ext, plan), &observed)?,
+                let counts = self.plan.as_ref().map(|plan| match self.exec.get() {
+                    Some(exec) => model.cell_counts_sharded_with(ext, plan, |cell, ext| {
+                        exec_intersection_count(exec, self.obs, plan, cell, ext)
+                    }),
+                    None => model.cell_counts_sharded(ext, plan),
+                });
+                let ic = match counts {
+                    Some(counts) => model.location_ic_for_counts(&counts, &observed)?,
                     None => model.location_ic(ext, &observed)?,
                 };
                 (observed, ic)
@@ -724,6 +797,7 @@ pub(crate) fn run_beam_levels(
         threads: ev.threads(),
         pool: ev.pool(),
         obs: ev.obs(),
+        exec: ev.exec(),
     };
     let max_cov =
         ((data.n() as f64 * cfg.max_coverage_fraction).floor() as usize).max(cfg.min_coverage);

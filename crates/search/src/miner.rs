@@ -79,6 +79,17 @@ impl MinerConfig {
         self.beam.eval = self.beam.eval.with_obs(obs);
         self
     }
+
+    /// Routes the sharded count/materialize passes and statistics folds
+    /// of every search this miner runs through the given shard-executor
+    /// backend (see `sisd-exec`). Only consulted when the engine is
+    /// sharded (`with_shards(S > 1)`); results are bit-identical with any
+    /// backend, and a failing backend degrades to the local kernels per
+    /// request instead of failing the search.
+    pub fn with_executor(mut self, exec: sisd_frontier::ExecHandle) -> Self {
+        self.beam.eval = self.beam.eval.with_executor(exec);
+        self
+    }
 }
 
 /// One mining iteration's output: the location pattern, and the spread

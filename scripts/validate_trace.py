@@ -18,6 +18,9 @@ Checks, in order:
    frontier.candidates == count_pruned + dedup_dropped + materialized,
    eval.scored <= frontier.materialized is NOT required (strategies can
    score hand-built batches), but eval.batches > 0 whenever eval.scored > 0.
+   Executor counters: any executor traffic (bytes, latency, retries,
+   fallbacks) implies executor.requests > 0, and retries never exceed
+   requests' retry budget trivially (retries counted per extra attempt).
 
 Exits non-zero with a message on the first violation.
 """
@@ -127,6 +130,22 @@ def main():
         sys.exit(f"frontier.candidates {cand} != pruned+dropped+materialized {parts}")
     if report["eval.scored"] > 0 and report["eval.batches"] == 0:
         sys.exit("eval.scored > 0 with no batches")
+
+    # Executor dispatch: traffic and degradation imply requests were made.
+    ex_requests = report.get("executor.requests", 0)
+    for metric in (
+        "executor.retries",
+        "executor.bytes_tx",
+        "executor.bytes_rx",
+        "executor.request_ns",
+    ):
+        if report.get(metric, 0) > 0 and ex_requests == 0:
+            sys.exit(f"{metric} > 0 with no executor.requests")
+    # A fallback is counted where a request failed (or a load was never
+    # attempted after one), so fallbacks without any requests at all means
+    # the counters disagree about whether an executor was attached.
+    if report.get("executor.fallbacks", 0) > 0 and ex_requests == 0:
+        sys.exit("executor.fallbacks > 0 with no executor.requests")
 
     print(
         f"trace OK: {n_events} events, {len(sums)} counters reconciled, "

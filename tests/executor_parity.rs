@@ -1,0 +1,321 @@
+//! Shard-executor parity and fault tolerance: every `sisd-exec` backend
+//! (in-process codec round-trip, persistent worker processes, loopback
+//! TCP) must leave search results **bit-identical** to the plain local
+//! pipeline at threads {1, 4} × shards {1, 3, 7} — and must keep them
+//! bit-identical when the backend dies mid-search (killed worker, rogue
+//! server speaking garbage), degrading to local kernels with the
+//! fallback visible in the `SearchReport` instead of failing or hanging.
+
+use proptest::prelude::*;
+use sisd::data::{Column, Dataset};
+use sisd::exec::{
+    default_worker_path, InProcessExecutor, ProcessPoolConfig, ProcessPoolExecutor, SocketConfig,
+    SocketExecutor,
+};
+use sisd::frontier::ExecHandle;
+use sisd::linalg::Matrix;
+use sisd::model::BackgroundModel;
+use sisd::obs::{Metric, NullSink, Obs, ObsHandle};
+use sisd::search::{BeamConfig, BeamResult, BeamSearch, EvalConfig};
+use sisd::stats::Xoshiro256pp;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 7];
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Random mixed-type dataset with a planted signal (same fixture shape as
+/// `tests/shard_parity.rs`).
+fn random_dataset(seed: u64, n: usize, dy: usize) -> Dataset {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let flag: Vec<bool> = (0..n).map(|_| rng.uniform() < 0.3).collect();
+    let num: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+    let mut targets = Matrix::zeros(n, dy);
+    for i in 0..n {
+        let boost = if flag[i] { 1.5 } else { 0.0 };
+        for j in 0..dy {
+            targets[(i, j)] = rng.normal() + boost * [1.0, -0.6][j % 2] + 0.3 * num[i];
+        }
+    }
+    Dataset::new(
+        "rnd",
+        vec!["flag".into(), "num".into()],
+        vec![Column::binary(&flag), Column::Numeric(num)],
+        (0..dy).map(|j| format!("y{j}")).collect(),
+        targets,
+    )
+}
+
+fn base_config() -> BeamConfig {
+    BeamConfig {
+        width: 6,
+        max_depth: 2,
+        top_k: 20,
+        min_coverage: 5,
+        ..BeamConfig::default()
+    }
+}
+
+/// Asserts two beam results are bit-identical: same candidate count, same
+/// patterns, same extensions, same SI/IC bits.
+fn assert_bit_identical(got: &BeamResult, reference: &BeamResult, label: &str) {
+    assert_eq!(got.evaluated, reference.evaluated, "{label}: evaluated");
+    assert_eq!(got.top.len(), reference.top.len(), "{label}: top len");
+    for (a, b) in got.top.iter().zip(&reference.top) {
+        assert_eq!(a.intention, b.intention, "{label}: intention");
+        assert_eq!(a.extension, b.extension, "{label}: extension");
+        assert_eq!(a.score.si.to_bits(), b.score.si.to_bits(), "{label}: si");
+        assert_eq!(a.score.ic.to_bits(), b.score.ic.to_bits(), "{label}: ic");
+        for (x, y) in a.observed_mean.iter().zip(&b.observed_mean) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: mean");
+        }
+    }
+}
+
+/// Resolves the `sisd-exec-worker` binary, building it if this test ran
+/// without a preceding workspace build (`cargo test --test
+/// executor_parity` only auto-builds the umbrella package's own bins).
+fn ensure_worker() -> std::path::PathBuf {
+    let worker = default_worker_path();
+    if worker.is_file() {
+        return worker;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut cmd = std::process::Command::new(cargo);
+    cmd.args(["build", "-p", "sisd-exec", "--bin", "sisd-exec-worker"]);
+    if !cfg!(debug_assertions) {
+        cmd.arg("--release");
+    }
+    let status = cmd
+        .status()
+        .expect("spawn cargo to build the worker binary");
+    assert!(status.success(), "building sisd-exec-worker failed");
+    assert!(
+        worker.is_file(),
+        "worker binary still missing at {}",
+        worker.display()
+    );
+    worker
+}
+
+/// The shared in-process backend (leaked once; worker state accumulates
+/// across cases, which is exactly the persistent-executor deployment
+/// shape).
+fn inprocess_handle() -> ExecHandle {
+    static H: OnceLock<ExecHandle> = OnceLock::new();
+    *H.get_or_init(|| InProcessExecutor::leaked(ObsHandle::disabled()))
+}
+
+/// The shared process-pool backend: two real `sisd-exec-worker` child
+/// processes fed over pipes.
+fn procpool_handle() -> ExecHandle {
+    static H: OnceLock<ExecHandle> = OnceLock::new();
+    *H.get_or_init(|| {
+        ensure_worker();
+        ProcessPoolExecutor::leaked(
+            ProcessPoolConfig {
+                workers: 2,
+                ..ProcessPoolConfig::default()
+            },
+            ObsHandle::disabled(),
+        )
+    })
+}
+
+/// The shared socket backend: a loopback TCP server in this process.
+fn socket_handle() -> ExecHandle {
+    static H: OnceLock<ExecHandle> = OnceLock::new();
+    *H.get_or_init(|| {
+        let addr = sisd::exec::spawn_loopback_server().expect("loopback server");
+        SocketExecutor::leaked(
+            addr.to_string(),
+            SocketConfig::default(),
+            ObsHandle::disabled(),
+        )
+    })
+}
+
+fn backends() -> [(&'static str, ExecHandle); 4] {
+    [
+        ("disabled", ExecHandle::disabled()),
+        ("inprocess", inprocess_handle()),
+        ("procpool", procpool_handle()),
+        ("socket", socket_handle()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Full Gaussian beam searches are bit-identical across every
+    /// executor backend at threads {1, 4} × shards {1, 3, 7}.
+    #[test]
+    fn beam_search_backend_parity(seed in 0u64..500) {
+        let n = 80 + (seed as usize * 37) % 120;
+        let data = random_dataset(seed, n, 2);
+        let model = BackgroundModel::from_empirical(&data).unwrap();
+        let base = base_config();
+        let reference = BeamSearch::new(base.clone()).run(&data, &model);
+        for (name, exec) in backends() {
+            for s in SHARD_COUNTS {
+                for threads in THREAD_COUNTS {
+                    let cfg = BeamConfig {
+                        eval: EvalConfig::with_threads(threads)
+                            .with_shards(s)
+                            .with_executor(exec),
+                        ..base.clone()
+                    };
+                    let got = BeamSearch::new(cfg).run(&data, &model);
+                    assert_bit_identical(
+                        &got,
+                        &reference,
+                        &format!("backend={name} s={s} t={threads}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Executor traffic is visible: a sharded search through the in-process
+/// backend reports requests and bytes in the `SearchReport`.
+#[test]
+fn executor_traffic_lands_in_search_report() {
+    let obs = Obs::leaked(Box::new(NullSink));
+    let exec = InProcessExecutor::leaked(obs);
+    let data = random_dataset(17, 160, 2);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let cfg = BeamConfig {
+        eval: EvalConfig::with_threads(1)
+            .with_shards(3)
+            .with_obs(obs)
+            .with_executor(exec),
+        ..base_config()
+    };
+    let reference = BeamSearch::new(base_config()).run(&data, &model);
+    let got = BeamSearch::new(cfg).run(&data, &model);
+    assert_bit_identical(&got, &reference, "inprocess traffic");
+    let report = obs.report().expect("obs enabled");
+    assert!(report.get(Metric::ExecutorRequests) > 0, "{report}");
+    assert!(report.get(Metric::ExecutorBytesTx) > 0, "{report}");
+    assert!(report.get(Metric::ExecutorBytesRx) > 0, "{report}");
+    assert_eq!(report.get(Metric::ExecutorFallbacks), 0, "{report}");
+    let rendered = format!("{report}");
+    assert!(rendered.contains("executor:"), "{rendered}");
+}
+
+/// Killing every pool worker mid-run (respawn disabled) must not change a
+/// single result bit: the search completes on local-kernel fallbacks and
+/// the degradation is visible in the `SearchReport`.
+#[test]
+fn killed_worker_degrades_to_bit_identical_fallback() {
+    ensure_worker();
+    let obs = Obs::leaked(Box::new(NullSink));
+    let pool: &'static ProcessPoolExecutor = Box::leak(Box::new(ProcessPoolExecutor::new(
+        ProcessPoolConfig {
+            workers: 1,
+            retries: 0,
+            respawn: false,
+            ..ProcessPoolConfig::default()
+        },
+        obs,
+    )));
+    let exec = ExecHandle::to(pool);
+    let data = random_dataset(3, 150, 2);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let base = base_config();
+    let reference = BeamSearch::new(base.clone()).run(&data, &model);
+    let cfg = BeamConfig {
+        eval: EvalConfig::with_threads(1)
+            .with_shards(3)
+            .with_obs(obs)
+            .with_executor(exec),
+        ..base
+    };
+
+    let healthy = BeamSearch::new(cfg.clone()).run(&data, &model);
+    assert_bit_identical(&healthy, &reference, "procpool healthy");
+    let before = obs.report().expect("obs enabled");
+    assert_eq!(before.get(Metric::ExecutorFallbacks), 0, "{before}");
+
+    pool.kill_workers();
+    let degraded = BeamSearch::new(cfg).run(&data, &model);
+    assert_bit_identical(&degraded, &reference, "procpool after kill");
+    let report = obs.report().expect("obs enabled");
+    assert!(
+        report.get(Metric::ExecutorFallbacks) >= 1,
+        "fallbacks must be visible in the report: {report}"
+    );
+    let rendered = format!("{report}");
+    assert!(rendered.contains("fallback"), "{rendered}");
+}
+
+/// A server speaking garbage — oversized length prefixes, truncated
+/// frames, dropped connections — yields clean errors bounded by the
+/// socket timeout (never a hang), and the search it backs still finishes
+/// bit-identical on fallbacks.
+#[test]
+fn malformed_socket_frames_fail_cleanly_without_hanging() {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind rogue server");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for (k, stream) in listener.incoming().flatten().enumerate() {
+            let mut stream = stream;
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf);
+            if k % 2 == 0 {
+                // Length prefix far beyond MAX_FRAME_BYTES.
+                let _ = stream.write_all(&[0xff, 0xff, 0xff, 0x7f, 31]);
+            } else {
+                // Valid-looking prefix announcing 64 payload bytes, then
+                // the connection closes after 2 — a truncated frame.
+                let _ = stream.write_all(&[64, 0, 0, 0, 17, 9]);
+            }
+            // Drop: the client sees EOF / a malformed frame, never data.
+        }
+    });
+    let obs = Obs::leaked(Box::new(NullSink));
+    let timeout = Duration::from_millis(500);
+    let exec = SocketExecutor::leaked(
+        addr.to_string(),
+        SocketConfig {
+            retries: 1,
+            timeout,
+        },
+        obs,
+    );
+
+    // Direct request: a clean SisdError, in bounded time.
+    let t = Instant::now();
+    let err = exec
+        .get()
+        .expect("handle enabled")
+        .and_count(&[1, 2], &[3, 4])
+        .expect_err("garbage server must not produce a count");
+    assert!(
+        t.elapsed() < timeout * 8,
+        "error must arrive within the timeout budget, took {:?}",
+        t.elapsed()
+    );
+    assert!(err.to_string().starts_with("executor:"), "{err}");
+
+    // End-to-end: the search degrades to local kernels, bit-identically.
+    let data = random_dataset(29, 120, 2);
+    let model = BackgroundModel::from_empirical(&data).unwrap();
+    let base = base_config();
+    let reference = BeamSearch::new(base.clone()).run(&data, &model);
+    let cfg = BeamConfig {
+        eval: EvalConfig::with_threads(1)
+            .with_shards(3)
+            .with_obs(obs)
+            .with_executor(exec),
+        ..base
+    };
+    let got = BeamSearch::new(cfg).run(&data, &model);
+    assert_bit_identical(&got, &reference, "rogue socket");
+    let report = obs.report().expect("obs enabled");
+    assert!(report.get(Metric::ExecutorFallbacks) >= 1, "{report}");
+    assert!(report.get(Metric::ExecutorRetries) >= 1, "{report}");
+}
