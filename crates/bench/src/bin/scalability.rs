@@ -18,16 +18,19 @@
 //! [`sisd_obs::SearchReport`].
 
 use sisd_bench::{
-    executor_arg, executor_handle, obs_from_args, pool_reuse_arg, print_search_report, print_table,
-    section, shards_arg, threads_arg,
+    executor_arg, executor_handle, kill_after_iter_arg, obs_from_args, pool_reuse_arg,
+    print_search_report, print_table, resume_arg, section, session_iters_arg, shards_arg,
+    snapshot_out_arg, threads_arg,
 };
 use sisd_data::datasets::crime_synthetic;
+use sisd_data::snap::crc32;
 use sisd_data::{BitSet, Column, Dataset};
 use sisd_linalg::Matrix;
 use sisd_model::BackgroundModel;
 use sisd_obs::Metric;
 use sisd_par::WorkerPool;
-use sisd_search::{BeamConfig, BeamSearch, EvalConfig};
+use sisd_search::{BeamConfig, BeamSearch, EvalConfig, Miner, MinerConfig};
+use std::path::Path;
 use std::time::Instant;
 
 /// Row-subsampled copy of a dataset (first `n` rows).
@@ -59,6 +62,119 @@ fn head(data: &Dataset, n: usize) -> Dataset {
     )
 }
 
+/// The session-mode flags (see [`run_session`]).
+struct SessionArgs {
+    iters: usize,
+    snapshot_out: Option<String>,
+    resume: Option<String>,
+    kill_after: Option<usize>,
+}
+
+/// The durable-session demo behind `--session-iters`: mine K iterations
+/// on a fixed 500-row slice of the crime simulacrum, optionally saving a
+/// crash-safe snapshot after every iteration (`--snapshot-out`), starting
+/// from a previous snapshot (`--resume`), or SIGKILLing the process right
+/// after iteration N's snapshot is durable (`--kill-after-iter`). Every
+/// line is deterministic — scores print as raw f64 bits — and the run
+/// ends with a CRC digest of the full serialized session state, so a
+/// killed-and-resumed session can be diffed bit-for-bit against an
+/// uninterrupted one.
+fn run_session(
+    args: SessionArgs,
+    threads: usize,
+    shards: usize,
+    obs: sisd_obs::ObsHandle,
+    exec: sisd_frontier::ExecHandle,
+) {
+    let SessionArgs {
+        iters,
+        snapshot_out,
+        resume,
+        kill_after,
+    } = args;
+    let data = head(&crime_synthetic(2018), 500);
+    let config = MinerConfig {
+        beam: BeamConfig {
+            width: 20,
+            max_depth: 2,
+            top_k: 30,
+            min_coverage: 10,
+            eval: EvalConfig::with_threads(threads)
+                .with_shards(shards)
+                .with_obs(obs)
+                .with_executor(exec),
+            ..BeamConfig::default()
+        },
+        refit_tol: 1e-9,
+        refit_max_cycles: 200,
+        ..MinerConfig::default()
+    };
+    section(&format!(
+        "Durable session — {iters} iteration(s), crime-head500, threads {threads}, \
+         shards {shards}"
+    ));
+    let mut miner = match resume.as_deref() {
+        Some(path) => match Miner::load(Path::new(path), data, config) {
+            Ok(m) => {
+                println!("resumed from {path} at iteration {}", m.iterations_done());
+                m
+            }
+            Err(e) => {
+                eprintln!("error: --resume {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => Miner::from_empirical(data, config).expect("empirical model"),
+    };
+    while miner.iterations_done() < iters {
+        let step = miner.step_location().expect("assimilation failed");
+        let Some(iter) = step else {
+            println!(
+                "iter {}: no feasible pattern — stopping",
+                miner.iterations_done() + 1
+            );
+            break;
+        };
+        println!(
+            "iter {}: rows={} si_bits={:016x}",
+            iter.index,
+            iter.location.extension.count(),
+            iter.location.score.si.to_bits()
+        );
+        if let Some(path) = snapshot_out.as_deref() {
+            if let Err(e) = miner.save(Path::new(path)) {
+                eprintln!("error: --snapshot-out {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if kill_after == Some(iter.index) {
+            // A real crash, not a clean exit: the snapshot written above
+            // must be the only thing the resumed session needs.
+            println!(
+                "killing process after iteration {} (snapshot durable)",
+                iter.index
+            );
+            let _ = std::process::Command::new("kill")
+                .args(["-9", &std::process::id().to_string()])
+                .status();
+            // SIGKILL delivery can lag the spawn; don't fall through.
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+    let bytes = miner.snapshot_bytes().expect("session state serializes");
+    println!(
+        "session complete: {} iteration(s), {} constraint(s), state digest {:08x} ({} bytes)",
+        miner.iterations_done(),
+        miner.model().constraints().len(),
+        crc32(&bytes),
+        bytes.len()
+    );
+    print_search_report(&miner.search_report());
+    obs.flush();
+}
+
 fn main() {
     let threads = threads_arg(4);
     let shards = shards_arg(1);
@@ -66,6 +182,16 @@ fn main() {
     let executor = executor_arg();
     let obs = obs_from_args();
     let exec = executor_handle(executor, obs);
+    if let Some(iters) = session_iters_arg() {
+        let args = SessionArgs {
+            iters,
+            snapshot_out: snapshot_out_arg(),
+            resume: resume_arg(),
+            kill_after: kill_after_iter_arg(),
+        };
+        run_session(args, threads, shards, obs, exec);
+        return;
+    }
     let full = crime_synthetic(2018);
     section("Scalability — beam runtime vs n (crime simulacrum, width 40, depth 2)");
 

@@ -73,7 +73,9 @@ fn die_usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: {name} [--threads N] [--shards N] [--pool-reuse R] \
-         [--executor inprocess|procpool|socket] [--trace-out PATH]"
+         [--executor inprocess|procpool|socket] [--trace-out PATH] \
+         [--session-iters K] [--snapshot-out PATH] [--resume PATH] \
+         [--kill-after-iter N]"
     );
     std::process::exit(2);
 }
@@ -115,6 +117,45 @@ fn positive_flag_arg(name: &str, default: usize) -> usize {
             _ => die_usage(&format!("--{name} needs a positive integer, got '{v}'")),
         },
     }
+}
+
+/// Parses an *optional* positive-integer flag: `None` when absent, the
+/// value when present and valid, exit 2 via [`die_usage`] otherwise.
+fn optional_positive_flag_arg(name: &str) -> Option<usize> {
+    flag_value(name).map(|v| match v.parse() {
+        Ok(n) if n >= 1 => n,
+        _ => die_usage(&format!("--{name} needs a positive integer, got '{v}'")),
+    })
+}
+
+/// Parses a `--session-iters K` flag. When present, `scalability` runs a
+/// durable mining *session* of `K` iterations (printing one deterministic
+/// line per iteration plus a final state digest) instead of the runtime
+/// sweep — the harness behind the kill-and-resume recovery demo.
+pub fn session_iters_arg() -> Option<usize> {
+    optional_positive_flag_arg("session-iters")
+}
+
+/// Parses a `--snapshot-out PATH` flag: after every session iteration the
+/// miner's full state is written to `PATH` crash-safely (temp file +
+/// fsync + atomic rename), so a kill at any moment leaves a loadable
+/// snapshot.
+pub fn snapshot_out_arg() -> Option<String> {
+    flag_value("snapshot-out")
+}
+
+/// Parses a `--resume PATH` flag: the session starts from the snapshot at
+/// `PATH` instead of a fresh model, and continues to `--session-iters`.
+pub fn resume_arg() -> Option<String> {
+    flag_value("resume")
+}
+
+/// Parses a `--kill-after-iter N` flag: the session SIGKILLs its own
+/// process immediately after iteration `N`'s snapshot is durable — a real
+/// crash, not a clean exit — to demonstrate that `--resume` recovers
+/// bit-identically.
+pub fn kill_after_iter_arg() -> Option<usize> {
+    optional_positive_flag_arg("kill-after-iter")
 }
 
 /// Parses a `--threads N` flag from the process arguments (also accepts

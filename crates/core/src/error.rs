@@ -11,6 +11,7 @@
 
 use crate::parse::ParseError;
 use sisd_data::csv::CsvError;
+use sisd_data::snap::SnapError;
 use sisd_data::wire::WireError;
 use sisd_linalg::CholeskyError;
 use sisd_model::ModelError;
@@ -28,6 +29,8 @@ pub enum SisdError {
     Linalg(CholeskyError),
     /// Shard-executor transport or framing failure (`sisd-data::wire`).
     Wire(WireError),
+    /// Snapshot encode/decode or persistence failure (`sisd-data::snap`).
+    Snap(SnapError),
 }
 
 /// Shorthand for results produced anywhere in the pipeline.
@@ -41,6 +44,7 @@ impl std::fmt::Display for SisdError {
             SisdError::Parse(e) => write!(f, "parse: {e}"),
             SisdError::Linalg(e) => write!(f, "linalg: {e}"),
             SisdError::Wire(e) => write!(f, "executor: {e}"),
+            SisdError::Snap(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -53,6 +57,7 @@ impl std::error::Error for SisdError {
             SisdError::Parse(e) => Some(e),
             SisdError::Linalg(e) => Some(e),
             SisdError::Wire(e) => Some(e),
+            SisdError::Snap(e) => Some(e),
         }
     }
 }
@@ -87,6 +92,12 @@ impl From<WireError> for SisdError {
     }
 }
 
+impl From<SnapError> for SisdError {
+    fn from(e: SnapError) -> Self {
+        SisdError::Snap(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,11 +109,14 @@ mod tests {
         let p: SisdError = ParseError::MissingOperator("x".into()).into();
         let l: SisdError = CholeskyError { pivot: 3 }.into();
         let w: SisdError = WireError::Timeout.into();
+        let s: SisdError = SnapError::Corrupt("bad crc".into()).into();
         assert!(matches!(m, SisdError::Model(_)));
         assert!(matches!(c, SisdError::Csv(_)));
         assert!(matches!(p, SisdError::Parse(_)));
         assert!(matches!(l, SisdError::Linalg(_)));
         assert!(matches!(w, SisdError::Wire(_)));
+        assert!(matches!(s, SisdError::Snap(_)));
+        assert!(s.to_string().contains("corrupt"));
         assert!(w.to_string().contains("timed out"));
     }
 

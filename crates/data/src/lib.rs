@@ -18,6 +18,9 @@
 //!   [`BitSet::concat_words`] merges shard-local masks back bit-exactly,
 //! * [`wire`] — the length-prefixed frame codec moving shard count/word
 //!   traffic between processes for the `sisd-exec` executor backends,
+//! * [`snap`] — the versioned, per-section CRC32-checksummed snapshot
+//!   container (plus crash-safe [`snap::atomic_write`]) that durable
+//!   session state serializes through,
 //! * [`csv`] — a small CSV loader/writer,
 //! * [`datasets`] — seeded generators for the paper's synthetic data and
 //!   simulacra of its three real datasets.
@@ -29,6 +32,7 @@ pub mod datasets;
 pub mod discretize;
 pub mod kernels;
 pub mod shard;
+pub mod snap;
 pub mod table;
 pub mod wire;
 

@@ -79,6 +79,61 @@ impl Dataset {
         self.targets.cols()
     }
 
+    /// Order-sensitive FNV-1a hash of the full dataset content: name,
+    /// shape, attribute names, description columns, and the exact target
+    /// bits. Session snapshots stamp this so a resume against different
+    /// data is rejected up front instead of silently mining the wrong
+    /// rows.
+    pub fn content_fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn eat(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn eat_str(&mut self, s: &str) {
+                // Length-prefix every string so concatenations can't collide.
+                self.eat(&(s.len() as u64).to_le_bytes());
+                self.eat(s.as_bytes());
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.eat_str(&self.name);
+        h.eat(&(self.n() as u64).to_le_bytes());
+        h.eat(&(self.dy() as u64).to_le_bytes());
+        for name in &self.desc_names {
+            h.eat_str(name);
+        }
+        for col in &self.desc_cols {
+            match col {
+                Column::Numeric(vals) => {
+                    h.eat(&[1]);
+                    for v in vals {
+                        h.eat(&v.to_bits().to_le_bytes());
+                    }
+                }
+                Column::Categorical { codes, labels } => {
+                    h.eat(&[2]);
+                    for c in codes {
+                        h.eat(&c.to_le_bytes());
+                    }
+                    for l in labels {
+                        h.eat_str(l);
+                    }
+                }
+            }
+        }
+        for name in &self.target_names {
+            h.eat_str(name);
+        }
+        for v in self.targets.as_slice() {
+            h.eat(&v.to_bits().to_le_bytes());
+        }
+        h.0
+    }
+
     /// Description attribute names.
     pub fn desc_names(&self) -> &[String] {
         &self.desc_names
@@ -287,6 +342,26 @@ mod tests {
             vec!["t1".into(), "t2".into()],
             targets,
         )
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let d = toy();
+        assert_eq!(d.content_fingerprint(), toy().content_fingerprint());
+        let mut other = toy();
+        other.name = "toy2".into();
+        assert_ne!(d.content_fingerprint(), other.content_fingerprint());
+        let tweaked = Dataset::new(
+            "toy",
+            vec!["cat".into(), "num".into()],
+            vec![
+                Column::categorical_from_strs(&["a", "a", "b", "b"]),
+                Column::Numeric(vec![0.1, 0.2, 0.3, 0.4]),
+            ],
+            vec!["t1".into(), "t2".into()],
+            Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.5], &[4.0, 40.0]]),
+        );
+        assert_ne!(d.content_fingerprint(), tweaked.content_fingerprint());
     }
 
     #[test]

@@ -514,8 +514,18 @@ fn spawn_worker(program: &PathBuf) -> Result<Worker, WireError> {
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()?;
-    let stdin = child.stdin.take().expect("stdin was piped");
-    let stdout = child.stdout.take().expect("stdout was piped");
+    let stdin = child.stdin.take().ok_or_else(|| {
+        WireError::Io(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "spawned worker exposed no stdin pipe",
+        ))
+    })?;
+    let stdout = child.stdout.take().ok_or_else(|| {
+        WireError::Io(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "spawned worker exposed no stdout pipe",
+        ))
+    })?;
     let (tx, rx) = mpsc::channel();
     std::thread::Builder::new()
         .name("sisd-exec-reader".into())
@@ -679,11 +689,15 @@ impl ProcessPoolExecutor {
                     return Ok(Response::Loaded);
                 }
             }
-            let sent = {
-                let w = slot.worker.as_mut().expect("worker ensured above");
-                req.write_to(&mut w.stdin)
-                    .and_then(|n| w.stdin.flush().map_err(WireError::Io).map(|()| n))
+            // The worker was ensured above, but never trust that with a
+            // panic: a vanished slot is just another retriable failure.
+            let Some(w) = slot.worker.as_mut() else {
+                last_err = WireError::Remote("worker slot emptied mid-request".into());
+                continue;
             };
+            let sent = req
+                .write_to(&mut w.stdin)
+                .and_then(|n| w.stdin.flush().map_err(WireError::Io).map(|()| n));
             match sent {
                 Ok(n) => obs.add(Metric::ExecutorBytesTx, n as u64),
                 Err(e) => {
@@ -692,12 +706,11 @@ impl ProcessPoolExecutor {
                     continue;
                 }
             }
-            let received = slot
-                .worker
-                .as_ref()
-                .expect("worker ensured above")
-                .rx
-                .recv_timeout(self.cfg.timeout);
+            let Some(w) = slot.worker.as_ref() else {
+                last_err = WireError::Remote("worker slot emptied mid-request".into());
+                continue;
+            };
+            let received = w.rx.recv_timeout(self.cfg.timeout);
             match received {
                 Ok(Ok((resp, n))) => {
                     obs.add(Metric::ExecutorBytesRx, n);
@@ -851,7 +864,10 @@ impl SocketExecutor {
                     }
                 }
             }
-            let conn = guard.as_mut().expect("connection ensured above");
+            let Some(conn) = guard.as_mut() else {
+                last_err = WireError::Remote("connection dropped mid-request".into());
+                continue;
+            };
             if let Request::Load {
                 matrix_id, shard, ..
             } = req

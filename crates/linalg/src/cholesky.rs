@@ -96,6 +96,33 @@ impl Cholesky {
         Err(last)
     }
 
+    /// Rebuilds a factorization from a previously-extracted factor matrix
+    /// (see [`Cholesky::factor`]) without renormalizing any bits — the
+    /// constructor snapshot restore uses to reproduce incrementally
+    /// maintained factors exactly. Validates the invariants every other
+    /// method relies on: square shape, a strictly zeroed upper triangle,
+    /// and finite positive diagonal pivots. The failing row is reported as
+    /// the error's pivot.
+    pub fn from_factor(l: Matrix) -> Result<Self, CholeskyError> {
+        if !l.is_square() {
+            return Err(CholeskyError { pivot: 0 });
+        }
+        let n = l.rows();
+        for i in 0..n {
+            let d = l[(i, i)];
+            if !(d.is_finite() && d > 0.0) {
+                return Err(CholeskyError { pivot: i });
+            }
+            for j in 0..n {
+                let v = l[(i, j)];
+                if (j > i && v != 0.0) || !v.is_finite() {
+                    return Err(CholeskyError { pivot: i });
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
     /// Dimension of the factored matrix.
     #[inline]
     pub fn dim(&self) -> usize {
@@ -335,6 +362,24 @@ mod tests {
                 assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-10);
             }
         }
+    }
+
+    #[test]
+    fn from_factor_roundtrips_bits_and_rejects_invalid() {
+        let ch = Cholesky::new(&spd3()).unwrap();
+        let rebuilt = Cholesky::from_factor(ch.factor().clone()).unwrap();
+        assert_eq!(rebuilt.factor().as_slice(), ch.factor().as_slice());
+
+        let mut bad = ch.factor().clone();
+        bad[(1, 1)] = -1.0; // non-positive pivot
+        assert_eq!(Cholesky::from_factor(bad).unwrap_err().pivot, 1);
+        let mut bad = ch.factor().clone();
+        bad[(0, 2)] = 0.5; // nonzero upper triangle
+        assert!(Cholesky::from_factor(bad).is_err());
+        let mut bad = ch.factor().clone();
+        bad[(2, 0)] = f64::NAN;
+        assert_eq!(Cholesky::from_factor(bad).unwrap_err().pivot, 2);
+        assert!(Cholesky::from_factor(Matrix::zeros(2, 3)).is_err());
     }
 
     #[test]

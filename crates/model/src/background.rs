@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 /// mint colliding `cov_id`s for different covariance values.
 static NEXT_LINEAGE: AtomicU64 = AtomicU64::new(0);
 
-fn next_lineage() -> u64 {
+pub(crate) fn next_lineage() -> u64 {
     NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -283,25 +283,25 @@ pub struct SpreadStats {
 /// and is maintained through spread updates by O(dy²) rank-one sweeps (see
 /// `project_spread_at`).
 #[derive(Debug, Clone)]
-struct ProjectionState {
+pub(crate) struct ProjectionState {
     /// Indices of cells fully inside the constraint's extension.
-    members: Vec<u32>,
+    pub(crate) members: Vec<u32>,
     /// Total row count over the members (= the extension's popcount).
-    m: usize,
+    pub(crate) m: usize,
     /// Partition epoch at which `members` was computed; `u64::MAX` forces
     /// the first build.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Cached factor of `S = Σ_{g∈members} n_g Σ_g` (location constraints
     /// only). `None` means "build fresh on next projection" — the fallback
     /// after a failed downdate or a too-large rank-k maintenance batch.
-    chol: Option<Cholesky>,
+    pub(crate) chol: Option<Cholesky>,
     /// Accumulated dual solution (Lagrange multipliers λ) of this
     /// constraint's location projections — the warm-start state a resumed
     /// refit continues from (the model's means embed `Σλ` already, so
     /// re-projection solves only for the *residual* multiplier).
-    dual: Vec<f64>,
+    pub(crate) dual: Vec<f64>,
     /// Accumulated spread multiplier, the scalar analogue of `dual`.
-    spread_dual: f64,
+    pub(crate) spread_dual: f64,
 }
 
 impl Default for ProjectionState {
@@ -335,7 +335,7 @@ impl ProjectionState {
 /// `project_location`/`project_spread`/`violation` now reuses these (pinned
 /// by the counting-allocator test in `tests/alloc_counts.rs`).
 #[derive(Debug, Clone)]
-struct ProjectionScratch {
+pub(crate) struct ProjectionScratch {
     /// dy-sized vector buffers: current E[f_I], solve right-hand side /
     /// solution (aliased), and per-cell mean shift.
     mu_bar: Vec<f64>,
@@ -386,32 +386,32 @@ impl Default for ProjectionScratch {
 /// per-row multivariate normals whose parameters are shared within cells.
 #[derive(Debug)]
 pub struct BackgroundModel {
-    n: usize,
-    dy: usize,
-    cells: Vec<Cell>,
-    cell_of_row: Vec<u32>,
-    constraints: Vec<Constraint>,
+    pub(crate) n: usize,
+    pub(crate) dy: usize,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) cell_of_row: Vec<u32>,
+    pub(crate) constraints: Vec<Constraint>,
     /// Incremental-projection state, parallel to `constraints`.
-    proj: Vec<ProjectionState>,
+    pub(crate) proj: Vec<ProjectionState>,
     /// Constraint-overlap adjacency, parallel to `constraints`: `adj[i]`
     /// lists the constraints whose extensions share at least one row with
     /// constraint `i` — exactly the residuals a projection of `i` can
     /// disturb. Extensions are immutable, so this only ever grows.
-    adj: Vec<Vec<u32>>,
-    next_cov_id: u64,
+    pub(crate) adj: Vec<Vec<u32>>,
+    pub(crate) next_cov_id: u64,
     /// Identity of this model's mutation history (see `lineage_id`).
-    lineage: u64,
+    pub(crate) lineage: u64,
     /// Bumped whenever the cell partition changes (refinement or a cold
     /// reset); staleness signal for cached membership lists.
-    partition_epoch: u64,
+    pub(crate) partition_epoch: u64,
     /// The prior the model was constructed with; `refit_cold` replays the
     /// constraint history from here.
-    base_mu: Vec<f64>,
-    base_sigma: Matrix,
-    scratch: ProjectionScratch,
+    pub(crate) base_mu: Vec<f64>,
+    pub(crate) base_sigma: Matrix,
+    pub(crate) scratch: ProjectionScratch,
     /// Metrics destination for refit/projection work. Disabled by default;
     /// never affects the numbers the model produces.
-    obs: ObsHandle,
+    pub(crate) obs: ObsHandle,
 }
 
 impl Clone for BackgroundModel {

@@ -77,6 +77,23 @@ impl Cell {
         self.chol = OnceLock::new();
     }
 
+    /// Snapshot view of the lazy factor cache, without triggering a
+    /// factorization: `None` = never computed, `Some(None)` = computed but
+    /// failed, `Some(Some(_))` = cached factor. Incrementally maintained
+    /// factors can differ bitwise from a fresh factorization of `sigma`,
+    /// so snapshots must carry this state for bit-identical restores.
+    pub(crate) fn factor_state(&self) -> Option<Option<&Cholesky>> {
+        self.chol.get().map(|o| o.as_deref())
+    }
+
+    /// Restores the factor cache to a previously snapshotted state.
+    pub(crate) fn set_factor_state(&mut self, state: Option<Option<Cholesky>>) {
+        self.chol = OnceLock::new();
+        if let Some(opt) = state {
+            let _ = self.chol.set(opt.map(Arc::new));
+        }
+    }
+
     /// Applies the rank-one modification `Σ ← Σ + α u uᵀ` to the *cached
     /// factor* in O(dy²), instead of invalidating it and paying a fresh
     /// O(dy³) factorization on next use. Call after applying the same

@@ -26,6 +26,7 @@ mod background;
 pub mod binary;
 mod cell;
 mod constraint;
+mod snap;
 mod solver;
 
 pub use background::{

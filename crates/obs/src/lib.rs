@@ -130,11 +130,19 @@ pub enum Metric {
     ExecutorBytesRx,
     /// Nanoseconds spent inside executor round-trips (retries included).
     ExecutorRequestNs,
+    /// Bytes written by session snapshot saves (finished containers only).
+    SnapshotBytes,
+    /// Nanoseconds spent encoding and durably writing snapshots.
+    SnapshotWriteNs,
+    /// Nanoseconds spent decoding and validating snapshot restores.
+    SnapshotRestoreNs,
+    /// Restores rejected for corruption, truncation, or version skew.
+    SnapshotCrcFailures,
 }
 
 impl Metric {
     /// Number of metrics; the registry array length.
-    pub const COUNT: usize = 41;
+    pub const COUNT: usize = 45;
 
     /// Every metric, in registry order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -179,6 +187,10 @@ impl Metric {
         Metric::ExecutorBytesTx,
         Metric::ExecutorBytesRx,
         Metric::ExecutorRequestNs,
+        Metric::SnapshotBytes,
+        Metric::SnapshotWriteNs,
+        Metric::SnapshotRestoreNs,
+        Metric::SnapshotCrcFailures,
     ];
 
     /// Registry slot of this metric.
@@ -231,6 +243,10 @@ impl Metric {
             Metric::ExecutorBytesTx => "executor.bytes_tx",
             Metric::ExecutorBytesRx => "executor.bytes_rx",
             Metric::ExecutorRequestNs => "executor.request_ns",
+            Metric::SnapshotBytes => "snapshot.bytes",
+            Metric::SnapshotWriteNs => "snapshot.write_ns",
+            Metric::SnapshotRestoreNs => "snapshot.restore_ns",
+            Metric::SnapshotCrcFailures => "snapshot.crc_failures",
         }
     }
 

@@ -39,8 +39,23 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Locks `m`, recovering the guard from a poisoned lock. Task panics are
+/// caught *before* the job mutex is taken, so poisoning can only come
+/// from a panic in this crate's own short critical sections — all of
+/// which leave the guarded state consistent. Recovering keeps one
+/// panicked thread from cascading lock panics into every later caller of
+/// a long-lived pool.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The lifetime-erased shape of one submitted run: a pure-per-index task.
 type Task = dyn Fn(usize) + Sync;
@@ -113,7 +128,7 @@ impl Job {
             // `wait_done` and the closure behind `task` is alive.
             let task = unsafe { &*self.task };
             let ok = catch_unwind(AssertUnwindSafe(|| task(i))).is_ok();
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_recover(&self.state);
             if !ok {
                 st.panicked = true;
             }
@@ -127,9 +142,9 @@ impl Job {
 
     /// Blocks until every task has finished; re-raises worker panics.
     fn wait_done(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         while st.remaining > 0 {
-            st = self.done.wait(st).unwrap();
+            st = wait_recover(&self.done, st);
         }
         let panicked = st.panicked;
         drop(st);
@@ -162,7 +177,7 @@ struct Shared {
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let job: Arc<Job> = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_recover(&shared.state);
             loop {
                 // Retire fully-claimed jobs from the front; their callers
                 // wait on the per-job latch, not the queue.
@@ -179,7 +194,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 if st.shutdown {
                     return;
                 }
-                st = shared.work.wait(st).unwrap();
+                st = wait_recover(&shared.work, st);
             }
         };
         job.drain();
@@ -256,7 +271,7 @@ impl WorkerPool {
 
     /// Worker threads spawned so far.
     pub fn workers(&self) -> usize {
-        self.shared.state.lock().unwrap().workers
+        lock_recover(&self.shared.state).workers
     }
 
     /// Runs that went through the pool (serial short-circuits excluded).
@@ -277,13 +292,18 @@ impl WorkerPool {
 
     fn ensure_workers(&self, want: usize) {
         let want = want.min(MAX_WORKERS);
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_recover(&self.shared.state);
         while st.workers < want {
             let shared = Arc::clone(&self.shared);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("sisd-par-{}", st.workers))
-                .spawn(move || worker_loop(shared))
-                .expect("sisd-par: worker thread spawn failed");
+                .spawn(move || worker_loop(shared));
+            if spawned.is_err() {
+                // Resource exhaustion: degrade to however many workers
+                // exist (possibly zero — the submitting caller always
+                // drains its own job), rather than panicking mid-search.
+                return;
+            }
             st.workers += 1;
         }
     }
@@ -322,10 +342,7 @@ impl WorkerPool {
             wait_ns: AtomicU64::new(0),
             tasks_run: AtomicU64::new(0),
         });
-        self.shared
-            .state
-            .lock()
-            .unwrap()
+        lock_recover(&self.shared.state)
             .jobs
             .push_back(Arc::clone(&job));
         self.shared.work.notify_all();
@@ -544,7 +561,7 @@ impl std::fmt::Debug for PoolHandle {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_recover(&self.shared.state);
         st.shutdown = true;
         drop(st);
         self.shared.work.notify_all();

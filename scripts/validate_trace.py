@@ -147,6 +147,15 @@ def main():
     if report.get("executor.fallbacks", 0) > 0 and ex_requests == 0:
         sys.exit("executor.fallbacks > 0 with no executor.requests")
 
+    # Snapshot durability: bytes written imply a timed write, and a timed
+    # write implies bytes (the two are bumped by the same save call).
+    snap_bytes = report.get("snapshot.bytes", 0)
+    snap_write_ns = report.get("snapshot.write_ns", 0)
+    if snap_bytes > 0 and snap_write_ns == 0:
+        sys.exit("snapshot.bytes > 0 with no snapshot.write_ns")
+    if snap_write_ns > 0 and snap_bytes == 0:
+        sys.exit("snapshot.write_ns > 0 with no snapshot.bytes")
+
     print(
         f"trace OK: {n_events} events, {len(sums)} counters reconciled, "
         f"{len(last_gauge)} gauges checked"
